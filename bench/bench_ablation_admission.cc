@@ -1,0 +1,48 @@
+// Ablation — online admission semantics for future cap windows:
+//   paper-live        (default) clamp overlapping jobs to the window's
+//                     optimal frequency; live check once the window is
+//                     active; carried-over power decays (paper §IV-B).
+//   paper-live-strict the literal "job remains pending" reading when no
+//                     frequency satisfies the window.
+//   projection        conservative extension: reserve window power for
+//                     walltime-persisting jobs; zero violations guaranteed.
+// With the trace's x12 000 walltime over-estimation every job "overlaps"
+// the window on paper, which makes this choice matter enormously.
+#include "bench_common.h"
+
+#include "metrics/report.h"
+
+int main() {
+  using namespace ps;
+  bench::print_header("Ablation — admission semantics for future cap windows");
+
+  metrics::TextTable table({"policy/cap", "admission", "work (% max)",
+                            "launched", "violation (s)", "energy (MJ)"});
+  for (core::Policy policy : {core::Policy::Dvfs, core::Policy::Mix}) {
+    for (double lambda : {0.6, 0.4}) {
+      for (core::AdmissionMode mode :
+           {core::AdmissionMode::PaperLive, core::AdmissionMode::PaperLiveStrict,
+            core::AdmissionMode::Projection}) {
+        core::ScenarioConfig config =
+            bench::scenario(workload::Profile::MedianJob, policy, lambda);
+        config.powercap.admission = mode;
+        core::ScenarioResult r = core::run_scenario(config);
+        table.add_row({strings::format("%s/%d%%", core::to_string(policy),
+                                       static_cast<int>(lambda * 100)),
+                       core::to_string(mode),
+                       strings::format("%.1f%%", 100.0 * r.summary.utilization),
+                       std::to_string(r.summary.launched_jobs),
+                       strings::format("%.0f", r.summary.cap_violation_seconds),
+                       strings::format("%.0f", r.summary.energy_joules / 1e6)});
+      }
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: paper-live keeps the machine busy ahead of the window (the "
+      "published figures' behaviour) and tolerates a decaying violation tail "
+      "at window start; projection trades pre-window utilization for a hard "
+      "zero-violation guarantee; strict pending collapses utilization whenever "
+      "over-estimated walltimes make every job overlap the window.\n");
+  return 0;
+}

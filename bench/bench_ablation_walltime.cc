@@ -1,0 +1,49 @@
+// Ablation — user walltime over-estimation (§VII-B). The paper blames the
+// x12 000 median over-estimation for ineffective backfilling. Two findings
+// from the reproduction:
+//   1. Scaling *all* walltimes by a common factor leaves EASY backfilling
+//      almost unaffected — the shadow horizon and the candidates' estimated
+//      ends stretch together, so the relative geometry is scale-invariant.
+//   2. The over-estimation interacts brutally with *advance reservations*:
+//      under strict switch-off blocking (classic SLURM semantics), x12 000
+//      walltimes make every job "overlap" a future window, starving the
+//      reserved nodes for hours ahead of it. Accurate estimates make strict
+//      blocking free. This is why the permissive/opportunistic reservation
+//      mode (the default here) matters for reproducing the paper's figures.
+#include "bench_common.h"
+
+#include "metrics/report.h"
+
+int main() {
+  using namespace ps;
+  bench::print_header("Ablation — walltime over-estimation x reservation blocking");
+
+  metrics::TextTable table({"overestimate", "blocking", "work (% of max)",
+                            "launched", "backfills", "mean wait (s)"});
+  for (double factor : {1.0, 100.0, 14500.0}) {
+    for (bool strict : {false, true}) {
+      workload::GeneratorParams params =
+          workload::params_for(workload::Profile::MedianJob);
+      params.overestimate_median = factor;
+      params.overestimate_sigma = factor == 1.0 ? 0.0 : 0.33;
+
+      core::ScenarioConfig config =
+          bench::scenario(workload::Profile::MedianJob, core::Policy::Shut, 0.60);
+      config.custom_workload = params;
+      config.powercap.strict_reservation_blocking = strict;
+      core::ScenarioResult r = core::run_scenario(config);
+      table.add_row({strings::format("x%.0f", factor),
+                     strict ? "strict" : "permissive",
+                     strings::format("%.1f%%", 100.0 * r.summary.utilization),
+                     std::to_string(r.summary.launched_jobs),
+                     std::to_string(r.stats.backfill_starts),
+                     strings::format("%.0f", r.summary.mean_wait_seconds)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nexpected shape: within each blocking mode the backfill rate "
+              "barely moves with the factor (finding 1); under strict blocking "
+              "the x14 500 row loses the reserved nodes for the whole run-up "
+              "to the window while x1 does not (finding 2).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension bench — dynamic DVFS of running jobs (paper §VIII future work):
+// "we will consider to dynamically change the CPU frequencies while the
+// jobs are running, this will allow nodes to adjust the power consumption
+// instantly ... faster power decrease when a powercap period is
+// approaching and lower jobs' turnaround time after a powercap period is
+// over." Compares DVFS and MIX runs with and without the extension.
+#include "bench_common.h"
+
+#include "core/powercap_manager.h"
+#include "metrics/report.h"
+
+int main() {
+  using namespace ps;
+  bench::print_header("Extension — dynamic DVFS of running jobs at window boundaries");
+
+  metrics::TextTable table({"policy/cap", "dynamic DVFS", "violation (s)",
+                            "work (% max)", "effective work (% max)",
+                            "energy (MJ)", "mean wait (s)"});
+  for (core::Policy policy : {core::Policy::Dvfs, core::Policy::Mix}) {
+    for (double lambda : {0.6, 0.4}) {
+      for (bool dynamic : {false, true}) {
+        core::ScenarioConfig config =
+            bench::scenario(workload::Profile::MedianJob, policy, lambda);
+        config.powercap.dynamic_dvfs = dynamic;
+        core::ScenarioResult r = core::run_scenario(config);
+        table.add_row(
+            {strings::format("%s/%d%%", core::to_string(policy),
+                             static_cast<int>(lambda * 100)),
+             dynamic ? "on" : "off",
+             strings::format("%.0f", r.summary.cap_violation_seconds),
+             strings::format("%.1f%%", 100.0 * r.summary.utilization),
+             strings::format("%.1f%%", 100.0 * r.summary.effective_work_core_seconds /
+                                           r.summary.max_possible_work),
+             strings::format("%.0f", r.summary.energy_joules / 1e6),
+             strings::format("%.0f", r.summary.mean_wait_seconds)});
+      }
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nreading: for pre-announced windows admission already clamps "
+              "overlapping jobs, so the extension's gain is the post-window "
+              "speed-up (higher effective work). The \"faster power decrease\" "
+              "benefit shows when a cap arrives unannounced:\n");
+
+  bench::print_section("cap \"set for now\" at t = 2 h (65% of max), DVFS policy");
+  for (bool dynamic : {false, true}) {
+    cluster::Cluster cl = cluster::curie::make_cluster();
+    sim::Simulator sim;
+    rjms::Controller controller(sim, cl, {});
+    core::PowercapConfig powercap;
+    powercap.policy = core::Policy::Dvfs;
+    powercap.dynamic_dvfs = dynamic;
+    core::PowercapManager manager(controller, powercap);
+    metrics::Recorder recorder(controller);
+
+    auto jobs = workload::generate(workload::Profile::MedianJob, bench::kSeed);
+    for (const auto& job : jobs) {
+      const workload::JobRequest* ptr = &job;
+      sim.schedule_at(job.submit_time, [&controller, ptr] { controller.submit(*ptr); });
+    }
+    double cap_watts = manager.lambda_to_watts(0.65);
+    sim.schedule_at(sim::hours(2),
+                    [&manager, cap_watts] { manager.add_powercap_now(cap_watts); });
+    sim.run_until(sim::hours(5));
+    recorder.sample(sim.now());
+    metrics::RunSummary summary =
+        metrics::summarize(recorder, controller, 0, sim::hours(5));
+    std::printf("dynamic %-4s violation=%6.0fs  work=%.3g core-h  energy=%.4g MJ\n",
+                dynamic ? "on" : "off", summary.cap_violation_seconds,
+                summary.work_core_seconds / 3600.0, summary.energy_joules / 1e6);
+  }
+  std::printf("\nexpected: without the extension the unannounced cap is "
+              "violated until enough jobs finish; with it every running job is "
+              "rescaled at the boundary and power drops instantly (the paper's "
+              "\"faster power decrease\").\n");
+  return 0;
+}

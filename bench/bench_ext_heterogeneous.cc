@@ -1,0 +1,49 @@
+// Extension bench — application-aware DVFS (paper §VIII future work): "if
+// an application is able to provide optimized DVFS values, this should be
+// taken into account by the algorithm." Jobs tagged with a measured app
+// model use that app's degradation (linpack x2.14 ... GROMACS x1.16)
+// instead of the uniform literature value 1.63 the paper replays with.
+#include "bench_common.h"
+
+#include "metrics/report.h"
+
+int main() {
+  using namespace ps;
+  bench::print_header(
+      "Extension — per-application DVFS degradation vs the uniform 1.63");
+
+  metrics::TextTable table({"jobs tagged", "app degmin used", "work (% max)",
+                            "effective work (% max)", "energy (MJ)",
+                            "mean wait (s)"});
+  for (bool heterogeneous : {false, true}) {
+    for (bool use_app : {false, true}) {
+      if (!heterogeneous && use_app) continue;  // nothing to look up
+      workload::GeneratorParams params =
+          workload::params_for(workload::Profile::MedianJob);
+      params.heterogeneous_apps = heterogeneous;
+
+      core::ScenarioConfig config =
+          bench::scenario(workload::Profile::MedianJob, core::Policy::Dvfs, 0.60);
+      config.custom_workload = params;
+      config.powercap.use_app_degmin = use_app;
+      core::ScenarioResult r = core::run_scenario(config);
+      table.add_row(
+          {heterogeneous ? "linpack/STREAM/IMB/GROMACS" : "none (uniform)",
+           use_app ? "per-app" : "common 1.63",
+           strings::format("%.1f%%", 100.0 * r.summary.utilization),
+           strings::format("%.1f%%", 100.0 * r.summary.effective_work_core_seconds /
+                                         r.summary.max_possible_work),
+           strings::format("%.0f", r.summary.energy_joules / 1e6),
+           strings::format("%.0f", r.summary.mean_wait_seconds)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nreading: with per-app degradation, memory-bound jobs (STREAM x1.26, "
+      "GROMACS x1.16) barely stretch when slowed — they tolerate the cap "
+      "almost for free — while linpack-like jobs (x2.14) pay more than the "
+      "uniform 1.63 assumes. The scheduler's walltime accounting follows each "
+      "job's own curve, the first step toward the paper's application-aware "
+      "DVFS selection.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig 2 (table): "Power consumption and the possible saved
+// watts when various levels of the cluster are switched-off", plus the
+// worked example of §VI-A (20 scattered nodes vs one chassis).
+#include "bench_common.h"
+
+#include "cluster/curie.h"
+#include "metrics/report.h"
+
+int main() {
+  using namespace ps;
+  bench::print_header("Fig 2 — per-level power consumption and power bonus (Curie)");
+
+  cluster::PowerModel pm = cluster::curie::power_model();
+  metrics::TextTable table({"Level", "Power consumption", "Power bonus",
+                            "Accumulated saving"});
+  table.add_row({"Node (down)", strings::format("%.0f W", pm.down_watts()), "-", "-"});
+  table.add_row({"Node (max)", strings::format("%.0f W", pm.max_watts()), "-",
+                 strings::format("%.0f W", pm.node_switch_off_saving())});
+  table.add_row({"Chassis (18 nodes)",
+                 strings::format("%.0f W", pm.chassis_infra_watts()),
+                 strings::format("248+18*14= %.0f W", pm.chassis_power_bonus()),
+                 strings::format("344*18+500= %.0f W", pm.chassis_accumulated_saving())});
+  table.add_row({"Rack (5 chassis)",
+                 strings::format("%.0f W", pm.rack_infra_watts()),
+                 strings::format("900+500*5= %.0f W", pm.rack_power_bonus()),
+                 strings::format("6692*5+900= %.0f W", pm.rack_accumulated_saving())});
+  table.add_row({"Cluster (56 racks)", "-", "-",
+                 strings::format("%.0f W", 56.0 * pm.rack_accumulated_saving())});
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\npaper values: node saving 344 W, chassis bonus 500 W (accum 6 692 W), "
+              "rack bonus 3 400 W (accum 34 360 W)\n");
+
+  bench::print_section("worked example (§VI-A): reduce power by 6 600 W");
+  std::printf("scattered single nodes: need %d nodes (%d x 344 = %.0f W)\n", 20, 20,
+              20 * pm.node_switch_off_saving());
+  std::printf("one full chassis:       need 18 nodes (saving %.0f W >= 6 600 W) "
+              "=> 2 extra nodes stay available for computation\n",
+              pm.chassis_accumulated_saving());
+
+  bench::print_section("cluster-level aggregates");
+  std::printf("%s\n", pm.describe().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces paper Fig 7: (a) "Powercap of 60% with mainly big jobs and
+// SHUT policy" and (b) "Powercap of 40% with mainly small jobs and DVFS
+// policy" — 5 h replays with a 1 h cap window in the middle.
+#include "bench_common.h"
+
+namespace {
+
+void panel(const char* title, ps::workload::Profile profile, ps::core::Policy policy,
+           double lambda) {
+  using namespace ps;
+  bench::print_header(title);
+  core::ScenarioResult result =
+      core::run_scenario(bench::scenario(profile, policy, lambda));
+  bench::print_cap_annotation(result);
+  bench::print_section("cores by state (top panel)");
+  std::printf("%s", bench::cores_chart(result).c_str());
+  bench::print_section("power by origin (bottom panel)");
+  std::printf("%s", bench::watts_chart(result).c_str());
+  bench::print_section("run summary");
+  std::printf("%s\n", result.summary.describe().c_str());
+
+  // Post-window recovery check (paper: utilization jumps back to ~100%).
+  double busy_in = 0.0, busy_after = 0.0;
+  std::size_t n_in = 0, n_after = 0;
+  for (const metrics::Sample& s : result.samples) {
+    std::int64_t busy = 0;
+    for (auto b : s.busy_by_freq) busy += b;
+    if (s.t >= result.cap_start && s.t < result.cap_end) {
+      busy_in += static_cast<double>(busy);
+      ++n_in;
+    } else if (s.t >= result.cap_end &&
+               s.t < result.cap_end + sim::minutes(45)) {
+      busy_after += static_cast<double>(busy);
+      ++n_after;
+    }
+  }
+  if (n_in > 0 && n_after > 0) {
+    std::printf("mean busy nodes: %.0f inside the window vs %.0f in the 45 min "
+                "after it (of 5 040)\n",
+                busy_in / static_cast<double>(n_in),
+                busy_after / static_cast<double>(n_after));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  panel("Fig 7a — 5 h bigjob workload, SHUT policy, 60% powercap",
+        ps::workload::Profile::BigJob, ps::core::Policy::Shut, 0.60);
+  panel("Fig 7b — 5 h smalljob workload, DVFS policy, 40% powercap",
+        ps::workload::Profile::SmallJob, ps::core::Policy::Dvfs, 0.40);
+  std::printf("shape check vs paper: (a) the shutdown block carves space during "
+              "the window and utilization snaps back after it; (b) low "
+              "frequencies appear while approaching the window and 2.7 GHz "
+              "vanishes inside it.\n");
+  return 0;
+}

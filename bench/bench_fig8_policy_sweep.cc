@@ -1,0 +1,90 @@
+// Reproduces paper Fig 8: "Comparison of different scenarios of policies
+// and powercaps based on normalized values of total consumed energy,
+// launched jobs and accumulated cpu time during the 5 hours workload
+// interval" — the full {bigjob, medianjob, smalljob} x {40, 60, 80%} x
+// {SHUT, DVFS, MIX} grid plus the 100%/None baseline, normalized per
+// workload to the maximum observed value.
+#include "bench_common.h"
+
+#include <map>
+
+int main() {
+  using namespace ps;
+  bench::print_header("Fig 8 — normalized energy / launched jobs / work per scenario");
+
+  struct Row {
+    std::string label;
+    core::ScenarioResult result;
+  };
+  const std::vector<std::pair<double, core::Policy>> scenarios = {
+      {0.40, core::Policy::Mix}, {0.40, core::Policy::Dvfs}, {0.40, core::Policy::Shut},
+      {0.60, core::Policy::Mix}, {0.60, core::Policy::Dvfs}, {0.60, core::Policy::Shut},
+      {0.80, core::Policy::Dvfs}, {0.80, core::Policy::Shut},
+      {1.00, core::Policy::None}};
+  const workload::Profile profiles[] = {workload::Profile::BigJob,
+                                        workload::Profile::MedianJob,
+                                        workload::Profile::SmallJob};
+
+  for (workload::Profile profile : profiles) {
+    std::vector<Row> rows;
+    rows.reserve(scenarios.size());
+    for (const auto& [lambda, policy] : scenarios) {
+      std::string label = strings::format("%d%%/%s", static_cast<int>(lambda * 100),
+                                          core::to_string(policy));
+      rows.push_back(Row{label, core::run_scenario(bench::scenario(profile, policy,
+                                                                   lambda))});
+    }
+    double max_energy = 0.0, max_jobs = 0.0, max_work = 0.0;
+    for (const Row& row : rows) {
+      max_energy = std::max(max_energy, row.result.summary.energy_joules);
+      max_jobs = std::max(max_jobs,
+                          static_cast<double>(row.result.summary.launched_jobs));
+      max_work = std::max(max_work, row.result.summary.work_core_seconds);
+    }
+
+    bench::print_section(std::string(workload::to_string(profile)) +
+                         " (each column normalized to its per-workload maximum)");
+    metrics::TextTable table({"powercap/policy", "Energy", "Jobs launched", "Work"});
+    for (const Row& row : rows) {
+      const auto& s = row.result.summary;
+      table.add_row(
+          {row.label, metrics::normalized_bar(s.energy_joules / max_energy),
+           metrics::normalized_bar(static_cast<double>(s.launched_jobs) / max_jobs),
+           metrics::normalized_bar(s.work_core_seconds / max_work)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Paper shape checks per workload.
+    auto find = [&rows](const std::string& label) -> const core::ScenarioResult& {
+      for (const Row& row : rows) {
+        if (row.label == label) return row.result;
+      }
+      throw std::logic_error("missing row " + label);
+    };
+    double dvfs60 = find("60%/DVFS").summary.work_core_seconds;
+    double shut60 = find("60%/SHUT").summary.work_core_seconds;
+    double dvfs40 = find("40%/DVFS").summary.work_core_seconds;
+    double shut40 = find("40%/SHUT").summary.work_core_seconds;
+    auto joules_per_effective = [](const core::ScenarioResult& r) {
+      return r.summary.energy_joules /
+             std::max(r.summary.effective_work_core_seconds, 1.0);
+    };
+    double mix_eff40 = joules_per_effective(find("40%/MIX"));
+    double dvfs_eff40 = joules_per_effective(find("40%/DVFS"));
+    std::printf(
+        "checks: DVFS work >= SHUT work at 60%% (%s); below 60%% DVFS decays "
+        "faster (40%%: DVFS %.3f vs SHUT %.3f of their 60%% work — the paper: "
+        "\"DVFS mode seems to be decreasing more rapidly below 60%%\"); MIX "
+        "beats DVFS on energy per unit of effective work at 40%% (%s: %.0f vs "
+        "%.0f J/core-s) — the paper's \"best energy consumption\" for MIX, "
+        "whose 2.0-2.7 GHz range sits at the apps' energy optimum\n",
+        dvfs60 >= shut60 ? "yes" : "NO", dvfs40 / dvfs60, shut40 / shut60,
+        mix_eff40 <= dvfs_eff40 ? "yes" : "NO", mix_eff40, dvfs_eff40);
+  }
+
+  std::printf("\npaper trends to compare against: work and energy decrease with "
+              "the powercap; switch-off based policies (SHUT, MIX) give the "
+              "better energy/work tradeoff thanks to the offline preparation "
+              "and the power bonus; DVFS degrades faster below 60%%.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// google-benchmark microbenchmarks of the simulation substrates: event
+// queue throughput, incremental power accounting, node selection, full
+// scheduling passes and an end-to-end scenario. These back the claim that
+// the discrete-event reproduction runs a full-scale 5 040-node, 5 h Curie
+// replay in roughly a second.
+#include <benchmark/benchmark.h>
+
+#include "cluster/curie.h"
+#include "core/experiment.h"
+#include "rjms/controller.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ps;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<sim::Time> times;
+  times.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) times.push_back(rng.uniform_int(0, 1 << 20));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (sim::Time t : times) queue.push(t, [] {});
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_ClusterSetState(benchmark::State& state) {
+  cluster::Cluster cl = cluster::curie::make_cluster();
+  util::Rng rng(2);
+  std::int32_t total = cl.topology().total_nodes();
+  for (auto _ : state) {
+    auto node = static_cast<cluster::NodeId>(rng.uniform_int(0, total - 1));
+    bool busy = rng.chance(0.5);
+    cl.set_state(node, busy ? cluster::NodeState::Busy : cluster::NodeState::Idle,
+                 busy ? 7 : 0);
+    benchmark::DoNotOptimize(cl.watts());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClusterSetState);
+
+void BM_ClusterAuditWatts(benchmark::State& state) {
+  cluster::Cluster cl = cluster::curie::make_cluster();
+  for (cluster::NodeId n = 0; n < cl.topology().total_nodes(); n += 3) {
+    cl.set_state(n, cluster::NodeState::Busy, 7);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(cl.audit_watts());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          cl.topology().total_nodes());
+}
+BENCHMARK(BM_ClusterAuditWatts);
+
+void BM_NodeSelectionPacking(benchmark::State& state) {
+  cluster::Cluster cl = cluster::curie::make_cluster();
+  // Fragment the machine: every third node busy.
+  for (cluster::NodeId n = 0; n < cl.topology().total_nodes(); n += 3) {
+    cl.set_state(n, cluster::NodeState::Busy, 7);
+  }
+  rjms::ReservationBook book;
+  auto selector = rjms::make_selector(rjms::SelectorKind::Packing);
+  rjms::SelectionContext ctx{cl, book, 0, sim::hours(1)};
+  for (auto _ : state) {
+    auto nodes = selector->select(ctx, static_cast<std::int32_t>(state.range(0)));
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+BENCHMARK(BM_NodeSelectionPacking)->Arg(1)->Arg(32)->Arg(512);
+
+void BM_FullScenarioSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+    params.span = sim::hours(1);
+    params.job_count = 400;
+    core::ScenarioConfig config;
+    config.custom_workload = params;
+    config.racks = 4;
+    config.powercap.policy = core::Policy::Mix;
+    config.cap_lambda = 0.6;
+    benchmark::DoNotOptimize(core::run_scenario(config).summary.energy_joules);
+  }
+}
+BENCHMARK(BM_FullScenarioSmall)->Unit(benchmark::kMillisecond);
+
+void BM_FullScenarioCurie5h(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ScenarioConfig config;
+    config.profile = workload::Profile::MedianJob;
+    config.racks = cluster::curie::kRacks;
+    config.powercap.policy = core::Policy::Shut;
+    config.cap_lambda = 0.6;
+    benchmark::DoNotOptimize(core::run_scenario(config).summary.energy_joules);
+  }
+}
+BENCHMARK(BM_FullScenarioCurie5h)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

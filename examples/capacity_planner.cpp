@@ -1,0 +1,76 @@
+// Capacity planning under a power contract: an operator who must shave
+// power during peak-tariff hours wants to know, per policy, the deepest cap
+// the site can absorb while keeping at least a target fraction of the
+// machine's work. Runs short end-to-end replays over a cap grid and prints
+// the recommendation.
+//
+//   ./build/examples/capacity_planner [min_work_fraction] [racks]
+//     min_work_fraction: default 0.80
+//     racks:             cluster scale, default 8 (fast); 56 = full Curie
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.h"
+#include "metrics/report.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace ps;
+  double min_work = argc > 1 ? std::stod(argv[1]) : 0.80;
+  std::int32_t racks = argc > 2 ? std::stoi(argv[2]) : 8;
+
+  std::printf("capacity planning: deepest 1 h cap keeping >= %.0f%% of the "
+              "uncapped work (cluster: %d racks)\n\n", min_work * 100.0, racks);
+
+  workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+
+  auto run = [&](core::Policy policy, double lambda) {
+    core::ScenarioConfig config;
+    config.custom_workload = params;
+    config.racks = racks;
+    config.powercap.policy = policy;
+    config.cap_lambda = lambda;
+    config.seed = 7;
+    return core::run_scenario(config);
+  };
+
+  double baseline_work = run(core::Policy::None, 1.0).summary.work_core_seconds;
+  std::printf("uncapped baseline work: %.4g core-hours\n\n", baseline_work / 3600.0);
+
+  metrics::TextTable table({"policy", "deepest viable cap", "work at that cap",
+                            "energy saved vs baseline"});
+  double baseline_energy = run(core::Policy::None, 1.0).summary.energy_joules;
+  for (core::Policy policy :
+       {core::Policy::Shut, core::Policy::Dvfs, core::Policy::Mix}) {
+    double best_lambda = 1.0;
+    const core::ScenarioResult* best = nullptr;
+    static std::vector<core::ScenarioResult> keepalive;
+    for (double lambda : {0.8, 0.7, 0.6, 0.5, 0.4, 0.3}) {
+      core::ScenarioResult result = run(policy, lambda);
+      if (result.summary.work_core_seconds >= min_work * baseline_work) {
+        best_lambda = lambda;
+        keepalive.push_back(std::move(result));
+        best = &keepalive.back();
+      } else {
+        break;  // deeper caps only lose more work
+      }
+    }
+    if (best == nullptr) {
+      table.add_row({core::to_string(policy), "none viable", "-", "-"});
+      continue;
+    }
+    table.add_row({core::to_string(policy),
+                   strings::format("%.0f%% of max power", best_lambda * 100.0),
+                   strings::format("%.1f%% of baseline",
+                                   100.0 * best->summary.work_core_seconds /
+                                       baseline_work),
+                   strings::format("%.1f%%",
+                                   100.0 * (1.0 - best->summary.energy_joules /
+                                                      baseline_energy))});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nreading: switch-off based policies usually tolerate deeper caps "
+              "for the same work target because off nodes shed 344 W each "
+              "(vs 241 W for idling) plus the chassis/rack bonus.\n");
+  return 0;
+}

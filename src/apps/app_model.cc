@@ -1,0 +1,64 @@
+#include "apps/app_model.h"
+
+#include "util/check.h"
+
+namespace ps::apps {
+
+AppModel::AppModel(std::string name, double degmin, double power_scale)
+    : name_(std::move(name)), degmin_(degmin), power_scale_(power_scale) {
+  PS_CHECK_MSG(degmin_ >= 1.0, "degmin must be >= 1 (time can only grow at lower freq)");
+  PS_CHECK_MSG(power_scale_ > 0.0 && power_scale_ <= 1.0,
+               "power_scale must be in (0, 1]");
+}
+
+double AppModel::beta(const cluster::FrequencyTable& table) const {
+  double ratio = table.max().ghz / table.min().ghz;
+  PS_CHECK_MSG(ratio > 1.0, "frequency table must span more than one frequency");
+  return (degmin_ - 1.0) / (ratio - 1.0);
+}
+
+double AppModel::normalized_time(const cluster::FrequencyTable& table,
+                                 cluster::FreqIndex f) const {
+  double b = beta(table);
+  return 1.0 + b * (table.max().ghz / table.ghz(f) - 1.0);
+}
+
+double AppModel::node_watts(const cluster::PowerModel& model, cluster::FreqIndex f) const {
+  double idle = model.idle_watts();
+  return idle + power_scale_ * (model.frequencies().watts(f) - idle);
+}
+
+double AppModel::relative_energy(const cluster::PowerModel& model,
+                                 cluster::FreqIndex f) const {
+  const cluster::FrequencyTable& table = model.frequencies();
+  double e_f = node_watts(model, f) * normalized_time(table, f);
+  double e_max = node_watts(model, table.max_index()) * 1.0;
+  return e_f / e_max;
+}
+
+cluster::FreqIndex AppModel::energy_optimal_freq(const cluster::PowerModel& model) const {
+  const cluster::FrequencyTable& table = model.frequencies();
+  cluster::FreqIndex best = table.max_index();
+  double best_energy = relative_energy(model, best);
+  for (cluster::FreqIndex f = 0; f < table.size(); ++f) {
+    double e = relative_energy(model, f);
+    if (e < best_energy) {
+      best_energy = e;
+      best = f;
+    }
+  }
+  return best;
+}
+
+double rho_published(double degmin, double p_min_busy, double p_max_busy, double p_off) {
+  PS_CHECK_MSG(degmin >= 1.0, "degmin must be >= 1");
+  PS_CHECK_MSG(p_max_busy > p_off, "Pmax must exceed Poff");
+  return 1.0 - 1.0 / degmin - p_min_busy / (p_max_busy - p_off);
+}
+
+double rho_published(const AppModel& app, const cluster::PowerModel& model) {
+  return rho_published(app.degmin(), model.min_busy_watts(), model.max_watts(),
+                       model.down_watts());
+}
+
+}  // namespace ps::apps

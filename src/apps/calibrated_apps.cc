@@ -1,0 +1,37 @@
+#include "apps/calibrated_apps.h"
+
+#include "util/strings.h"
+
+namespace ps::apps {
+
+AppModel linpack() { return AppModel("linpack", 2.14, 1.00); }
+AppModel imb() { return AppModel("IMB", 2.13, 0.93); }
+AppModel stream() { return AppModel("STREAM", 1.26, 0.74); }
+AppModel gromacs() { return AppModel("GROMACS", 1.16, 0.82); }
+
+AppModel spec_float() { return AppModel("SPEC Float", 1.89, 0.90); }
+AppModel spec_integer() { return AppModel("SPEC Integer", 1.74, 0.90); }
+AppModel nas_suite() { return AppModel("NAS suite", 1.5, 0.90); }
+AppModel common_value() { return AppModel("Common value", 1.63, 0.90); }
+
+AppModel crossover() { return AppModel("NA", 2.27, 1.00); }
+
+std::vector<AppModel> measured_apps() {
+  return {linpack(), stream(), imb(), gromacs()};
+}
+
+std::vector<AppModel> fig5_rows() {
+  return {crossover(),   linpack(),      imb(),       spec_float(),
+          spec_integer(), common_value(), nas_suite(), stream(),
+          gromacs()};
+}
+
+std::optional<AppModel> by_name(const std::string& name) {
+  std::string key = strings::to_lower(name);
+  for (const AppModel& app : fig5_rows()) {
+    if (strings::to_lower(app.name()) == key) return app;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ps::apps

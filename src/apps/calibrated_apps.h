@@ -1,0 +1,40 @@
+// The benchmark set of the paper's Fig 3 and Fig 5 with published degmin
+// values. power_scale values for the four measured apps are synthetic
+// calibrations chosen so the Fig 3 reproduction has the published shape
+// (Linpack on top and exactly equal to the Fig 4 table); reference rows
+// (SPEC/NAS/common) appear only in the Fig 5 rho table.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "apps/app_model.h"
+
+namespace ps::apps {
+
+/// Curie-measured applications (plotted in Fig 3).
+AppModel linpack();   ///< degmin 2.14, the Fig 4 power curve itself
+AppModel imb();       ///< degmin 2.13 (network-bound MPI benchmark)
+AppModel stream();    ///< degmin 1.26 (memory-bound)
+AppModel gromacs();   ///< degmin 1.16 (molecular dynamics application)
+
+/// Literature reference rows of Fig 5.
+AppModel spec_float();    ///< degmin 1.89 [Freeh et al.]
+AppModel spec_integer();  ///< degmin 1.74 [Freeh et al.]
+AppModel nas_suite();     ///< degmin 1.5  [Freeh et al.]
+AppModel common_value();  ///< degmin 1.63 [Etinski et al.] — the simulator's
+                          ///< default degradation for unknown jobs (paper §VII-B)
+
+/// The crossover row of Fig 5 ("NA", rho == 0): degmin 2.27.
+AppModel crossover();
+
+/// The four measured apps in Fig 3 order.
+std::vector<AppModel> measured_apps();
+
+/// All Fig 5 rows, in the paper's descending-degmin order (crossover first).
+std::vector<AppModel> fig5_rows();
+
+/// Lookup by case-insensitive name ("linpack", "stream", ...).
+std::optional<AppModel> by_name(const std::string& name);
+
+}  // namespace ps::apps

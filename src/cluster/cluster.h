@@ -1,0 +1,95 @@
+// Stateful cluster: node power states plus O(1) incremental power tracking.
+//
+// The RJMS "keeps the state of each resource internally and can deduce the
+// power consumption of the whole cluster at any moment" (paper §IV-A).
+// Power is accounted hierarchically: a chassis (rack) whose nodes are all
+// Off contributes nothing — not even BMC draw or infrastructure — which is
+// exactly the paper's power bonus.
+//
+// Internally watts are tracked as integer milliwatts so that millions of
+// incremental updates stay drift-free and bit-deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/power_model.h"
+
+namespace ps::cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(PowerModel model);
+
+  const PowerModel& power_model() const noexcept { return model_; }
+  const Topology& topology() const noexcept { return model_.topology(); }
+  const FrequencyTable& frequencies() const noexcept { return model_.frequencies(); }
+
+  NodeState state(NodeId node) const;
+
+  /// DVFS level of a Busy node; PS_CHECK fails for non-busy nodes.
+  FreqIndex busy_freq(NodeId node) const;
+
+  /// Transitions a node to `state` (freq meaningful only for Busy).
+  /// Any state->state transition is permitted: transition legality is the
+  /// controller's policy concern, power accounting is ours.
+  void set_state(NodeId node, NodeState state, FreqIndex freq = 0);
+
+  /// Instantaneous cluster power (W), maintained incrementally.
+  double watts() const noexcept { return static_cast<double>(total_mw_) / 1000.0; }
+
+  /// Full O(N) recomputation used to validate the incremental bookkeeping.
+  double audit_watts() const;
+
+  /// Current draw of one node, including nothing of the shared infra.
+  /// A node inside a fully-off chassis reports 0 (its BMC is unpowered).
+  double node_watts(NodeId node) const;
+
+  // --- aggregates (metrics & scheduler queries) ---------------------------
+
+  std::int32_t count(NodeState state) const;
+  /// Busy nodes per DVFS level (index = FreqIndex).
+  const std::vector<std::int32_t>& busy_count_by_freq() const noexcept {
+    return busy_by_freq_;
+  }
+  std::int32_t nodes_on(ChassisId chassis) const;  ///< nodes not Off
+  bool chassis_fully_off(ChassisId chassis) const;
+  bool rack_fully_off(RackId rack) const;
+  std::int32_t fully_off_chassis_count() const;
+  std::int32_t fully_off_rack_count() const;
+
+  /// Nodes in any powered state (not Off).
+  std::int32_t powered_nodes() const { return total_nodes_ - count(NodeState::Off); }
+
+ private:
+  std::int64_t node_mw(NodeState state, FreqIndex freq) const;
+  std::int64_t chassis_mw(ChassisId c) const;
+  std::int64_t rack_mw(RackId r) const;
+
+  PowerModel model_;
+  std::int32_t total_nodes_;
+
+  struct NodeSlot {
+    NodeState state = NodeState::Idle;
+    FreqIndex freq = 0;  // meaningful when Busy
+  };
+  std::vector<NodeSlot> nodes_;
+
+  // Per-chassis and per-rack gating state.
+  std::vector<std::int32_t> chassis_nodes_on_;   // nodes not Off
+  std::vector<std::int64_t> chassis_node_mw_;    // sum of node mw (incl. BMC of Off nodes)
+  std::vector<std::int32_t> rack_chassis_on_;    // chassis with nodes_on > 0
+  std::vector<std::int64_t> rack_chassis_mw_;    // sum of gated chassis contributions
+  std::int64_t total_mw_ = 0;
+
+  // Cached per-state node milliwatts.
+  std::int64_t down_mw_, boot_mw_, idle_mw_, shut_mw_;
+  std::vector<std::int64_t> busy_mw_;
+
+  // Aggregate counters.
+  std::array<std::int32_t, 5> state_count_{};
+  std::vector<std::int32_t> busy_by_freq_;
+};
+
+}  // namespace ps::cluster

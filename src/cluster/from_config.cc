@@ -1,0 +1,57 @@
+#include "cluster/from_config.h"
+
+#include <stdexcept>
+
+#include "cluster/curie.h"
+#include "util/strings.h"
+
+namespace ps::cluster {
+
+PowerModel power_model_from_config(const util::Config& config) {
+  auto racks = static_cast<std::int32_t>(
+      config.get_i64_or("cluster", "racks", curie::kRacks));
+  auto chassis_per_rack = static_cast<std::int32_t>(
+      config.get_i64_or("cluster", "chassis_per_rack", curie::kChassisPerRack));
+  auto nodes_per_chassis = static_cast<std::int32_t>(
+      config.get_i64_or("cluster", "nodes_per_chassis", curie::kNodesPerChassis));
+  auto cores_per_node = static_cast<std::int32_t>(
+      config.get_i64_or("cluster", "cores_per_node", curie::kCoresPerNode));
+
+  std::vector<FrequencyLevel> levels;
+  std::string ghz_list =
+      config.get_or("power", "freq_ghz", "1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7");
+  std::string watts_list =
+      config.get_or("power", "freq_watts", "193, 213, 234, 248, 269, 289, 317, 358");
+  auto ghz_fields = strings::split(ghz_list, ',');
+  auto watts_fields = strings::split(watts_list, ',');
+  if (ghz_fields.size() != watts_fields.size()) {
+    throw std::runtime_error("power: freq_ghz and freq_watts differ in length");
+  }
+  levels.reserve(ghz_fields.size());
+  for (std::size_t i = 0; i < ghz_fields.size(); ++i) {
+    auto ghz = strings::parse_f64(ghz_fields[i]);
+    auto watts = strings::parse_f64(watts_fields[i]);
+    if (!ghz || !watts) {
+      throw std::runtime_error("power: unparsable frequency entry #" +
+                               std::to_string(i + 1));
+    }
+    levels.push_back(FrequencyLevel{*ghz, *watts});
+  }
+
+  PowerModelSpec spec{
+      .node_down_watts = config.get_f64_or("power", "down_watts", curie::kDownWatts),
+      .node_idle_watts = config.get_f64_or("power", "idle_watts", curie::kIdleWatts),
+      .node_boot_watts = config.get_f64_or("power", "boot_watts", 0.0),
+      .node_shutdown_watts = config.get_f64_or("power", "shutdown_watts", 0.0),
+      .chassis_infra_watts =
+          config.get_f64_or("power", "chassis_infra_watts", curie::kChassisInfraWatts),
+      .rack_infra_watts =
+          config.get_f64_or("power", "rack_infra_watts", curie::kRackInfraWatts),
+      .frequencies = FrequencyTable(std::move(levels)),
+  };
+  return PowerModel(
+      Topology(racks, chassis_per_rack, nodes_per_chassis, cores_per_node),
+      std::move(spec));
+}
+
+}  // namespace ps::cluster

@@ -1,0 +1,32 @@
+// Building a cluster power model from an INI description — the analogue of
+// the slurm.conf node-power parameters the paper's implementation reads
+// (IdleWatts, MaxWatts, DownWatts, CpuFreqXWatts).
+//
+//   [cluster]
+//   racks = 56
+//   chassis_per_rack = 5
+//   nodes_per_chassis = 18
+//   cores_per_node = 16
+//
+//   [power]
+//   down_watts = 14
+//   idle_watts = 117
+//   chassis_infra_watts = 248
+//   rack_infra_watts = 900
+//   freq_ghz   = 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.7
+//   freq_watts = 193, 213, 234, 248, 269, 289, 317, 358
+//
+// Every key is optional; omitted keys default to the Curie values.
+#pragma once
+
+#include "cluster/power_model.h"
+#include "util/config.h"
+
+namespace ps::cluster {
+
+/// Builds a power model from `config`. Throws std::runtime_error on
+/// malformed values (mismatched frequency lists, unparsable numbers) and
+/// ps::CheckError on semantically invalid ones (e.g. idle below down).
+PowerModel power_model_from_config(const util::Config& config);
+
+}  // namespace ps::cluster

@@ -1,0 +1,64 @@
+// End-to-end scenario runner: builds a (scaled) Curie cluster, replays a
+// workload profile with a powercap policy, and returns the summary plus the
+// recorded time series. Every bench and integration test goes through this
+// single entry point, so runs are directly comparable (identical wiring,
+// identical seeds).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cluster/curie.h"
+#include "core/offline.h"
+#include "core/policy.h"
+#include "metrics/summary.h"
+#include "metrics/timeseries.h"
+#include "rjms/controller.h"
+#include "workload/synthetic.h"
+
+namespace ps::core {
+
+struct ScenarioConfig {
+  workload::Profile profile = workload::Profile::MedianJob;
+  /// When set, overrides `profile` entirely (tests use small custom loads).
+  std::optional<workload::GeneratorParams> custom_workload;
+  std::uint64_t seed = 42;
+
+  /// Cluster scale: number of racks of the Curie shape (5 chassis x 18
+  /// nodes). 56 = full Curie. Job sizes from the profile are scaled down
+  /// proportionally so the workload still fits the machine shape.
+  std::int32_t racks = cluster::curie::kRacks;
+
+  PowercapConfig powercap{};
+
+  /// Cap as a fraction of worst-case cluster draw; >= 1 means no cap.
+  double cap_lambda = 1.0;
+  /// Cap window; start < 0 centers a `cap_duration` window in the profile
+  /// span (the paper's "one hour in the middle").
+  sim::Time cap_start = -1;
+  sim::Duration cap_duration = sim::hours(1);
+
+  rjms::ControllerConfig controller{};
+
+  /// Simulation horizon; 0 = the profile's span.
+  sim::Duration horizon = 0;
+};
+
+struct ScenarioResult {
+  metrics::RunSummary summary;
+  rjms::Controller::Stats stats;
+  std::vector<metrics::Sample> samples;  ///< full recorded series
+  double cap_watts = 0.0;                ///< 0 when no cap was applied
+  sim::Time cap_start = 0;
+  sim::Time cap_end = 0;
+  bool has_plan = false;
+  OfflinePlan plan;  ///< valid when has_plan
+  double max_cluster_watts = 0.0;
+  std::int64_t total_cores = 0;
+};
+
+/// Runs one scenario to completion (deterministic).
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace ps::core

@@ -1,0 +1,131 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ps::core::model {
+
+namespace {
+void validate(const ClusterParams& params) {
+  PS_CHECK_MSG(params.n > 0.0, "model: N must be positive");
+  PS_CHECK_MSG(params.p_off >= 0.0, "model: Poff must be >= 0");
+  PS_CHECK_MSG(params.p_min > params.p_off, "model: Pmin must exceed Poff");
+  PS_CHECK_MSG(params.p_max >= params.p_min, "model: Pmax must be >= Pmin");
+  PS_CHECK_MSG(params.degmin >= 1.0, "model: degmin must be >= 1");
+}
+}  // namespace
+
+const char* to_string(Mechanism mechanism) noexcept {
+  switch (mechanism) {
+    case Mechanism::None: return "none";
+    case Mechanism::SwitchOffOnly: return "switch-off";
+    case Mechanism::DvfsOnly: return "DVFS";
+    case Mechanism::Both: return "both";
+    case Mechanism::Infeasible: return "infeasible";
+  }
+  return "?";
+}
+
+double n_off_only(double budget, const ClusterParams& params) {
+  validate(params);
+  double n_off = (params.n * params.p_max - budget) / (params.p_max - params.p_off);
+  return std::clamp(n_off, 0.0, params.n);
+}
+
+double n_dvfs_only(double budget, const ClusterParams& params) {
+  validate(params);
+  if (params.p_max == params.p_min) return budget >= params.n * params.p_max ? 0.0 : params.n;
+  double n_dvfs = (params.n * params.p_max - budget) / (params.p_max - params.p_min);
+  return std::clamp(n_dvfs, 0.0, params.n);
+}
+
+double work_switch_off_only(double budget, const ClusterParams& params) {
+  if (!feasible(budget, params)) return 0.0;
+  return params.n - n_off_only(budget, params);
+}
+
+double work_dvfs_only(double budget, const ClusterParams& params) {
+  if (!dvfs_only_feasible(budget, params)) return 0.0;
+  double n_dvfs = n_dvfs_only(budget, params);
+  return params.n - n_dvfs * (1.0 - 1.0 / params.degmin);
+}
+
+bool dvfs_only_feasible(double budget, const ClusterParams& params) {
+  validate(params);
+  return budget >= params.n * params.p_min;
+}
+
+bool feasible(double budget, const ClusterParams& params) {
+  validate(params);
+  return budget >= params.n * params.p_off;
+}
+
+double rho(const ClusterParams& params) {
+  validate(params);
+  return 1.0 - 1.0 / params.degmin - params.p_min / (params.p_max - params.p_off);
+}
+
+bool dvfs_beats_shutdown_exact(const ClusterParams& params) {
+  validate(params);
+  // Work lost per watt saved: DVFS loses (1 - 1/degmin) per (Pmax - Pmin)
+  // saved; switch-off loses 1 per (Pmax - Poff) saved. Both scale linearly
+  // with the power deficit, so the comparison is budget-independent.
+  double dvfs_loss_per_watt =
+      (1.0 - 1.0 / params.degmin) / (params.p_max - params.p_min);
+  double off_loss_per_watt = 1.0 / (params.p_max - params.p_off);
+  return dvfs_loss_per_watt < off_loss_per_watt;
+}
+
+double mix_threshold_lambda(const ClusterParams& params) {
+  validate(params);
+  return params.p_min / params.p_max;
+}
+
+Split optimal_split(double budget, const ClusterParams& params, RhoConvention convention) {
+  validate(params);
+  Split split;
+  if (budget >= params.n * params.p_max) {
+    split.mechanism = Mechanism::None;
+    split.work = params.n;
+    return split;
+  }
+  if (!feasible(budget, params)) {
+    split.mechanism = Mechanism::Infeasible;
+    split.n_off = params.n;
+    split.work = 0.0;
+    return split;
+  }
+  if (!dvfs_only_feasible(budget, params)) {
+    // Case 4 of the paper: the cap is too low for DVFS alone; both
+    // mechanisms are required.
+    split.mechanism = Mechanism::Both;
+    split.n_dvfs = (budget - params.n * params.p_off) / (params.p_min - params.p_off);
+    split.n_dvfs = std::clamp(split.n_dvfs, 0.0, params.n);
+    split.n_off = params.n - split.n_dvfs;
+    split.work = split.n_dvfs / params.degmin;
+    return split;
+  }
+
+  bool dvfs_wins = convention == RhoConvention::Published
+                       ? rho(params) > 0.0
+                       : dvfs_beats_shutdown_exact(params);
+  if (dvfs_wins) {
+    split.mechanism = Mechanism::DvfsOnly;
+    split.n_dvfs = n_dvfs_only(budget, params);
+    split.work = work_dvfs_only(budget, params);
+  } else {
+    split.mechanism = Mechanism::SwitchOffOnly;
+    split.n_off = n_off_only(budget, params);
+    split.work = work_switch_off_only(budget, params);
+  }
+  return split;
+}
+
+std::string describe(const Split& split) {
+  return strings::format("%s: Noff=%.1f Ndvfs=%.1f W=%.1f", to_string(split.mechanism),
+                         split.n_off, split.n_dvfs, split.work);
+}
+
+}  // namespace ps::core::model

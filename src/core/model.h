@@ -1,0 +1,85 @@
+// The paper's §III energy/power analysis: given a node-level power budget,
+// how should switch-off and DVFS be combined to maximize the computational
+// load W?
+//
+//   W = T * ((N - Noff - Ndvfs) + Ndvfs / degmin)            (C1, T = 1)
+//   Ndvfs + Noff <= N                                         (C2)
+//   Noff*Poff + Ndvfs*Pmin + (N - Noff - Ndvfs)*Pmax <= P     (C3)
+//
+// All quantities here are *node-level*: P excludes infrastructure draw
+// (the offline planner subtracts it before calling in).
+#pragma once
+
+#include <string>
+
+#include "core/policy.h"
+
+namespace ps::core::model {
+
+struct ClusterParams {
+  double n = 0.0;       ///< total nodes
+  double p_max = 0.0;   ///< busy watts at the highest frequency
+  double p_min = 0.0;   ///< busy watts at the policy's lowest frequency
+  double p_off = 0.0;   ///< switched-off watts (BMC)
+  double degmin = 1.0;  ///< completion-time degradation at the lowest frequency
+};
+
+/// Which mechanism the optimal point uses.
+enum class Mechanism : int { None, SwitchOffOnly, DvfsOnly, Both, Infeasible };
+
+const char* to_string(Mechanism mechanism) noexcept;
+
+struct Split {
+  Mechanism mechanism = Mechanism::None;
+  double n_off = 0.0;   ///< nodes switched off
+  double n_dvfs = 0.0;  ///< nodes forced to the lowest frequency
+  double work = 0.0;    ///< resulting W (fraction of N when divided by n)
+};
+
+/// Nodes that must be switched off when shutdown is the only mechanism:
+/// Noff = (N*Pmax - P)/(Pmax - Poff), clamped to [0, N].
+double n_off_only(double budget, const ClusterParams& params);
+
+/// Nodes that must be slowed when DVFS is the only mechanism:
+/// Ndvfs = (N*Pmax - P)/(Pmax - Pmin), clamped to [0, N] (may be
+/// insufficient — check dvfs_only_feasible).
+double n_dvfs_only(double budget, const ClusterParams& params);
+
+/// W achievable with shutdown only (0 when budget < N*Poff).
+double work_switch_off_only(double budget, const ClusterParams& params);
+
+/// W achievable with DVFS only (0 when infeasible: budget < N*Pmin).
+double work_dvfs_only(double budget, const ClusterParams& params);
+
+/// DVFS alone can satisfy the budget iff budget >= N*Pmin.
+bool dvfs_only_feasible(double budget, const ClusterParams& params);
+
+/// Any assignment can satisfy the budget iff budget >= N*Poff.
+bool feasible(double budget, const ClusterParams& params);
+
+/// The paper's rho as published in Fig 5 (see apps::rho_published for the
+/// numerics discussion): rho <= 0 -> switch-off preferred.
+double rho(const ClusterParams& params);
+
+/// First-principles comparison: true iff work_dvfs_only > work_switch_off_
+/// only for any binding budget (the comparison is budget-independent).
+bool dvfs_beats_shutdown_exact(const ClusterParams& params);
+
+/// The lambda = P/(N*Pmax) threshold below which DVFS alone cannot reach
+/// the cap and both mechanisms are required: lambda < Pmin/Pmax
+/// (paper §III-A; ~75 % for the MIX 2.0 GHz floor, ~54 % for 1.2 GHz).
+double mix_threshold_lambda(const ClusterParams& params);
+
+/// Optimal mechanism split for `budget` (the paper's four cases):
+///   1. budget >= N*Pmax            -> None (no action needed)
+///   2. budget <  N*Poff            -> Infeasible (everything off, W = 0)
+///   3. budget <  N*Pmin            -> Both: Ndvfs = (P - N*Poff)/(Pmin-Poff),
+///                                      Noff = N - Ndvfs
+///   4. otherwise                   -> one mechanism, chosen by rho
+///      (convention selectable; Published reproduces the paper).
+Split optimal_split(double budget, const ClusterParams& params,
+                    RhoConvention convention = RhoConvention::Published);
+
+std::string describe(const Split& split);
+
+}  // namespace ps::core::model

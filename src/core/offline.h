@@ -1,0 +1,83 @@
+// Offline phase of the powercap algorithm (paper Algorithm 1 + §III-B).
+//
+// When a powercap reservation is created, the planner decides the mechanism
+// split using the §III model and — when shutdown is involved — selects
+// *which* nodes to switch off. Selection groups contiguous nodes into whole
+// racks and chassis so the infrastructure "power bonus" is harvested: a
+// full chassis saves 6 692 W (vs 18x344 = 6 192 W scattered), a full rack
+// 34 360 W. The paper's example: a 6 600 W reduction needs 20 scattered
+// nodes but only one 18-node chassis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.h"
+#include "core/policy.h"
+#include "rjms/controller.h"
+
+namespace ps::core {
+
+/// A concrete set of nodes to switch off, with its grouping breakdown and
+/// the two savings the rest of the system needs.
+struct Selection {
+  std::vector<cluster::NodeId> nodes;
+  std::int32_t whole_racks = 0;
+  std::int32_t whole_chassis = 0;  ///< beyond those inside whole racks
+  std::int32_t singles = 0;
+
+  /// Saving vs every selected node busy at fmax (what the cap planning
+  /// guards against): racks*34 360 + chassis*6 692 + singles*344 on Curie.
+  double saving_vs_busy_watts = 0.0;
+
+  /// Saving vs every selected node idle (what online power projections
+  /// subtract from the all-idle baseline): racks*12 670 + chassis*2 354 +
+  /// singles*103 on Curie.
+  double saving_vs_idle_watts = 0.0;
+};
+
+struct OfflinePlan {
+  model::Split split;                      ///< the model's decision
+  Selection selection;                     ///< empty when no shutdown
+  double cap_watts = 0.0;
+  double node_budget_watts = 0.0;          ///< cap minus full infrastructure
+  double required_saving_watts = 0.0;      ///< busy-referenced need
+  rjms::ReservationId reservation_id = 0;  ///< 0 when no reservation was made
+};
+
+class OfflinePlanner {
+ public:
+  OfflinePlanner(rjms::Controller& controller, const PowercapConfig& config);
+
+  /// Runs Algorithm 1 for a powercap window and creates the switch-off
+  /// reservation when the chosen mechanism involves shutdown.
+  OfflinePlan plan_window(sim::Time start, sim::Time end, double cap_watts);
+
+  // --- selection primitives (exposed for tests and ablation benches) ------
+
+  /// Grouped selection achieving at least `need_watts` of busy-referenced
+  /// saving with as few nodes as possible (racks, then chassis, then
+  /// contiguous singles, from the top of the node-id space).
+  Selection select_for_saving(double need_watts) const;
+
+  /// Grouped selection of exactly `count` nodes (whole racks/chassis first).
+  Selection select_count(std::int32_t count) const;
+
+  /// Scattered selections (no grouping — ablation): one node per chassis,
+  /// round-robin, so no bonus is ever harvested.
+  Selection select_scattered_for_saving(double need_watts) const;
+  Selection select_scattered_count(std::int32_t count) const;
+
+  /// Model parameters for a given DVFS floor (GHz); p_min/degmin follow the
+  /// floor, matching the MIX variant of §VI-B.
+  model::ClusterParams params_with_floor(double floor_ghz) const;
+
+ private:
+  Selection finalize(std::vector<cluster::NodeId> nodes, std::int32_t racks,
+                     std::int32_t chassis, std::int32_t singles) const;
+
+  rjms::Controller& controller_;
+  PowercapConfig config_;
+};
+
+}  // namespace ps::core

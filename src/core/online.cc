@@ -1,0 +1,242 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/calibrated_apps.h"
+#include "util/check.h"
+
+namespace ps::core {
+
+namespace {
+/// Absorbs sub-milliwatt floating-point noise in cap comparisons.
+constexpr double kWattsEpsilon = 1e-6;
+}  // namespace
+
+OnlineGovernor::OnlineGovernor(rjms::Controller& controller, const PowercapConfig& config)
+    : controller_(controller),
+      config_(config),
+      degradation_(controller.cluster().frequencies(), config.default_degmin) {
+  const cluster::FrequencyTable& table = controller_.cluster().frequencies();
+  max_freq_ = table.max_index();
+  switch (config_.policy) {
+    case Policy::None:
+    case Policy::Shut:
+    case Policy::Idle:
+      min_freq_ = table.max_index();  // DVFS not allowed
+      break;
+    case Policy::Dvfs:
+    case Policy::Auto:
+      min_freq_ = table.min_index();
+      break;
+    case Policy::Mix: {
+      auto floor = table.lowest_at_or_above(config_.mix_min_ghz);
+      PS_CHECK_MSG(floor.has_value(), "MIX floor above frequency table");
+      min_freq_ = *floor;
+      break;
+    }
+  }
+  // Pessimistic blocking-horizon stretch: the worst degradation any
+  // admitted job could get under this policy.
+  double worst_degmin = config_.default_degmin;
+  if (config_.use_app_degmin) {
+    for (const apps::AppModel& app : apps::measured_apps()) {
+      worst_degmin = std::max(worst_degmin, app.degmin());
+    }
+  }
+  walltime_stretch_ = degradation_.factor(min_freq_, worst_degmin);
+}
+
+double OnlineGovernor::degmin_for(const rjms::Job& job) const {
+  if (config_.use_app_degmin && !job.request.app.empty()) {
+    if (auto app = apps::by_name(job.request.app)) return app->degmin();
+  }
+  return config_.default_degmin;
+}
+
+double OnlineGovernor::busy_delta(cluster::FreqIndex f) const {
+  const cluster::PowerModel& pm = controller_.cluster().power_model();
+  return pm.frequencies().watts(f) - pm.idle_watts();
+}
+
+OnlineGovernor::CapCache& OnlineGovernor::cache_for(const rjms::Reservation& cap) const {
+  auto it = future_caps_.find(cap.id);
+  if (it != future_caps_.end()) return it->second;
+  // First query for this window: fold in the jobs already running whose
+  // walltime-estimated end reaches past the window start.
+  CapCache cache;
+  for (const auto& [est_end, jid] : controller_.running_by_end()) {
+    if (est_end <= cap.start) continue;
+    const rjms::Job& job = controller_.job(jid);
+    cache.persisting_delta +=
+        static_cast<double>(job.nodes.size()) * busy_delta(job.freq);
+  }
+  return future_caps_.emplace(cap.id, cache).first->second;
+}
+
+void OnlineGovernor::on_job_start(const rjms::Job& job) {
+  double delta = static_cast<double>(job.nodes.size()) * busy_delta(job.freq);
+  running_busy_delta_ += delta;
+  job_delta_[job.id()] = delta;
+  sim::Time est_end = job.start_time + job.scaled_walltime;
+  sim::Time now = controller_.simulator().now();
+  for (auto& [rid, cache] : future_caps_) {
+    const rjms::Reservation* cap = controller_.reservations().find(rid);
+    if (cap == nullptr || cap->start <= now) continue;  // stale entry
+    if (est_end > cap->start) cache.persisting_delta += delta;
+  }
+}
+
+void OnlineGovernor::on_job_rescaled(const rjms::Job& job, cluster::FreqIndex old_freq,
+                                     sim::Time old_est_end) {
+  auto it = job_delta_.find(job.id());
+  if (it == job_delta_.end()) return;  // started before this governor attached
+  double old_delta = it->second;
+  double new_delta = static_cast<double>(job.nodes.size()) * busy_delta(job.freq);
+  running_busy_delta_ += new_delta - old_delta;
+  it->second = new_delta;
+
+  sim::Time new_est_end = job.start_time + job.scaled_walltime;
+  sim::Time now = controller_.simulator().now();
+  for (auto& [rid, cache] : future_caps_) {
+    const rjms::Reservation* cap = controller_.reservations().find(rid);
+    if (cap == nullptr || cap->start <= now) continue;
+    if (old_est_end > cap->start) cache.persisting_delta -= old_delta;
+    if (new_est_end > cap->start) cache.persisting_delta += new_delta;
+  }
+  (void)old_freq;
+}
+
+void OnlineGovernor::on_job_end(const rjms::Job& job) {
+  auto it = job_delta_.find(job.id());
+  if (it == job_delta_.end()) return;  // started before this governor attached
+  double delta = it->second;
+  running_busy_delta_ -= delta;
+  job_delta_.erase(it);
+  sim::Time est_end = job.start_time + job.scaled_walltime;
+  sim::Time now = controller_.simulator().now();
+  for (auto& [rid, cache] : future_caps_) {
+    const rjms::Reservation* cap = controller_.reservations().find(rid);
+    if (cap == nullptr || cap->start <= now) continue;
+    if (est_end > cap->start) cache.persisting_delta -= delta;
+  }
+}
+
+std::optional<cluster::FreqIndex> OnlineGovernor::optimal_window_freq(
+    const rjms::Reservation& cap) const {
+  const cluster::PowerModel& pm = controller_.cluster().power_model();
+  const cluster::Topology& topo = controller_.cluster().topology();
+
+  // Aggregate the planned shutdowns covering the window. The reservation
+  // stores its idle-referenced saving; the infrastructure+BMC part of it is
+  // frequency-independent: bonus = saving_idle - n * (IdleWatts - DownWatts).
+  double n_off = 0.0;
+  double bonus_part = 0.0;
+  for (const rjms::Reservation* so :
+       controller_.reservations().switchoffs_overlapping(cap.start, cap.end)) {
+    auto n = static_cast<double>(so->nodes.size());
+    n_off += n;
+    bonus_part += so->planned_saving_watts - n * (pm.idle_watts() - pm.down_watts());
+  }
+  double active = static_cast<double>(topo.total_nodes()) - n_off;
+
+  for (cluster::FreqIndex f = max_freq_ + 1; f-- > min_freq_;) {
+    double watts = active * pm.frequencies().watts(f) + n_off * pm.down_watts() +
+                   pm.infra_watts_all_on() - bonus_part;
+    if (watts <= cap.watts + kWattsEpsilon) return f;
+    if (f == min_freq_) break;
+  }
+  return std::nullopt;
+}
+
+double OnlineGovernor::projected_watts_at(const rjms::Reservation& cap) const {
+  sim::Time now = controller_.simulator().now();
+  const cluster::Cluster& cluster = controller_.cluster();
+  // All-idle baseline for the currently-powered topology: strip the busy
+  // surplus of running jobs from the live measurement.
+  double watts = cluster.watts() - running_busy_delta_;
+
+  // Planned switch-offs: subtract windows that will be active at the cap
+  // start but are not yet executed; add back those active now that end
+  // before the cap starts.
+  for (const rjms::Reservation& res : controller_.reservations().all()) {
+    if (res.kind != rjms::ReservationKind::SwitchOff) continue;
+    bool active_then = res.active_at(cap.start);
+    bool active_now = res.active_at(now);
+    if (active_then && !active_now) watts -= res.planned_saving_watts;
+    if (!active_then && active_now) watts += res.planned_saving_watts;
+  }
+
+  // Jobs persisting into the window keep their busy surplus.
+  watts += cache_for(cap).persisting_delta;
+  return watts;
+}
+
+std::optional<rjms::PowerGovernor::Admission> OnlineGovernor::admit(
+    const rjms::Job& job, const std::vector<cluster::NodeId>& nodes) {
+  if (config_.policy == Policy::None) {
+    Admission admission;
+    admission.freq = max_freq_;
+    admission.scaled_runtime = job.request.base_runtime;
+    admission.scaled_walltime = job.request.requested_walltime;
+    return admission;
+  }
+
+  sim::Time now = controller_.simulator().now();
+  const rjms::ReservationBook& book = controller_.reservations();
+  double cap_now = book.cap_at(now);
+  double degmin = degmin_for(job);
+  auto node_count = static_cast<double>(nodes.size());
+
+  // Highest frequency first (Algorithm 2 walks downward on failure).
+  for (cluster::FreqIndex f = max_freq_ + 1; f-- > min_freq_;) {
+    double factor = degradation_.factor(f, degmin);
+    auto eff_walltime = static_cast<sim::Duration>(
+        std::llround(static_cast<double>(job.request.requested_walltime) * factor));
+    sim::Time span_end = now + eff_walltime;
+    double delta = node_count * busy_delta(f);
+
+    // Instantaneous check against the live measurement.
+    if (controller_.cluster().watts() + delta > cap_now + kWattsEpsilon) continue;
+
+    // Future windows the (stretched) job span overlaps.
+    bool fits = true;
+    for (const rjms::Reservation* cap : book.powercaps_overlapping(now, span_end)) {
+      if (cap->start <= now) continue;  // covered by the instantaneous check
+      if (config_.admission == AdmissionMode::Projection) {
+        double projected = projected_watts_at(*cap) + delta;
+        if (projected > cap->watts + kWattsEpsilon) {
+          fits = false;
+          break;
+        }
+        continue;
+      }
+      // PaperLive / PaperLiveStrict: the job is clamped to the window's
+      // global optimal frequency.
+      std::optional<cluster::FreqIndex> f_star = optimal_window_freq(*cap);
+      if (f_star.has_value()) {
+        if (f > *f_star) {
+          fits = false;
+          break;
+        }
+      } else if (config_.admission == AdmissionMode::PaperLiveStrict) {
+        fits = false;  // "the job remains pending"
+        break;
+      } else if (f > min_freq_) {
+        fits = false;  // best effort: only the lowest frequency may pass
+        break;
+      }
+    }
+    if (!fits) continue;
+
+    Admission admission;
+    admission.freq = f;
+    admission.scaled_runtime = static_cast<sim::Duration>(
+        std::llround(static_cast<double>(job.request.base_runtime) * factor));
+    admission.scaled_walltime = eff_walltime;
+    return admission;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ps::core

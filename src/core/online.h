@@ -1,0 +1,87 @@
+// Online phase of the powercap algorithm (paper Algorithm 2 + §V).
+//
+// At every job-start evaluation the governor selects the *highest* CPU
+// frequency such that projected cluster power stays within:
+//   * the cap active right now (instantaneous check against live power);
+//   * every future powercap window the job's frequency-stretched span
+//     overlaps (projection: all-idle baseline + planned switch-off savings
+//     + jobs persisting into the window + the candidate itself).
+// If even the policy's lowest frequency does not fit, the job stays
+// pending ("Impossible to schedule the job now").
+//
+// Power-projection bookkeeping is incremental (observer callbacks), so an
+// admission test costs O(#overlapping windows), not O(#running jobs).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "core/policy.h"
+#include "core/walltime.h"
+#include "rjms/controller.h"
+#include "rjms/power_governor.h"
+
+namespace ps::core {
+
+class OnlineGovernor final : public rjms::PowerGovernor, public rjms::ControllerObserver {
+ public:
+  OnlineGovernor(rjms::Controller& controller, const PowercapConfig& config);
+
+  // --- rjms::PowerGovernor -------------------------------------------------
+  std::optional<Admission> admit(const rjms::Job& job,
+                                 const std::vector<cluster::NodeId>& nodes) override;
+  double max_walltime_stretch() const override { return walltime_stretch_; }
+
+  // --- rjms::ControllerObserver (power bookkeeping) ------------------------
+  void on_job_start(const rjms::Job& job) override;
+  void on_job_end(const rjms::Job& job) override;
+  void on_job_rescaled(const rjms::Job& job, cluster::FreqIndex old_freq,
+                       sim::Time old_est_end) override;
+
+  /// Projected cluster watts at the start of a *future* powercap window
+  /// (no candidate job included). Used by AdmissionMode::Projection;
+  /// exposed for tests.
+  double projected_watts_at(const rjms::Reservation& cap) const;
+
+  /// The window's global "optimal CPU frequency" (paper §IV-B): the highest
+  /// policy-allowed frequency at which every node not planned for shutdown
+  /// could compute while the whole cluster stays within `cap.watts`.
+  /// nullopt when even the policy's lowest frequency does not fit. Used by
+  /// the PaperLive modes; exposed for tests.
+  std::optional<cluster::FreqIndex> optimal_window_freq(
+      const rjms::Reservation& cap) const;
+
+  /// Lowest/highest DVFS indices the current policy allows.
+  cluster::FreqIndex min_allowed_freq() const noexcept { return min_freq_; }
+  cluster::FreqIndex max_allowed_freq() const noexcept { return max_freq_; }
+
+  const DegradationModel& degradation() const noexcept { return degradation_; }
+
+  /// degmin used for a given job (app-specific when configured and known).
+  double degmin_for(const rjms::Job& job) const;
+
+ private:
+  struct CapCache {
+    double persisting_delta = 0.0;  ///< watts above idle from jobs running into the window
+  };
+  CapCache& cache_for(const rjms::Reservation& cap) const;
+  double busy_delta(cluster::FreqIndex f) const;
+
+  rjms::Controller& controller_;
+  PowercapConfig config_;
+  DegradationModel degradation_;
+  cluster::FreqIndex min_freq_ = 0;
+  cluster::FreqIndex max_freq_ = 0;
+  double walltime_stretch_ = 1.0;
+
+  /// Sum over running jobs of nodes x (busy - idle) watts.
+  double running_busy_delta_ = 0.0;
+  /// Per-job delta for exact removal on job end.
+  std::unordered_map<rjms::JobId, double> job_delta_;
+  /// Future-cap persistence sums, keyed by reservation id; entries for
+  /// windows that already started are pruned lazily.
+  mutable std::map<rjms::ReservationId, CapCache> future_caps_;
+};
+
+}  // namespace ps::core

@@ -1,0 +1,26 @@
+#include "core/policy.h"
+
+namespace ps::core {
+
+const char* to_string(AdmissionMode mode) noexcept {
+  switch (mode) {
+    case AdmissionMode::PaperLive: return "paper-live";
+    case AdmissionMode::PaperLiveStrict: return "paper-live-strict";
+    case AdmissionMode::Projection: return "projection";
+  }
+  return "?";
+}
+
+const char* to_string(Policy policy) noexcept {
+  switch (policy) {
+    case Policy::None: return "None";
+    case Policy::Shut: return "SHUT";
+    case Policy::Dvfs: return "DVFS";
+    case Policy::Mix: return "MIX";
+    case Policy::Idle: return "IDLE";
+    case Policy::Auto: return "AUTO";
+  }
+  return "?";
+}
+
+}  // namespace ps::core

@@ -1,0 +1,139 @@
+#include "core/powercap_manager.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace ps::core {
+
+PowercapManager::PowercapManager(rjms::Controller& controller, PowercapConfig config)
+    : controller_(controller),
+      config_(config),
+      governor_(controller, config),
+      planner_(controller, config) {
+  if (config_.policy != Policy::None) {
+    controller_.set_governor(&governor_);
+    controller_.add_observer(&governor_);
+  }
+}
+
+double PowercapManager::lambda_to_watts(double lambda) const {
+  PS_CHECK_MSG(lambda > 0.0, "lambda must be positive");
+  return lambda * controller_.cluster().power_model().max_cluster_watts();
+}
+
+rjms::ReservationId PowercapManager::add_powercap(sim::Time start, sim::Time end,
+                                                  double watts) {
+  PS_CHECK_MSG(watts > 0.0, "powercap watts must be positive");
+  rjms::ReservationId id = controller_.add_powercap_reservation(start, end, watts);
+  if (config_.policy == Policy::None) return id;
+
+  plans_.push_back(planner_.plan_window(start, end, watts));
+
+  if (config_.kill_on_overcap) {
+    controller_.simulator().schedule_at(start, [this, watts] { enforce_cap(watts); });
+  }
+  bool scalable = config_.policy == Policy::Dvfs || config_.policy == Policy::Mix ||
+                  config_.policy == Policy::Auto;
+  if (config_.dynamic_dvfs && scalable) {
+    controller_.simulator().schedule_at(start,
+                                        [this, id] { rescale_down_for_window(id); });
+    if (end != sim::kTimeMax) {
+      controller_.simulator().schedule_at(end, [this] { rescale_up_after_window(); });
+    }
+  }
+  return id;
+}
+
+void PowercapManager::rescale_down_for_window(rjms::ReservationId cap_id) {
+  const rjms::Reservation* cap = controller_.reservations().find(cap_id);
+  if (cap == nullptr) return;
+  std::optional<cluster::FreqIndex> target = governor_.optimal_window_freq(*cap);
+  cluster::FreqIndex floor = target.value_or(governor_.min_allowed_freq());
+  const DegradationModel& degradation = governor_.degradation();
+
+  // Snapshot ids first: rescaling mutates running_by_end_.
+  std::vector<rjms::JobId> running;
+  running.reserve(controller_.running_count());
+  for (const auto& [est_end, jid] : controller_.running_by_end()) running.push_back(jid);
+  std::size_t rescaled = 0;
+  for (rjms::JobId id : running) {
+    const rjms::Job& job = controller_.job(id);
+    if (job.freq <= floor) continue;
+    double degmin = governor_.degmin_for(job);
+    double ratio =
+        degradation.factor(floor, degmin) / degradation.factor(job.freq, degmin);
+    controller_.rescale_running_job(id, floor, ratio);
+    ++rescaled;
+  }
+  if (rescaled > 0) {
+    PS_LOG(Info) << "dynamic DVFS: slowed " << rescaled << " running jobs to level "
+                 << floor << " for the cap window";
+  }
+}
+
+void PowercapManager::rescale_up_after_window() {
+  double cap_now = controller_.reservations().cap_at(controller_.simulator().now());
+  const DegradationModel& degradation = governor_.degradation();
+  const cluster::PowerModel& pm = controller_.cluster().power_model();
+  cluster::FreqIndex fmax = governor_.max_allowed_freq();
+
+  std::vector<rjms::JobId> running;
+  running.reserve(controller_.running_count());
+  for (const auto& [est_end, jid] : controller_.running_by_end()) running.push_back(jid);
+  for (rjms::JobId id : running) {
+    const rjms::Job& job = controller_.job(id);
+    if (job.freq >= fmax) continue;
+    // Highest frequency that keeps the live measurement under the cap
+    // active now (none -> fmax directly).
+    auto nodes = static_cast<double>(job.nodes.size());
+    double current = nodes * pm.frequencies().watts(job.freq);
+    cluster::FreqIndex best = job.freq;
+    for (cluster::FreqIndex f = fmax + 1; f-- > job.freq;) {
+      double delta = nodes * pm.frequencies().watts(f) - current;
+      if (controller_.cluster().watts() + delta <= cap_now + 1e-6) {
+        best = f;
+        break;
+      }
+      if (f == job.freq) break;
+    }
+    if (best == job.freq) continue;
+    double degmin = governor_.degmin_for(job);
+    double ratio =
+        degradation.factor(best, degmin) / degradation.factor(job.freq, degmin);
+    controller_.rescale_running_job(id, best, ratio);
+  }
+}
+
+rjms::ReservationId PowercapManager::add_powercap_now(double watts) {
+  return add_powercap(controller_.simulator().now(), sim::kTimeMax, watts);
+}
+
+void PowercapManager::enforce_cap(double watts) {
+  // Paper §IV-B: by default no extreme actions are taken; sites may opt in
+  // to killing "the necessary number of jobs ... until the power
+  // consumption of the cluster drops". Newest-first loses the least work.
+  std::size_t killed = 0;
+  while (controller_.cluster().watts() > watts && controller_.running_count() > 0) {
+    rjms::JobId newest = -1;
+    sim::Time newest_start = -1;
+    for (const auto& [est_end, jid] : controller_.running_by_end()) {
+      const rjms::Job& job = controller_.job(jid);
+      if (job.start_time > newest_start ||
+          (job.start_time == newest_start && jid > newest)) {
+        newest = jid;
+        newest_start = job.start_time;
+      }
+    }
+    if (newest < 0) break;
+    controller_.kill_job(newest);
+    ++killed;
+  }
+  if (killed > 0) {
+    PS_LOG(Warn) << "powercap extreme action: killed " << killed
+                 << " jobs to drop below " << watts << " W";
+  }
+}
+
+}  // namespace ps::core

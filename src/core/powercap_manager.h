@@ -1,0 +1,58 @@
+// Facade tying the powercap pieces to a controller: creates powercap
+// reservations, runs the offline planner, attaches the online governor,
+// and applies the over-cap handling ("wait" by default, or the paper's
+// "extreme actions" kill mode).
+#pragma once
+
+#include <vector>
+
+#include "core/offline.h"
+#include "core/online.h"
+#include "core/policy.h"
+#include "rjms/controller.h"
+
+namespace ps::core {
+
+class PowercapManager {
+ public:
+  /// Attaches governor + observer to the controller (unless Policy::None,
+  /// which leaves the controller unrestricted — the paper's baseline).
+  PowercapManager(rjms::Controller& controller, PowercapConfig config);
+
+  PowercapManager(const PowercapManager&) = delete;
+  PowercapManager& operator=(const PowercapManager&) = delete;
+
+  /// Creates a powercap reservation for [start, end) at `watts` and runs
+  /// the offline phase. Under Policy::None the request is recorded but has
+  /// no effect on scheduling.
+  rjms::ReservationId add_powercap(sim::Time start, sim::Time end, double watts);
+
+  /// Cap "set for now" with no time limitation (paper §IV-B).
+  rjms::ReservationId add_powercap_now(double watts);
+
+  /// Convenience: watts for a fraction of the cluster's worst-case draw
+  /// (the experiments' 80/60/40 % settings).
+  double lambda_to_watts(double lambda) const;
+
+  const PowercapConfig& config() const noexcept { return config_; }
+  OnlineGovernor& governor() noexcept { return governor_; }
+  OfflinePlanner& planner() noexcept { return planner_; }
+  const std::vector<OfflinePlan>& plans() const noexcept { return plans_; }
+
+ private:
+  void enforce_cap(double watts);
+  /// dynamic_dvfs extension: slow every running scalable job to the
+  /// window's optimal frequency when it opens.
+  void rescale_down_for_window(rjms::ReservationId cap_id);
+  /// dynamic_dvfs extension: speed running jobs back up within the cap
+  /// active now (fmax when none) once a window closes.
+  void rescale_up_after_window();
+
+  rjms::Controller& controller_;
+  PowercapConfig config_;
+  OnlineGovernor governor_;
+  OfflinePlanner planner_;
+  std::vector<OfflinePlan> plans_;
+};
+
+}  // namespace ps::core

@@ -1,0 +1,56 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ps::metrics {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  PS_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PS_CHECK_MSG(row.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+    return out;
+  };
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string normalized_bar(double value, std::size_t width) {
+  double clamped = std::clamp(value, 0.0, 1.0);
+  auto filled = static_cast<std::size_t>(clamped * static_cast<double>(width) + 0.5);
+  std::string out = strings::format("%5.3f |", value);
+  out.append(filled, '#');
+  out.append(width - filled, ' ');
+  out += '|';
+  return out;
+}
+
+}  // namespace ps::metrics

@@ -1,0 +1,26 @@
+// Text-table rendering helpers shared by the benches (Fig 8-style
+// normalized comparison rows, aligned columns with headers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ps::metrics {
+
+/// Simple fixed-width text table. Columns size to their widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  std::string render() const;
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.85" + a proportional bar, like the paper's Fig 8 histogram cells.
+std::string normalized_bar(double value, std::size_t width = 24);
+
+}  // namespace ps::metrics

@@ -1,0 +1,39 @@
+// Per-run aggregate results — the columns of the paper's Fig 8 plus the
+// sanity quantities tests assert on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/timeseries.h"
+#include "rjms/controller.h"
+
+namespace ps::metrics {
+
+struct RunSummary {
+  sim::Time from = 0;
+  sim::Time to = 0;
+
+  double energy_joules = 0.0;
+  double work_core_seconds = 0.0;      ///< the paper's "work" (occupancy)
+  double effective_work_core_seconds = 0.0;  ///< degradation-corrected work
+  double max_possible_work = 0.0;      ///< total_cores * span
+  std::uint64_t launched_jobs = 0;     ///< started within [from, to)
+  std::uint64_t completed_jobs = 0;    ///< finished within [from, to)
+  std::uint64_t killed_jobs = 0;
+  std::uint64_t submitted_jobs = 0;
+  double mean_wait_seconds = 0.0;      ///< of jobs started in the window
+  double utilization = 0.0;            ///< work / max_possible_work
+  double mean_watts = 0.0;
+  double max_watts = 0.0;
+  double cap_violation_seconds = 0.0;
+
+  std::string describe() const;
+};
+
+/// Builds the summary over [from, to) from the recorder's exact series and
+/// the controller's job table.
+RunSummary summarize(const Recorder& recorder, const rjms::Controller& controller,
+                     sim::Time from, sim::Time to);
+
+}  // namespace ps::metrics

@@ -1,0 +1,151 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ps::metrics {
+
+Recorder::Recorder(rjms::Controller& controller)
+    : controller_(controller),
+      cores_per_node_(controller.cluster().topology().cores_per_node()) {
+  controller_.add_observer(this);
+  sample(controller_.simulator().now());
+}
+
+void Recorder::sample(sim::Time now) {
+  const cluster::Cluster& cl = controller_.cluster();
+  Sample s;
+  s.t = now;
+  s.watts = cl.watts();
+  s.idle_nodes = cl.count(cluster::NodeState::Idle);
+  s.off_nodes = cl.count(cluster::NodeState::Off);
+  s.transitioning_nodes = cl.count(cluster::NodeState::Booting) +
+                          cl.count(cluster::NodeState::ShuttingDown);
+  s.busy_by_freq = cl.busy_count_by_freq();
+  if (!samples_.empty() && samples_.back().t == now) {
+    samples_.back() = std::move(s);  // collapse same-instant updates
+  } else {
+    PS_CHECK_MSG(samples_.empty() || samples_.back().t < now,
+                 "recorder: time went backwards");
+    samples_.push_back(std::move(s));
+  }
+}
+
+std::vector<std::int64_t> Recorder::times() const {
+  std::vector<std::int64_t> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.t);
+  return out;
+}
+
+std::vector<double> Recorder::watts_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.watts);
+  return out;
+}
+
+std::vector<double> Recorder::busy_nodes_series(cluster::FreqIndex f) const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) {
+    out.push_back(f < s.busy_by_freq.size() ? s.busy_by_freq[f] : 0);
+  }
+  return out;
+}
+
+std::vector<double> Recorder::idle_nodes_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.idle_nodes);
+  return out;
+}
+
+std::vector<double> Recorder::off_nodes_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) out.push_back(s.off_nodes);
+  return out;
+}
+
+std::vector<double> Recorder::busy_cores_series() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) {
+    std::int64_t busy = 0;
+    for (std::int32_t n : s.busy_by_freq) busy += n;
+    out.push_back(static_cast<double>(busy * cores_per_node_));
+  }
+  return out;
+}
+
+template <typename Value>
+double Recorder::integrate(sim::Time from, sim::Time to, Value&& value_at) const {
+  PS_CHECK_MSG(from <= to, "integrate: inverted interval");
+  if (samples_.empty() || from == to) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    sim::Time seg_start = samples_[i].t;
+    sim::Time seg_end = i + 1 < samples_.size() ? samples_[i + 1].t : to;
+    sim::Time lo = std::max(seg_start, from);
+    sim::Time hi = std::min(seg_end, to);
+    if (hi > lo) total += value_at(samples_[i]) * sim::to_seconds(hi - lo);
+    if (seg_start >= to) break;
+  }
+  return total;
+}
+
+double Recorder::energy_joules(sim::Time from, sim::Time to) const {
+  return integrate(from, to, [](const Sample& s) { return s.watts; });
+}
+
+double Recorder::work_core_seconds(sim::Time from, sim::Time to) const {
+  return integrate(from, to, [this](const Sample& s) {
+    std::int64_t busy = 0;
+    for (std::int32_t n : s.busy_by_freq) busy += n;
+    return static_cast<double>(busy * cores_per_node_);
+  });
+}
+
+double Recorder::effective_work_core_seconds(sim::Time from, sim::Time to,
+                                             double degmin) const {
+  const cluster::FrequencyTable& table = controller_.cluster().frequencies();
+  double ghz_min = table.min().ghz;
+  double ghz_max = table.max().ghz;
+  std::vector<double> speed(table.size(), 1.0);
+  for (cluster::FreqIndex f = 0; f < table.size(); ++f) {
+    double span = ghz_max - ghz_min;
+    double fraction = span > 1e-12 ? (ghz_max - table.ghz(f)) / span : 0.0;
+    speed[f] = 1.0 / (1.0 + (degmin - 1.0) * fraction);
+  }
+  return integrate(from, to, [this, &speed](const Sample& s) {
+    double effective = 0.0;
+    for (std::size_t f = 0; f < s.busy_by_freq.size(); ++f) {
+      effective += static_cast<double>(s.busy_by_freq[f]) * speed[f];
+    }
+    return effective * cores_per_node_;
+  });
+}
+
+double Recorder::max_watts(sim::Time from, sim::Time to) const {
+  double peak = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    sim::Time seg_start = samples_[i].t;
+    sim::Time seg_end = i + 1 < samples_.size() ? samples_[i + 1].t : to;
+    if (seg_end > from && seg_start < to) peak = std::max(peak, samples_[i].watts);
+    if (seg_start >= to) break;
+  }
+  return peak;
+}
+
+double Recorder::cap_violation_seconds(sim::Time from, sim::Time to,
+                                       double tolerance_watts) const {
+  const rjms::ReservationBook& book = controller_.reservations();
+  return integrate(from, to, [&book, tolerance_watts](const Sample& s) {
+    double cap = book.cap_at(s.t);
+    return s.watts > cap + tolerance_watts ? 1.0 : 0.0;
+  });
+}
+
+}  // namespace ps::metrics

@@ -1,0 +1,507 @@
+#include "rjms/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace ps::rjms {
+
+Controller::Controller(sim::Simulator& simulator, cluster::Cluster& cluster,
+                       ControllerConfig config)
+    : simulator_(simulator),
+      cluster_(cluster),
+      config_(config),
+      selector_(make_selector(config.selector)),
+      priority_(config.priority, cluster.topology().total_cores()),
+      fairshare_(config.fairshare_half_life) {}
+
+void Controller::add_observer(ControllerObserver* observer) {
+  PS_CHECK_MSG(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+void Controller::notify_state_change() {
+  for (ControllerObserver* obs : observers_) obs->on_state_change(simulator_.now());
+}
+
+JobId Controller::submit(const workload::JobRequest& request) {
+  PS_CHECK_MSG(jobs_.count(request.id) == 0, "duplicate job id");
+  Job job;
+  job.request = request;
+  JobId id = request.id;
+  ++stats_.submitted;
+  submission_order_.push_back(id);
+
+  if (job.required_nodes(cluster_.topology().cores_per_node()) >
+      cluster_.topology().total_nodes()) {
+    job.state = JobState::Killed;
+    job.end_time = simulator_.now();
+    ++stats_.rejected;
+    jobs_.emplace(id, std::move(job));
+    return id;
+  }
+
+  jobs_.emplace(id, std::move(job));
+  pending_.push_back(id);
+  if (shadow_valid_) {
+    quick_attempt(id);
+  } else {
+    request_schedule();
+  }
+  return id;
+}
+
+void Controller::quick_attempt(JobId id) {
+  Job& job = jobs_.at(id);
+  if (job.state != JobState::Pending) return;
+  double stretch = governor_ != nullptr ? governor_->max_walltime_stretch() : 1.0;
+  auto est_walltime = static_cast<sim::Duration>(
+      static_cast<double>(job.request.requested_walltime) * stretch);
+  sim::Time est_end = simulator_.now() + est_walltime;
+  std::int32_t required = job.required_nodes(cluster_.topology().cores_per_node());
+  // EASY guard: must not delay the reserved head job.
+  bool fits = est_end <= shadow_time_ || required <= shadow_extra_nodes_;
+  if (!fits) return;
+  auto plan = plan_start(job);
+  if (!plan) return;
+  if (est_end > shadow_time_) shadow_extra_nodes_ -= required;
+  start_job(job, std::move(*plan));
+  std::erase(pending_, id);
+}
+
+void Controller::request_schedule() {
+  if (pass_scheduled_) return;
+  pass_scheduled_ = true;
+  simulator_.schedule_at(simulator_.now(), [this] {
+    pass_scheduled_ = false;
+    full_pass();
+  });
+}
+
+void Controller::recompute_priorities() {
+  sim::Time now = simulator_.now();
+  // Fairshare factors once per user per pass (total_usage is O(users)).
+  std::unordered_map<std::int32_t, double> fs_factor;
+  if (config_.fairshare_enabled) {
+    for (JobId id : pending_) {
+      std::int32_t user = jobs_.at(id).request.user;
+      if (fs_factor.count(user) == 0) fs_factor[user] = fairshare_.factor(user, now);
+    }
+  }
+  for (JobId id : pending_) {
+    Job& job = jobs_.at(id);
+    double fs = 1.0;
+    if (config_.fairshare_enabled) fs = fs_factor[job.request.user];
+    // Inline the multifactor formula with the precomputed fs factor.
+    sim::Duration wait = std::max<sim::Duration>(now - job.request.submit_time, 0);
+    const PriorityWeights& w = priority_.weights();
+    double age_factor =
+        std::min(1.0, static_cast<double>(wait) / static_cast<double>(w.age_saturation));
+    double size_factor =
+        std::min(1.0, static_cast<double>(job.request.requested_cores) /
+                          static_cast<double>(cluster_.topology().total_cores()));
+    job.priority = w.age * age_factor + w.size * size_factor + w.fair_share * fs;
+  }
+}
+
+void Controller::compute_shadow(const Job& head) {
+  sim::Time now = simulator_.now();
+  std::int32_t required = head.required_nodes(cluster_.topology().cores_per_node());
+  std::int32_t free = cluster_.count(cluster::NodeState::Idle);
+
+  if (free >= required) {
+    // Head is power-blocked, not node-blocked: it can start when the
+    // binding cap window closes (or when jobs free power — approximated by
+    // the earliest running-job end).
+    sim::Time cap_end = sim::kTimeMax;
+    for (const Reservation* cap : reservations_.powercaps_overlapping(now, now + 1)) {
+      cap_end = std::min(cap_end, cap->end);
+    }
+    sim::Time first_end =
+        running_by_end_.empty() ? sim::kTimeMax : running_by_end_.begin()->first;
+    shadow_time_ = std::min(cap_end, first_end);
+    shadow_extra_nodes_ = 0;  // conservative: power is the scarce resource
+    shadow_valid_ = true;
+    return;
+  }
+
+  shadow_time_ = sim::kTimeMax;
+  for (const auto& [est_end, jid] : running_by_end_) {
+    free += static_cast<std::int32_t>(jobs_.at(jid).nodes.size());
+    if (free >= required) {
+      shadow_time_ = est_end;
+      break;
+    }
+  }
+  shadow_extra_nodes_ = std::max(0, free - required);
+  shadow_valid_ = true;
+}
+
+std::optional<Controller::StartPlan> Controller::plan_start(const Job& job) {
+  std::int32_t count = job.required_nodes(cluster_.topology().cores_per_node());
+  if (count > cluster_.count(cluster::NodeState::Idle)) return std::nullopt;
+
+  sim::Time now = simulator_.now();
+  double stretch = governor_ != nullptr ? governor_->max_walltime_stretch() : 1.0;
+  auto est_walltime = static_cast<sim::Duration>(
+      static_cast<double>(job.request.requested_walltime) * stretch);
+  sim::Time horizon = now + est_walltime + config_.shutdown_delay;
+
+  SelectionContext ctx{cluster_, reservations_, now, horizon};
+  auto nodes = selector_->select(ctx, count);
+  if (!nodes) return std::nullopt;
+
+  PowerGovernor::Admission admission;
+  if (governor_ != nullptr) {
+    auto result = governor_->admit(job, *nodes);
+    if (!result) return std::nullopt;
+    admission = *result;
+  } else {
+    admission.freq = cluster_.frequencies().max_index();
+    admission.scaled_runtime = job.request.base_runtime;
+    admission.scaled_walltime = job.request.requested_walltime;
+  }
+  return StartPlan{std::move(*nodes), admission};
+}
+
+void Controller::start_job(Job& job, StartPlan plan) {
+  sim::Time now = simulator_.now();
+  job.state = JobState::Running;
+  job.start_time = now;
+  job.nodes = std::move(plan.nodes);
+  job.freq = plan.admission.freq;
+  job.scaled_runtime = plan.admission.scaled_runtime;
+  job.scaled_walltime = plan.admission.scaled_walltime;
+
+  for (cluster::NodeId node : job.nodes) {
+    PS_CHECK_MSG(cluster_.state(node) == cluster::NodeState::Idle,
+                 "start_job on non-idle node");
+    cluster_.set_state(node, cluster::NodeState::Busy, job.freq);
+  }
+
+  bool killed_by_walltime = job.scaled_walltime < job.scaled_runtime;
+  sim::Duration lifetime = std::min(job.scaled_runtime, job.scaled_walltime);
+  JobId id = job.id();
+  end_events_[id] = simulator_.schedule_at(
+      now + lifetime, [this, id, killed_by_walltime] { finish_job(id, killed_by_walltime); });
+  running_by_end_.insert({now + job.scaled_walltime, id});
+
+  ++stats_.started;
+  ++epoch_;
+  for (ControllerObserver* obs : observers_) obs->on_job_start(job);
+  notify_state_change();
+}
+
+void Controller::power_node_off(cluster::NodeId node) {
+  if (config_.shutdown_delay == 0) {
+    cluster_.set_state(node, cluster::NodeState::Off);
+    return;
+  }
+  cluster_.set_state(node, cluster::NodeState::ShuttingDown);
+  simulator_.schedule_in(config_.shutdown_delay, [this, node] {
+    if (cluster_.state(node) == cluster::NodeState::ShuttingDown) {
+      cluster_.set_state(node, cluster::NodeState::Off);
+      ++epoch_;
+      notify_state_change();
+    }
+  });
+}
+
+void Controller::release_node(cluster::NodeId node) {
+  sim::Time now = simulator_.now();
+  for (const Reservation* res : reservations_.switchoffs_overlapping(now, now + 1)) {
+    if (std::binary_search(res->nodes.begin(), res->nodes.end(), node)) {
+      power_node_off(node);  // opportunistic shutdown inside the window
+      return;
+    }
+  }
+  cluster_.set_state(node, cluster::NodeState::Idle);
+}
+
+void Controller::finish_job(JobId id, bool killed_by_walltime) {
+  Job& job = jobs_.at(id);
+  PS_CHECK_MSG(job.state == JobState::Running, "finish_job on non-running job");
+  sim::Time now = simulator_.now();
+
+  for (cluster::NodeId node : job.nodes) {
+    release_node(node);
+  }
+  job.state = killed_by_walltime ? JobState::Killed : JobState::Completed;
+  job.end_time = now;
+
+  double used_core_seconds =
+      static_cast<double>(job.allocated_cores(cluster_.topology().cores_per_node())) *
+      sim::to_seconds(now - job.start_time);
+  fairshare_.charge(job.request.user, used_core_seconds, now);
+
+  running_by_end_.erase({job.start_time + job.scaled_walltime, id});
+  end_events_.erase(id);
+  if (killed_by_walltime) {
+    ++stats_.killed;
+  } else {
+    ++stats_.completed;
+  }
+  ++epoch_;
+  for (ControllerObserver* obs : observers_) obs->on_job_end(job);
+  notify_state_change();
+  request_schedule();
+}
+
+void Controller::kill_job(JobId id) {
+  Job& job = jobs_.at(id);
+  PS_CHECK_MSG(job.state == JobState::Running, "kill_job on non-running job");
+  auto it = end_events_.find(id);
+  PS_CHECK(it != end_events_.end());
+  simulator_.cancel(it->second);
+  end_events_.erase(it);
+
+  sim::Time now = simulator_.now();
+  for (cluster::NodeId node : job.nodes) {
+    release_node(node);
+  }
+  double used_core_seconds =
+      static_cast<double>(job.allocated_cores(cluster_.topology().cores_per_node())) *
+      sim::to_seconds(now - job.start_time);
+  fairshare_.charge(job.request.user, used_core_seconds, now);
+
+  running_by_end_.erase({job.start_time + job.scaled_walltime, id});
+  job.state = JobState::Killed;
+  job.end_time = now;
+  ++stats_.killed;
+  ++epoch_;
+  for (ControllerObserver* obs : observers_) obs->on_job_end(job);
+  notify_state_change();
+}
+
+void Controller::rescale_running_job(JobId id, cluster::FreqIndex new_freq,
+                                     double remaining_ratio) {
+  Job& job = jobs_.at(id);
+  PS_CHECK_MSG(job.state == JobState::Running, "rescale of non-running job");
+  PS_CHECK_MSG(remaining_ratio > 0.0, "remaining_ratio must be positive");
+  if (job.freq == new_freq) return;
+  sim::Time now = simulator_.now();
+
+  auto event = end_events_.find(id);
+  PS_CHECK(event != end_events_.end());
+  simulator_.cancel(event->second);
+  end_events_.erase(event);
+  running_by_end_.erase({job.start_time + job.scaled_walltime, id});
+
+  cluster::FreqIndex old_freq = job.freq;
+  sim::Time old_est_end = job.start_time + job.scaled_walltime;
+  sim::Duration elapsed = now - job.start_time;
+  auto scale_remaining = [&](sim::Duration total) {
+    sim::Duration remaining = std::max<sim::Duration>(total - elapsed, 0);
+    return elapsed + static_cast<sim::Duration>(
+                         std::llround(static_cast<double>(remaining) * remaining_ratio));
+  };
+  job.scaled_runtime = scale_remaining(job.scaled_runtime);
+  job.scaled_walltime = scale_remaining(job.scaled_walltime);
+  job.freq = new_freq;
+  for (cluster::NodeId node : job.nodes) {
+    cluster_.set_state(node, cluster::NodeState::Busy, new_freq);
+  }
+
+  bool killed_by_walltime = job.scaled_walltime < job.scaled_runtime;
+  sim::Duration lifetime = std::min(job.scaled_runtime, job.scaled_walltime);
+  end_events_[id] = simulator_.schedule_at(
+      job.start_time + lifetime,
+      [this, id, killed_by_walltime] { finish_job(id, killed_by_walltime); });
+  running_by_end_.insert({job.start_time + job.scaled_walltime, id});
+
+  ++epoch_;
+  for (ControllerObserver* obs : observers_) {
+    obs->on_job_rescaled(job, old_freq, old_est_end);
+  }
+  notify_state_change();
+}
+
+const Job& Controller::job(JobId id) const {
+  auto it = jobs_.find(id);
+  PS_CHECK_MSG(it != jobs_.end(), "unknown job id");
+  return it->second;
+}
+
+void Controller::full_pass() {
+  ++stats_.full_passes;
+  if (pending_.empty()) {
+    shadow_valid_ = false;
+    return;
+  }
+  if (pass_epoch_ == epoch_) return;  // nothing changed since last pass
+  pass_epoch_ = epoch_;
+
+  recompute_priorities();
+  std::sort(pending_.begin(), pending_.end(), [this](JobId a, JobId b) {
+    const Job& ja = jobs_.at(a);
+    const Job& jb = jobs_.at(b);
+    if (ja.priority != jb.priority) return ja.priority > jb.priority;
+    if (ja.request.submit_time != jb.request.submit_time) {
+      return ja.request.submit_time < jb.request.submit_time;
+    }
+    return a < b;
+  });
+
+  sim::Time now = simulator_.now();
+  double stretch = governor_ != nullptr ? governor_->max_walltime_stretch() : 1.0;
+  std::int32_t cores_per_node = cluster_.topology().cores_per_node();
+
+  shadow_valid_ = false;
+  bool head_blocked = false;
+  std::size_t scanned_after_head = 0;
+  std::vector<JobId> started;
+
+  for (JobId id : pending_) {
+    Job& job = jobs_.at(id);
+    if (!head_blocked) {
+      auto plan = plan_start(job);
+      if (plan) {
+        start_job(job, std::move(*plan));
+        started.push_back(id);
+        continue;
+      }
+      compute_shadow(job);
+      head_blocked = true;
+      continue;  // head stays pending; everything below is backfill
+    }
+
+    if (++scanned_after_head > config_.backfill_depth) break;
+    std::int32_t required = job.required_nodes(cores_per_node);
+    auto est_walltime = static_cast<sim::Duration>(
+        static_cast<double>(job.request.requested_walltime) * stretch);
+    sim::Time est_end = now + est_walltime;
+    bool fits = est_end <= shadow_time_ || required <= shadow_extra_nodes_;
+    if (!fits) continue;
+    auto plan = plan_start(job);
+    if (!plan) continue;
+    if (est_end > shadow_time_) shadow_extra_nodes_ -= required;
+    start_job(job, std::move(*plan));
+    started.push_back(id);
+    ++stats_.backfill_starts;
+  }
+
+  if (!started.empty()) {
+    std::unordered_set<JobId> done(started.begin(), started.end());
+    std::erase_if(pending_, [&done](JobId id) { return done.count(id) != 0; });
+    // Starting jobs bumped the epoch; this pass already accounted for it.
+    pass_epoch_ = epoch_;
+  }
+}
+
+ReservationId Controller::add_powercap_reservation(sim::Time start, sim::Time end,
+                                                   double watts) {
+  Reservation reservation;
+  reservation.kind = ReservationKind::Powercap;
+  reservation.start = start;
+  reservation.end = end;
+  reservation.watts = watts;
+  ReservationId id = reservations_.add(std::move(reservation));
+
+  // Admission conditions change at the boundaries: trigger passes.
+  auto boundary = [this] {
+    ++epoch_;
+    notify_state_change();
+    request_schedule();
+  };
+  simulator_.schedule_at(start, boundary);
+  if (end != sim::kTimeMax) simulator_.schedule_at(end, boundary);
+  ++epoch_;
+  request_schedule();
+  return id;
+}
+
+ReservationId Controller::add_maintenance_reservation(sim::Time start, sim::Time end,
+                                                      std::vector<cluster::NodeId> nodes) {
+  Reservation reservation;
+  reservation.kind = ReservationKind::Maintenance;
+  reservation.start = start;
+  reservation.end = end;
+  reservation.nodes = std::move(nodes);
+  ReservationId id = reservations_.add(std::move(reservation));
+  // Availability changes at the boundaries.
+  auto boundary = [this] {
+    ++epoch_;
+    request_schedule();
+  };
+  simulator_.schedule_at(start, boundary);
+  if (end != sim::kTimeMax) simulator_.schedule_at(end, boundary);
+  ++epoch_;
+  request_schedule();
+  return id;
+}
+
+ReservationId Controller::add_switch_off_reservation(sim::Time start, sim::Time end,
+                                                     std::vector<cluster::NodeId> nodes,
+                                                     double planned_saving_watts,
+                                                     bool permissive) {
+  Reservation reservation;
+  reservation.kind = ReservationKind::SwitchOff;
+  reservation.start = start;
+  reservation.end = end;
+  reservation.nodes = std::move(nodes);
+  reservation.planned_saving_watts = planned_saving_watts;
+  reservation.permissive = permissive;
+  ReservationId id = reservations_.add(std::move(reservation));
+
+  sim::Time shutdown_begin = std::max<sim::Time>(start - config_.shutdown_delay, 0);
+  simulator_.schedule_at(shutdown_begin, [this, id] { begin_switch_off(id); });
+  if (end != sim::kTimeMax) {
+    simulator_.schedule_at(end, [this, id] { end_switch_off(id); });
+  }
+  ++epoch_;
+  request_schedule();
+  return id;
+}
+
+void Controller::begin_switch_off(ReservationId id) {
+  const Reservation* res = reservations_.find(id);
+  if (res == nullptr) return;  // removed meanwhile
+  std::size_t skipped = 0;
+  for (cluster::NodeId node : res->nodes) {
+    cluster::NodeState state = cluster_.state(node);
+    if (state == cluster::NodeState::Idle) {
+      power_node_off(node);
+    } else if (state == cluster::NodeState::Busy) {
+      // Permissive reservations expect this: the node powers off when its
+      // job releases it (release_node). Under strict blocking a busy node
+      // here means a job outran the blocking horizon.
+      ++skipped;
+    }
+  }
+  if (skipped > 0 && !res->permissive) {
+    PS_LOG(Warn) << "switch-off reservation " << id << ": " << skipped
+                 << " nodes busy at shutdown time, left powered";
+  }
+  ++epoch_;
+  notify_state_change();
+  request_schedule();
+}
+
+void Controller::end_switch_off(ReservationId id) {
+  const Reservation* res = reservations_.find(id);
+  if (res == nullptr) return;
+  for (cluster::NodeId node : res->nodes) {
+    if (cluster_.state(node) != cluster::NodeState::Off) continue;
+    if (config_.boot_delay == 0) {
+      cluster_.set_state(node, cluster::NodeState::Idle);
+    } else {
+      cluster_.set_state(node, cluster::NodeState::Booting);
+      simulator_.schedule_in(config_.boot_delay, [this, node] {
+        if (cluster_.state(node) == cluster::NodeState::Booting) {
+          cluster_.set_state(node, cluster::NodeState::Idle);
+          ++epoch_;
+          notify_state_change();
+          request_schedule();
+        }
+      });
+    }
+  }
+  ++epoch_;
+  notify_state_change();
+  request_schedule();
+}
+
+}  // namespace ps::rjms

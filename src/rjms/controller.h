@@ -1,0 +1,211 @@
+// The RJMS controller (the "slurmctld" of this reproduction).
+//
+// Owns the job table, the pending queue, reservations and node power
+// transitions; runs prioritized FCFS with EASY backfilling; consults an
+// optional PowerGovernor for powercap admission (paper Fig 1: the grey
+// "node selection algorithm" box is where the powercap logic plugs in).
+//
+// Scheduling passes are event-driven: a full pass runs when resources may
+// have been freed (job end, reservation boundary, node boot) and a cheap
+// single-job attempt runs on submit, honouring the EASY reservation of the
+// head job. Everything is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "rjms/fairshare.h"
+#include "rjms/job.h"
+#include "rjms/node_selector.h"
+#include "rjms/power_governor.h"
+#include "rjms/priority.h"
+#include "rjms/reservation.h"
+#include "sim/simulator.h"
+#include "workload/job_request.h"
+
+namespace ps::rjms {
+
+struct ControllerConfig {
+  PriorityWeights priority{};
+  std::size_t backfill_depth = 50;  ///< jobs scanned past the queue head
+  SelectorKind selector = SelectorKind::Packing;
+  bool fairshare_enabled = true;
+  sim::Duration fairshare_half_life = sim::hours(7 * 24);
+  /// Node power transition durations (0 = instantaneous, the paper's
+  /// emulation setting).
+  sim::Duration shutdown_delay = 0;
+  sim::Duration boot_delay = 0;
+};
+
+/// Observer for metrics/tests. on_state_change fires after any event that
+/// may alter cluster power or utilization (job start/end, node transition).
+class ControllerObserver {
+ public:
+  virtual ~ControllerObserver() = default;
+  virtual void on_job_start(const Job& job) { (void)job; }
+  virtual void on_job_end(const Job& job) { (void)job; }
+  /// A running job changed DVFS level (dynamic frequency scaling). The job
+  /// carries the *new* freq/durations; old_freq and old_est_end describe
+  /// the state being replaced.
+  virtual void on_job_rescaled(const Job& job, cluster::FreqIndex old_freq,
+                               sim::Time old_est_end) {
+    (void)job;
+    (void)old_freq;
+    (void)old_est_end;
+  }
+  virtual void on_state_change(sim::Time now) { (void)now; }
+};
+
+class Controller {
+ public:
+  Controller(sim::Simulator& simulator, cluster::Cluster& cluster, ControllerConfig config);
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Wires the powercap governor (may be null). Call before submitting.
+  void set_governor(PowerGovernor* governor) noexcept { governor_ = governor; }
+
+  void add_observer(ControllerObserver* observer);
+
+  // --- job lifecycle -------------------------------------------------------
+
+  /// Registers a job arriving now (request.submit_time is recorded but the
+  /// queue entry is created immediately — the replayer calls this at the
+  /// right simulation time). Jobs wider than the machine are rejected
+  /// (state Killed). Returns the job id.
+  JobId submit(const workload::JobRequest& request);
+
+  /// Terminates a running job immediately (powercap extreme action).
+  void kill_job(JobId id);
+
+  /// Changes a running job's DVFS level mid-execution (the paper's
+  /// future-work extension). The *remaining* runtime and walltime are
+  /// multiplied by `remaining_ratio` (= deg(new)/deg(old) for the job's
+  /// degradation model); elapsed time is unaffected. The end event,
+  /// walltime bookkeeping and node power states are updated consistently.
+  void rescale_running_job(JobId id, cluster::FreqIndex new_freq,
+                           double remaining_ratio);
+
+  const Job& job(JobId id) const;
+  bool has_job(JobId id) const { return jobs_.count(id) != 0; }
+
+  std::size_t pending_count() const noexcept { return pending_.size(); }
+  std::size_t running_count() const noexcept { return running_by_end_.size(); }
+
+  /// Running jobs ordered by estimated end (start + scaled walltime).
+  const std::set<std::pair<sim::Time, JobId>>& running_by_end() const noexcept {
+    return running_by_end_;
+  }
+  /// All job ids ever submitted, in submission order.
+  const std::vector<JobId>& all_jobs() const noexcept { return submission_order_; }
+
+  // --- reservations & power management -------------------------------------
+
+  ReservationBook& reservations() noexcept { return reservations_; }
+  const ReservationBook& reservations() const noexcept { return reservations_; }
+
+  /// Powercap reservation over [start, end) (end may be sim::kTimeMax for
+  /// "set for now"). Returns the reservation id. Scheduling passes are
+  /// triggered at the boundaries.
+  ReservationId add_powercap_reservation(sim::Time start, sim::Time end, double watts);
+
+  /// Maintenance reservation: `nodes` are blocked for any job whose span
+  /// overlaps [start, end) but stay powered (the classic SLURM
+  /// reservation the paper's mechanism extends).
+  ReservationId add_maintenance_reservation(sim::Time start, sim::Time end,
+                                            std::vector<cluster::NodeId> nodes);
+
+  /// Switch-off reservation: `nodes` are powered off during [start, end).
+  /// Strict mode blocks the nodes for any overlapping job in advance;
+  /// permissive mode lets jobs run on them until the window starts and
+  /// powers each node off as its job releases it (see Reservation docs).
+  /// planned_saving_watts is the offline algorithm's computed saving
+  /// (stored for online power projections).
+  ReservationId add_switch_off_reservation(sim::Time start, sim::Time end,
+                                           std::vector<cluster::NodeId> nodes,
+                                           double planned_saving_watts,
+                                           bool permissive = false);
+
+  /// Requests a full scheduling pass at the current time (coalesced).
+  void request_schedule();
+
+  // --- accessors ------------------------------------------------------------
+
+  sim::Simulator& simulator() noexcept { return simulator_; }
+  cluster::Cluster& cluster() noexcept { return cluster_; }
+  const cluster::Cluster& cluster() const noexcept { return cluster_; }
+  const ControllerConfig& config() const noexcept { return config_; }
+  const FairShare& fairshare() const noexcept { return fairshare_; }
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t started = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t killed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t full_passes = 0;
+    std::uint64_t backfill_starts = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct StartPlan {
+    std::vector<cluster::NodeId> nodes;
+    PowerGovernor::Admission admission;
+  };
+
+  void notify_state_change();
+  void schedule_pass_event();
+  void full_pass();
+  /// Single-job attempt (submit path) honouring the cached EASY shadow.
+  void quick_attempt(JobId id);
+  std::optional<StartPlan> plan_start(const Job& job);
+  void start_job(Job& job, StartPlan plan);
+  void finish_job(JobId id, bool killed_by_walltime);
+  void recompute_priorities();
+  /// Shadow-time estimate for the head job (EASY): earliest time enough
+  /// nodes are expected free, using walltime-based end estimates.
+  void compute_shadow(const Job& head);
+
+  void begin_switch_off(ReservationId id);
+  void end_switch_off(ReservationId id);
+  /// Frees one node after a job: Idle normally, or straight to Off when an
+  /// active switch-off reservation covers it (opportunistic shutdown).
+  void release_node(cluster::NodeId node);
+  void power_node_off(cluster::NodeId node);
+
+  sim::Simulator& simulator_;
+  cluster::Cluster& cluster_;
+  ControllerConfig config_;
+  PowerGovernor* governor_ = nullptr;
+  std::unique_ptr<NodeSelector> selector_;
+  PriorityCalculator priority_;
+  FairShare fairshare_;
+  ReservationBook reservations_;
+  std::vector<ControllerObserver*> observers_;
+
+  std::unordered_map<JobId, Job> jobs_;
+  std::vector<JobId> submission_order_;
+  std::vector<JobId> pending_;  ///< sorted by priority each full pass
+  std::set<std::pair<sim::Time, JobId>> running_by_end_;
+  std::unordered_map<JobId, sim::EventId> end_events_;
+
+  // EASY shadow cached from the last full pass (for submit-path attempts).
+  sim::Time shadow_time_ = sim::kTimeMax;
+  std::int32_t shadow_extra_nodes_ = 0;
+  bool shadow_valid_ = false;
+
+  bool pass_scheduled_ = false;
+  std::uint64_t epoch_ = 0;            ///< bumps on any resource change
+  std::uint64_t pass_epoch_ = ~0ull;   ///< epoch at the last full pass
+  Stats stats_;
+};
+
+}  // namespace ps::rjms

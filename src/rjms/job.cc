@@ -1,0 +1,27 @@
+#include "rjms/job.h"
+
+#include "util/check.h"
+
+namespace ps::rjms {
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::Pending: return "pending";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Killed: return "killed";
+  }
+  return "?";
+}
+
+std::int32_t Job::required_nodes(std::int32_t cores_per_node) const {
+  PS_CHECK_MSG(cores_per_node > 0, "cores_per_node must be positive");
+  std::int64_t cores = std::max<std::int64_t>(request.requested_cores, 1);
+  return static_cast<std::int32_t>((cores + cores_per_node - 1) / cores_per_node);
+}
+
+std::int64_t Job::allocated_cores(std::int32_t cores_per_node) const {
+  return static_cast<std::int64_t>(required_nodes(cores_per_node)) * cores_per_node;
+}
+
+}  // namespace ps::rjms

@@ -1,0 +1,126 @@
+#include "rjms/node_selector.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace ps::rjms {
+
+bool node_available(const SelectionContext& ctx, cluster::NodeId node) {
+  if (ctx.cluster.state(node) != cluster::NodeState::Idle) return false;
+  return !ctx.reservations.node_blocked(node, ctx.start, ctx.horizon);
+}
+
+namespace {
+
+/// Collects up to `count` available nodes from `chassis`, appending to out.
+void take_from_chassis(const SelectionContext& ctx, cluster::ChassisId chassis,
+                       std::int32_t count, std::vector<cluster::NodeId>& out) {
+  const cluster::Topology& topo = ctx.cluster.topology();
+  cluster::NodeId first = topo.first_node_of_chassis(chassis);
+  for (std::int32_t i = 0; i < topo.nodes_per_chassis(); ++i) {
+    if (static_cast<std::int32_t>(out.size()) >= count) return;
+    cluster::NodeId node = first + i;
+    if (node_available(ctx, node)) out.push_back(node);
+  }
+}
+
+class PackingSelector final : public NodeSelector {
+ public:
+  std::optional<std::vector<cluster::NodeId>> select(const SelectionContext& ctx,
+                                                     std::int32_t count) override {
+    const cluster::Topology& topo = ctx.cluster.topology();
+    // Order chassis by (idle count ascending, id): filling the most loaded
+    // chassis first leaves whole chassis free for grouped shutdown.
+    struct Slot {
+      std::int32_t idle;
+      cluster::ChassisId chassis;
+    };
+    // Idle counts per chassis in one pass over nodes.
+    std::vector<std::int32_t> idle_count(
+        static_cast<std::size_t>(topo.total_chassis()), 0);
+    for (cluster::NodeId n = 0; n < topo.total_nodes(); ++n) {
+      if (ctx.cluster.state(n) == cluster::NodeState::Idle) {
+        ++idle_count[static_cast<std::size_t>(topo.chassis_of_node(n))];
+      }
+    }
+    std::vector<Slot> slots;
+    slots.reserve(static_cast<std::size_t>(topo.total_chassis()));
+    for (cluster::ChassisId c = 0; c < topo.total_chassis(); ++c) {
+      std::int32_t idle = idle_count[static_cast<std::size_t>(c)];
+      if (idle > 0) slots.push_back(Slot{idle, c});
+    }
+    std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
+      if (a.idle != b.idle) return a.idle < b.idle;
+      return a.chassis < b.chassis;
+    });
+
+    std::vector<cluster::NodeId> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (const Slot& slot : slots) {
+      take_from_chassis(ctx, slot.chassis, count, out);
+      if (static_cast<std::int32_t>(out.size()) >= count) return out;
+    }
+    return std::nullopt;
+  }
+
+  std::string name() const override { return "packing"; }
+};
+
+class LinearSelector final : public NodeSelector {
+ public:
+  std::optional<std::vector<cluster::NodeId>> select(const SelectionContext& ctx,
+                                                     std::int32_t count) override {
+    const cluster::Topology& topo = ctx.cluster.topology();
+    std::vector<cluster::NodeId> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (cluster::NodeId n = 0; n < topo.total_nodes(); ++n) {
+      if (node_available(ctx, n)) {
+        out.push_back(n);
+        if (static_cast<std::int32_t>(out.size()) >= count) return out;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::string name() const override { return "linear"; }
+};
+
+class SpreadSelector final : public NodeSelector {
+ public:
+  std::optional<std::vector<cluster::NodeId>> select(const SelectionContext& ctx,
+                                                     std::int32_t count) override {
+    const cluster::Topology& topo = ctx.cluster.topology();
+    std::vector<cluster::NodeId> out;
+    out.reserve(static_cast<std::size_t>(count));
+    // Round-robin: index i within chassis, sweeping all chassis, so
+    // allocations scatter as widely as possible (ablation baseline).
+    for (std::int32_t i = 0; i < topo.nodes_per_chassis(); ++i) {
+      for (cluster::ChassisId c = 0; c < topo.total_chassis(); ++c) {
+        cluster::NodeId node = topo.first_node_of_chassis(c) + i;
+        if (node_available(ctx, node)) {
+          out.push_back(node);
+          if (static_cast<std::int32_t>(out.size()) >= count) return out;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::string name() const override { return "spread"; }
+};
+
+}  // namespace
+
+std::unique_ptr<NodeSelector> make_selector(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::Packing: return std::make_unique<PackingSelector>();
+    case SelectorKind::Linear: return std::make_unique<LinearSelector>();
+    case SelectorKind::Spread: return std::make_unique<SpreadSelector>();
+  }
+  PS_CHECK_MSG(false, "unknown selector kind");
+  return nullptr;
+}
+
+}  // namespace ps::rjms

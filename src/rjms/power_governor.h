@@ -1,0 +1,42 @@
+// Admission interface between the RJMS controller and the powercap core.
+//
+// The controller asks the governor, per start attempt, whether a job may
+// begin NOW on a candidate allocation and at which DVFS level (online
+// Algorithm 2 lives behind this interface). The dependency points from
+// core -> rjms only; the controller works without any governor (no-cap
+// baseline).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/frequency.h"
+#include "cluster/topology.h"
+#include "rjms/job.h"
+#include "sim/time.h"
+
+namespace ps::rjms {
+
+class PowerGovernor {
+ public:
+  virtual ~PowerGovernor() = default;
+
+  struct Admission {
+    cluster::FreqIndex freq = 0;        ///< DVFS level to start the job at
+    sim::Duration scaled_runtime = 0;   ///< actual runtime after degradation
+    sim::Duration scaled_walltime = 0;  ///< walltime limit after degradation
+  };
+
+  /// Decides whether `job` may start now on `nodes`; picks the highest
+  /// frequency that keeps cluster power within every powercap window the
+  /// job's (frequency-dependent) span overlaps. nullopt = stay pending.
+  virtual std::optional<Admission> admit(const Job& job,
+                                         const std::vector<cluster::NodeId>& nodes) = 0;
+
+  /// Pessimistic walltime stretch factor used for reservation-blocking
+  /// horizons before the frequency is known (1.0 when DVFS cannot be
+  /// forced under the current policy).
+  virtual double max_walltime_stretch() const { return 1.0; }
+};
+
+}  // namespace ps::rjms

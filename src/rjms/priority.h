@@ -1,0 +1,40 @@
+// Multifactor job prioritization (paper §IV-A: "the usual backfilling may
+// be enriched with multifactor priorities such as job age and job size or
+// even more sophisticated features like fair-sharing").
+//
+// priority = w_age * age_factor + w_size * size_factor + w_fs * fs_factor
+// with each factor in [0, 1], mirroring SLURM's priority/multifactor plugin.
+#pragma once
+
+#include <cstdint>
+
+#include "rjms/fairshare.h"
+#include "rjms/job.h"
+#include "sim/time.h"
+
+namespace ps::rjms {
+
+struct PriorityWeights {
+  double age = 1000.0;
+  double size = 500.0;
+  double fair_share = 2000.0;
+  /// Wait time at which the age factor saturates to 1 (SLURM default 7d;
+  /// shorter here so it matters within 5 h replays).
+  sim::Duration age_saturation = sim::hours(24);
+};
+
+class PriorityCalculator {
+ public:
+  PriorityCalculator(PriorityWeights weights, std::int64_t total_cores);
+
+  /// Priority of a pending job at `now`. `fairshare` may be null (factor 1).
+  double compute(const Job& job, sim::Time now, const FairShare* fairshare) const;
+
+  const PriorityWeights& weights() const noexcept { return weights_; }
+
+ private:
+  PriorityWeights weights_;
+  std::int64_t total_cores_;
+};
+
+}  // namespace ps::rjms

@@ -1,0 +1,100 @@
+#include "rjms/reservation.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ps::rjms {
+
+const char* to_string(ReservationKind kind) noexcept {
+  switch (kind) {
+    case ReservationKind::Maintenance: return "maintenance";
+    case ReservationKind::SwitchOff: return "switch-off";
+    case ReservationKind::Powercap: return "powercap";
+  }
+  return "?";
+}
+
+ReservationId ReservationBook::add(Reservation reservation) {
+  PS_CHECK_MSG(reservation.start < reservation.end, "reservation window inverted or empty");
+  if (reservation.kind == ReservationKind::Powercap) {
+    PS_CHECK_MSG(reservation.watts > 0.0, "powercap reservation needs positive watts");
+  } else {
+    PS_CHECK_MSG(!reservation.nodes.empty(), "node reservation needs nodes");
+    std::sort(reservation.nodes.begin(), reservation.nodes.end());
+    auto dup = std::adjacent_find(reservation.nodes.begin(), reservation.nodes.end());
+    PS_CHECK_MSG(dup == reservation.nodes.end(), "reservation has duplicate nodes");
+  }
+  reservation.id = next_id_++;
+  reservations_.push_back(std::move(reservation));
+  return reservations_.back().id;
+}
+
+bool ReservationBook::remove(ReservationId id) {
+  auto it = std::find_if(reservations_.begin(), reservations_.end(),
+                         [id](const Reservation& r) { return r.id == id; });
+  if (it == reservations_.end()) return false;
+  reservations_.erase(it);
+  return true;
+}
+
+const Reservation* ReservationBook::find(ReservationId id) const {
+  auto it = std::find_if(reservations_.begin(), reservations_.end(),
+                         [id](const Reservation& r) { return r.id == id; });
+  return it == reservations_.end() ? nullptr : &*it;
+}
+
+bool ReservationBook::node_blocked(cluster::NodeId node, sim::Time from, sim::Time to) const {
+  for (const Reservation& r : reservations_) {
+    if (r.kind == ReservationKind::Powercap) continue;
+    if (r.kind == ReservationKind::SwitchOff && r.permissive) {
+      // Permissive: only job *starts* inside the window are forbidden.
+      if (!r.active_at(from)) continue;
+    } else {
+      if (!r.overlaps(from, to)) continue;
+    }
+    if (std::binary_search(r.nodes.begin(), r.nodes.end(), node)) return true;
+  }
+  return false;
+}
+
+std::vector<const Reservation*> ReservationBook::powercaps_overlapping(sim::Time from,
+                                                                       sim::Time to) const {
+  std::vector<const Reservation*> out;
+  for (const Reservation& r : reservations_) {
+    if (r.kind == ReservationKind::Powercap && r.overlaps(from, to)) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const Reservation*> ReservationBook::switchoffs_overlapping(sim::Time from,
+                                                                        sim::Time to) const {
+  std::vector<const Reservation*> out;
+  for (const Reservation& r : reservations_) {
+    if (r.kind == ReservationKind::SwitchOff && r.overlaps(from, to)) out.push_back(&r);
+  }
+  return out;
+}
+
+double ReservationBook::cap_at(sim::Time t) const {
+  double cap = std::numeric_limits<double>::infinity();
+  for (const Reservation& r : reservations_) {
+    if (r.kind == ReservationKind::Powercap && r.active_at(t)) {
+      cap = std::min(cap, r.watts);
+    }
+  }
+  return cap;
+}
+
+double ReservationBook::min_cap_over(sim::Time from, sim::Time to) const {
+  double cap = std::numeric_limits<double>::infinity();
+  for (const Reservation& r : reservations_) {
+    if (r.kind == ReservationKind::Powercap && r.overlaps(from, to)) {
+      cap = std::min(cap, r.watts);
+    }
+  }
+  return cap;
+}
+
+}  // namespace ps::rjms

@@ -1,0 +1,97 @@
+// Advance reservations (paper §V).
+//
+// The paper extends SLURM reservations with a Watts parameter (powercap
+// windows) and uses a specific reservation type to trigger grouped node
+// shutdown from the offline scheduling phase. Three kinds:
+//   * Maintenance — nodes unavailable for jobs during the window (kept
+//     powered); the classic SLURM reservation.
+//   * SwitchOff   — nodes unavailable AND powered off during the window;
+//     carries the planned power saving the offline algorithm computed
+//     (including grouping bonus), used by online power projections.
+//   * Powercap    — a watts budget over a window; no nodes attached.
+//     end == kTimeMax means "set for now, no time limitation".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "sim/time.h"
+
+namespace ps::rjms {
+
+using ReservationId = std::int64_t;
+
+enum class ReservationKind : std::uint8_t { Maintenance, SwitchOff, Powercap };
+
+const char* to_string(ReservationKind kind) noexcept;
+
+struct Reservation {
+  ReservationId id = 0;
+  ReservationKind kind = ReservationKind::Maintenance;
+  sim::Time start = 0;
+  sim::Time end = 0;  ///< exclusive; kTimeMax = open-ended
+
+  /// Maintenance/SwitchOff: the reserved nodes (sorted ascending).
+  std::vector<cluster::NodeId> nodes;
+
+  /// Powercap: the budget in watts.
+  double watts = 0.0;
+
+  /// SwitchOff: planned cluster-power saving when all nodes of this
+  /// reservation are off, including hierarchy bonuses.
+  double planned_saving_watts = 0.0;
+
+  /// SwitchOff only. Strict (false): nodes are blocked for any job whose
+  /// span overlaps the window — the classic SLURM semantics; with heavily
+  /// over-estimated walltimes this parks the reserved nodes long before
+  /// the window. Permissive (true): jobs may start on reserved nodes up to
+  /// the window start; at window start busy nodes are skipped and powered
+  /// off as their jobs release them (opportunistic shutdown) — this keeps
+  /// pre-window utilization full, matching the paper's Fig 6/7 replays.
+  bool permissive = false;
+
+  bool overlaps(sim::Time from, sim::Time to) const noexcept {
+    return start < to && from < end;
+  }
+  bool active_at(sim::Time t) const noexcept { return start <= t && t < end; }
+};
+
+/// Registry of reservations with the interval queries the scheduler needs.
+/// Linear scans are fine: real systems hold a handful of reservations.
+class ReservationBook {
+ public:
+  /// Adds a reservation and returns its id. Throws ps::CheckError on
+  /// inverted windows or (for node kinds) empty node lists.
+  ReservationId add(Reservation reservation);
+
+  /// Removes by id; false when unknown.
+  bool remove(ReservationId id);
+
+  const Reservation* find(ReservationId id) const;
+  const std::vector<Reservation>& all() const noexcept { return reservations_; }
+
+  /// True if `node` is covered by a Maintenance/SwitchOff reservation
+  /// overlapping [from, to).
+  bool node_blocked(cluster::NodeId node, sim::Time from, sim::Time to) const;
+
+  /// Pointers to powercap reservations overlapping [from, to), in id order.
+  std::vector<const Reservation*> powercaps_overlapping(sim::Time from, sim::Time to) const;
+
+  /// Pointers to switch-off reservations overlapping [from, to).
+  std::vector<const Reservation*> switchoffs_overlapping(sim::Time from, sim::Time to) const;
+
+  /// Effective cap at instant `t`: the minimum watts among active powercap
+  /// reservations; +infinity when none.
+  double cap_at(sim::Time t) const;
+
+  /// Minimum effective cap anywhere in [from, to); +infinity when none.
+  double min_cap_over(sim::Time from, sim::Time to) const;
+
+ private:
+  std::vector<Reservation> reservations_;
+  ReservationId next_id_ = 1;
+};
+
+}  // namespace ps::rjms

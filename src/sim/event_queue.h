@@ -1,0 +1,76 @@
+// Cancellable min-heap event queue with deterministic FIFO tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ps::sim {
+
+/// Opaque handle for cancelling a scheduled event. Value 0 is never issued.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Priority queue of (time, callback) with:
+///  * deterministic ordering — equal-time events fire in insertion order;
+///  * O(log n) lazy cancellation — cancelled entries are skipped on pop.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues `callback` at `time`; returns a handle for cancel().
+  EventId push(Time time, Callback callback);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or the id was never issued.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const noexcept { return live_count_ == 0; }
+
+  /// Number of live events.
+  std::size_t size() const noexcept { return live_count_; }
+
+  /// Time of the earliest live event; kTimeMax when empty.
+  Time next_time() const;
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Fired {
+    Time time;
+    EventId id;
+    Callback callback;
+  };
+  Fired pop();
+
+  /// Drops everything (used between simulation runs).
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // insertion order; breaks time ties FIFO
+    EventId id;
+    // Callbacks live in a side map so that heap moves stay cheap.
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace ps::sim

@@ -1,0 +1,60 @@
+// Discrete-event simulator driver.
+//
+// Single-threaded, deterministic: events at equal timestamps fire in the
+// order they were scheduled. Components schedule closures; there is no
+// global event-type registry, which keeps substrates decoupled (the RJMS
+// controller, power manager and replayer each own their callbacks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace ps::sim {
+
+class Simulator {
+ public:
+  /// Current simulation time. Starts at 0.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `callback` at absolute time `at` (clamped to now — events may
+  /// not be scheduled in the past). Returns a cancellation handle.
+  EventId schedule_at(Time at, EventQueue::Callback callback);
+
+  /// Schedules `callback` after `delay` (>= 0) from now.
+  EventId schedule_in(Duration delay, EventQueue::Callback callback);
+
+  /// Cancels a pending event; false if already fired/cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue is empty or a stop was requested.
+  /// Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Runs events with time <= `until`, then advances the clock to exactly
+  /// `until` (even if no event sits there). Returns events fired.
+  std::uint64_t run_until(Time until);
+
+  /// Fires exactly one event if any is pending; returns whether one fired.
+  bool step();
+
+  /// Makes run()/run_until() return before firing the next event.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+  bool pending() const noexcept { return !queue_.empty(); }
+  std::size_t pending_count() const noexcept { return queue_.size(); }
+  Time next_event_time() const { return queue_.next_time(); }
+
+  /// Total events fired since construction.
+  std::uint64_t fired_count() const noexcept { return fired_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t fired_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace ps::sim

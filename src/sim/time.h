@@ -1,0 +1,40 @@
+// Simulation time.
+//
+// Integer milliseconds since simulation start. Workload traces are
+// second-resolution; milliseconds leave headroom for power-state transition
+// modelling without floating-point comparison hazards in the event queue.
+#pragma once
+
+#include <cstdint>
+
+namespace ps::sim {
+
+/// Milliseconds since simulation start (t=0). Negative values only appear
+/// transiently in arithmetic (e.g. "window start minus boot lead time");
+/// the simulator clamps scheduling into [now, ∞).
+using Time = std::int64_t;
+
+/// Duration alias for readability; same unit as Time.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeMax = INT64_MAX;
+
+constexpr Duration milliseconds(std::int64_t n) noexcept { return n; }
+constexpr Duration seconds(std::int64_t n) noexcept { return n * 1000; }
+constexpr Duration minutes(std::int64_t n) noexcept { return n * 60'000; }
+constexpr Duration hours(std::int64_t n) noexcept { return n * 3'600'000; }
+
+/// Seconds as a double (for power/energy math: W x s = J).
+constexpr double to_seconds(Duration d) noexcept { return static_cast<double>(d) / 1000.0; }
+
+/// Hours as a double (report axes).
+constexpr double to_hours(Duration d) noexcept {
+  return static_cast<double>(d) / 3'600'000.0;
+}
+
+/// Rounds a double second count to the nearest millisecond tick.
+constexpr Duration from_seconds(double s) noexcept {
+  return static_cast<Duration>(s * 1000.0 + (s >= 0 ? 0.5 : -0.5));
+}
+
+}  // namespace ps::sim

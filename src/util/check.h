@@ -1,0 +1,42 @@
+// Lightweight invariant checking.
+//
+// PS_CHECK is always on (release included): it guards conditions whose
+// violation means the simulation state is corrupt and results would be
+// silently wrong. Violations throw ps::CheckError so tests can assert on
+// them and callers get a stack-unwindable failure instead of an abort.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ps {
+
+/// Thrown when a PS_CHECK invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string full = std::string("PS_CHECK failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw CheckError(full);
+}
+}  // namespace detail
+
+}  // namespace ps
+
+#define PS_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::ps::detail::check_failed(#expr, __FILE__, __LINE__, {});    \
+  } while (false)
+
+#define PS_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::ps::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,50 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ps::util {
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  PS_CHECK_MSG(!have_header_, "csv: header written twice");
+  PS_CHECK_MSG(rows_ == 0, "csv: header after data rows");
+  columns_ = columns.size();
+  have_header_ = true;
+  write_row(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (have_header_) {
+    PS_CHECK_MSG(fields.size() == columns_, "csv: row width differs from header");
+  }
+  write_row(fields);
+  ++rows_;
+}
+
+std::string CsvWriter::field(double value) { return strings::format("%.12g", value); }
+
+std::string CsvWriter::field(std::int64_t value) {
+  return std::to_string(static_cast<long long>(value));
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& raw) {
+  bool needs_quotes = raw.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return raw;
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ps::util

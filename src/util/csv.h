@@ -1,0 +1,42 @@
+// Minimal CSV writer for experiment outputs (time series, sweep tables).
+// Quoting follows RFC 4180: fields containing comma, quote or newline are
+// quoted, quotes doubled.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ps::util {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row; must be called before any data row. The column
+  /// count of later rows is checked against the header.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one row. Throws ps::CheckError if the field count mismatches
+  /// the header (when a header was written).
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with enough precision to round-trip.
+  static std::string field(double value);
+  static std::string field(std::int64_t value);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& fields);
+  static std::string escape(const std::string& raw);
+
+  std::ostream* out_;
+  std::size_t columns_ = 0;
+  bool have_header_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ps::util

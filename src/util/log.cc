@@ -1,0 +1,36 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ps::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warn};
+std::mutex g_sink_mutex;
+}  // namespace
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+void emit(Level level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace ps::log

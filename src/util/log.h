@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded per run, but sweeps run
+// several simulations from a thread pool, so the sink is mutex-protected.
+// Logging is off (Level::Warn) by default in benches/tests to keep output
+// reproducible; examples turn it up.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ps::log {
+
+enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_level(Level level) noexcept;
+Level level() noexcept;
+
+/// Returns a short uppercase tag ("TRACE".."ERROR") for a level.
+const char* level_name(Level level) noexcept;
+
+namespace detail {
+void emit(Level level, const std::string& message);
+}
+
+/// Stream-style log statement: `ps::log::Message(Level::Info) << "x=" << x;`
+/// The message is emitted on destruction.
+class Message {
+ public:
+  explicit Message(Level lvl) : level_(lvl), enabled_(lvl >= level()) {}
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+  ~Message() {
+    if (enabled_) detail::emit(level_, stream_.str());
+  }
+
+  template <typename T>
+  Message& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ps::log
+
+#define PS_LOG(lvl) ::ps::log::Message(::ps::log::Level::lvl)

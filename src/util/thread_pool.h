@@ -1,0 +1,55 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Individual simulations are single-threaded and deterministic; sweeps
+// (Fig 8 runs 36 independent simulations) fan out across the pool. Results
+// are written into pre-sized slots so output order never depends on thread
+// scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ps::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 = hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; wrap fallible work yourself
+  /// (a throwing task terminates, by design — sweep tasks record errors
+  /// into their result slot instead).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) across a temporary pool and returns when
+/// all iterations are done. `body` must be thread-safe across distinct i.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace ps::util

@@ -1,0 +1,23 @@
+// A job as submitted by a user: the RJMS-visible request plus the
+// ground-truth runtime the replay engine uses to emit the completion event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ps::workload {
+
+struct JobRequest {
+  std::int64_t id = 0;
+  sim::Time submit_time = 0;        ///< when the job enters the queue
+  std::int32_t user = 0;            ///< owner (fairshare accounting)
+  std::int64_t requested_cores = 1; ///< cores asked for (nodes = ceil(/cores_per_node))
+  sim::Duration requested_walltime = 0;  ///< user estimate at max frequency
+  sim::Duration base_runtime = 0;        ///< actual runtime at max frequency
+  std::string app;                  ///< application model name; "" = the
+                                    ///< paper's uniform "common value" model
+};
+
+}  // namespace ps::workload

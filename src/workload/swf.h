@@ -1,0 +1,44 @@
+// Standard Workload Format (SWF v2.2) reader/writer.
+//
+// The paper replays the public Curie trace from the Parallel Workloads
+// Archive, which is distributed in SWF. This parser lets the harness run on
+// the real trace when available; the synthetic generator (synthetic.h)
+// replaces it offline. SWF reference: Feitelson et al., "Parallel workloads
+// archive: standard workload format".
+//
+// Fields used (1-based SWF columns):
+//   1 job number, 2 submit [s], 4 run time [s], 5 allocated processors,
+//   8 requested processors, 9 requested time [s], 11 status, 12 user id.
+// Missing values (-1) fall back sensibly (requested := allocated, runtime 0).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job_request.h"
+
+namespace ps::workload::swf {
+
+struct ParseOptions {
+  bool skip_zero_runtime = false;   ///< drop jobs that ran 0 s
+  bool skip_failed_status = false;  ///< drop status 0 (failed) / 5 (cancelled)
+  std::int64_t max_jobs = 0;        ///< 0 = unlimited
+};
+
+/// Parses SWF text. Comment/header lines start with ';'. Malformed data
+/// lines throw std::runtime_error with the line number.
+std::vector<JobRequest> parse(std::istream& in, const ParseOptions& options = {});
+
+/// Convenience: parse from a string.
+std::vector<JobRequest> parse_string(const std::string& text,
+                                     const ParseOptions& options = {});
+
+/// Loads a trace file; throws std::runtime_error when unreadable.
+std::vector<JobRequest> load_file(const std::string& path,
+                                  const ParseOptions& options = {});
+
+/// Writes jobs back out as SWF (fields we do not model are -1).
+void write(std::ostream& out, const std::vector<JobRequest>& jobs);
+
+}  // namespace ps::workload::swf

@@ -1,0 +1,84 @@
+#include "workload/trace_stats.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace ps::workload {
+
+TraceStats compute_stats(const std::vector<JobRequest>& jobs, const StatsParams& params) {
+  TraceStats stats;
+  stats.job_count = jobs.size();
+  if (jobs.empty()) return stats;
+
+  sim::Duration small_runtime =
+      params.small_runtime > 0 ? params.small_runtime : sim::minutes(2);
+  double cluster_core_hour_seconds = static_cast<double>(params.cluster_cores) * 3600.0;
+
+  stats.first_submit = jobs.front().submit_time;
+  stats.last_submit = jobs.front().submit_time;
+  std::size_t small = 0;
+  std::size_t huge = 0;
+  util::RunningStats overestimate;
+  std::vector<double> overestimates;
+  util::RunningStats interarrival;
+  sim::Time prev_submit = jobs.front().submit_time;
+
+  for (const JobRequest& job : jobs) {
+    stats.first_submit = std::min(stats.first_submit, job.submit_time);
+    stats.last_submit = std::max(stats.last_submit, job.submit_time);
+    double core_seconds =
+        static_cast<double>(job.requested_cores) * sim::to_seconds(job.base_runtime);
+    stats.total_core_seconds += core_seconds;
+
+    if (job.requested_cores < params.small_cores && job.base_runtime < small_runtime) {
+      ++small;
+    }
+    if (core_seconds > cluster_core_hour_seconds) ++huge;
+    if (job.base_runtime > 0) {
+      double ratio = static_cast<double>(job.requested_walltime) /
+                     static_cast<double>(job.base_runtime);
+      overestimate.add(ratio);
+      overestimates.push_back(ratio);
+    }
+    if (job.submit_time >= prev_submit) {
+      interarrival.add(sim::to_seconds(job.submit_time - prev_submit));
+      prev_submit = job.submit_time;
+    }
+  }
+
+  auto n = static_cast<double>(jobs.size());
+  stats.small_job_fraction = static_cast<double>(small) / n;
+  stats.huge_job_fraction = static_cast<double>(huge) / n;
+  stats.walltime_overestimate_mean = overestimate.mean();
+  if (!overestimates.empty()) {
+    stats.walltime_overestimate_median = util::median(std::move(overestimates));
+  }
+  stats.mean_interarrival_seconds = interarrival.mean();
+
+  sim::Duration span = params.span > 0 ? params.span : stats.last_submit - stats.first_submit;
+  if (span > 0 && params.cluster_cores > 0) {
+    stats.demand_over_capacity =
+        stats.total_core_seconds /
+        (static_cast<double>(params.cluster_cores) * sim::to_seconds(span));
+  }
+  return stats;
+}
+
+std::string TraceStats::describe() const {
+  std::string out;
+  out += strings::format("jobs: %zu over %s\n", job_count,
+                         strings::human_duration_ms(last_submit - first_submit).c_str());
+  out += strings::format("  small (<512 cores, <2 min): %s\n",
+                         strings::percent(small_job_fraction).c_str());
+  out += strings::format("  huge (> cluster core-hour): %s\n",
+                         strings::percent(huge_job_fraction, 2).c_str());
+  out += strings::format("  walltime overestimate: mean x%.0f, median x%.0f\n",
+                         walltime_overestimate_mean, walltime_overestimate_median);
+  out += strings::format("  demand/capacity: %.2f, mean interarrival %.1fs",
+                         demand_over_capacity, mean_interarrival_seconds);
+  return out;
+}
+
+}  // namespace ps::workload

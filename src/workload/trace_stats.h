@@ -1,0 +1,55 @@
+// Aggregate statistics of a job trace — the quantities the paper reports
+// for the Curie intervals (§VII-B) and the calibration targets of the
+// synthetic generator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/job_request.h"
+
+namespace ps::workload {
+
+struct TraceStats {
+  std::size_t job_count = 0;
+  sim::Time first_submit = 0;
+  sim::Time last_submit = 0;
+
+  /// Fraction of jobs needing < `small_cores` cores AND running < 2 min
+  /// (paper: 69 % with small_cores = 512).
+  double small_job_fraction = 0.0;
+
+  /// Fraction of jobs whose core-seconds exceed one full-cluster hour
+  /// (paper: 0.1 %).
+  double huge_job_fraction = 0.0;
+
+  /// requested_walltime / base_runtime over jobs with runtime > 0
+  /// (paper: mean 12 670, median 12 000).
+  double walltime_overestimate_mean = 0.0;
+  double walltime_overestimate_median = 0.0;
+
+  /// Total work demanded, in core-seconds.
+  double total_core_seconds = 0.0;
+
+  /// total_core_seconds / (cluster_cores * span_seconds); > 1 means the
+  /// interval is overloaded (paper: enough queued jobs to fill a second
+  /// cluster, i.e. around 2).
+  double demand_over_capacity = 0.0;
+
+  double mean_interarrival_seconds = 0.0;
+
+  std::string describe() const;
+};
+
+struct StatsParams {
+  std::int64_t small_cores = 512;
+  sim::Duration small_runtime = 0;      ///< 0 -> defaults to 2 min
+  std::int64_t cluster_cores = 80640;   ///< for huge-job & load computation
+  sim::Duration span = 0;               ///< 0 -> last_submit - first_submit
+};
+
+TraceStats compute_stats(const std::vector<JobRequest>& jobs,
+                         const StatsParams& params = {});
+
+}  // namespace ps::workload

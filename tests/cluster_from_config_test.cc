@@ -1,0 +1,66 @@
+#include "cluster/from_config.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace ps::cluster {
+namespace {
+
+TEST(FromConfig, EmptyConfigYieldsCurie) {
+  PowerModel pm = power_model_from_config(util::Config::parse(""));
+  EXPECT_EQ(pm.topology().total_nodes(), 5040);
+  EXPECT_DOUBLE_EQ(pm.down_watts(), 14.0);
+  EXPECT_DOUBLE_EQ(pm.idle_watts(), 117.0);
+  EXPECT_DOUBLE_EQ(pm.max_watts(), 358.0);
+  EXPECT_DOUBLE_EQ(pm.chassis_power_bonus(), 500.0);
+}
+
+TEST(FromConfig, OverridesTopologyAndPower) {
+  util::Config config = util::Config::parse(R"(
+[cluster]
+racks = 2
+chassis_per_rack = 3
+nodes_per_chassis = 4
+cores_per_node = 8
+
+[power]
+down_watts = 10
+idle_watts = 100
+chassis_infra_watts = 50
+rack_infra_watts = 200
+freq_ghz = 1.0, 2.0
+freq_watts = 150, 300
+)");
+  PowerModel pm = power_model_from_config(config);
+  EXPECT_EQ(pm.topology().racks(), 2);
+  EXPECT_EQ(pm.topology().total_nodes(), 24);
+  EXPECT_EQ(pm.topology().total_cores(), 192);
+  EXPECT_DOUBLE_EQ(pm.min_busy_watts(), 150.0);
+  EXPECT_DOUBLE_EQ(pm.max_watts(), 300.0);
+  // chassis bonus = 50 + 4*10 = 90; rack bonus = 200 + 3*90 = 470.
+  EXPECT_DOUBLE_EQ(pm.chassis_power_bonus(), 90.0);
+  EXPECT_DOUBLE_EQ(pm.rack_power_bonus(), 470.0);
+}
+
+TEST(FromConfig, MismatchedFrequencyListsRejected) {
+  util::Config config = util::Config::parse(
+      "[power]\nfreq_ghz = 1.0, 2.0\nfreq_watts = 100\n");
+  EXPECT_THROW((void)power_model_from_config(config), std::runtime_error);
+}
+
+TEST(FromConfig, UnparsableFrequencyRejected) {
+  util::Config config = util::Config::parse(
+      "[power]\nfreq_ghz = 1.0, abc\nfreq_watts = 100, 200\n");
+  EXPECT_THROW((void)power_model_from_config(config), std::runtime_error);
+}
+
+TEST(FromConfig, SemanticValidationStillApplies) {
+  // Idle below down violates the power model's invariants.
+  util::Config config = util::Config::parse(
+      "[power]\ndown_watts = 200\nidle_watts = 100\n");
+  EXPECT_THROW((void)power_model_from_config(config), ps::CheckError);
+}
+
+}  // namespace
+}  // namespace ps::cluster

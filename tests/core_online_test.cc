@@ -1,0 +1,306 @@
+// Online Algorithm 2: frequency selection against active and future
+// powercap windows, persistence bookkeeping, policy frequency ranges.
+// Cluster: 1 Curie rack (90 nodes); all-idle baseline 12 670 W, all-busy
+// at 2.7 GHz 34 360 W.
+#include "core/online.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/curie.h"
+#include "core/powercap_manager.h"
+
+namespace ps::core {
+namespace {
+
+rjms::ControllerConfig fcfs_config() {
+  rjms::ControllerConfig config;
+  config.priority.age = 0.0;
+  config.priority.size = 0.0;
+  config.priority.fair_share = 0.0;
+  return config;
+}
+
+workload::JobRequest make_request(std::int64_t id, std::int64_t cores,
+                                  sim::Duration runtime, sim::Duration walltime,
+                                  std::string app = "") {
+  workload::JobRequest request;
+  request.id = id;
+  request.requested_cores = cores;
+  request.base_runtime = runtime;
+  request.requested_walltime = walltime;
+  request.app = std::move(app);
+  return request;
+}
+
+class OnlineTest : public ::testing::Test {
+ protected:
+  OnlineTest()
+      : cl_(cluster::curie::make_scaled_cluster(1)),
+        controller_(sim_, cl_, fcfs_config()) {}
+
+  PowercapConfig dvfs_config() {
+    PowercapConfig config;
+    config.policy = Policy::Dvfs;
+    return config;
+  }
+
+  sim::Simulator sim_;
+  cluster::Cluster cl_;
+  rjms::Controller controller_;
+};
+
+TEST_F(OnlineTest, NoCapAdmitsAtMaxFrequency) {
+  PowercapManager manager(controller_, dvfs_config());
+  controller_.submit(make_request(1, 1440, sim::seconds(100), sim::seconds(200)));
+  sim_.run();
+  EXPECT_EQ(controller_.job(1).freq, cl_.frequencies().max_index());
+  EXPECT_EQ(controller_.job(1).scaled_runtime, sim::seconds(100));
+}
+
+TEST_F(OnlineTest, ActiveCapForcesLowerFrequency) {
+  PowercapManager manager(controller_, dvfs_config());
+  // Cap 25 kW: 90 nodes need watts <= 117 + 12330/90 = 254 -> 1.8 GHz (248).
+  manager.add_powercap_now(25000.0);
+  controller_.submit(make_request(1, 1440, sim::seconds(1000), sim::seconds(2000)));
+  sim_.run_until(sim::seconds(10));
+  const rjms::Job& job = controller_.job(1);
+  ASSERT_EQ(job.state, rjms::JobState::Running);
+  EXPECT_DOUBLE_EQ(cl_.frequencies().ghz(job.freq), 1.8);
+  EXPECT_LE(cl_.watts(), 25000.0 + 1e-6);
+  // Runtime stretched by the interpolated degradation at 1.8 GHz.
+  DegradationModel deg(cl_.frequencies(), 1.63);
+  EXPECT_EQ(job.scaled_runtime,
+            deg.scale(sim::seconds(1000), job.freq));
+}
+
+TEST_F(OnlineTest, ImpossibleCapKeepsJobPending) {
+  PowercapConfig config = dvfs_config();
+  PowercapManager manager(controller_, config);
+  // Even 1.2 GHz on 90 nodes needs 12670 + 90*76 = 19510 W; cap below that
+  // blocks the full-width job entirely.
+  manager.add_powercap_now(19000.0);
+  controller_.submit(make_request(1, 1440, sim::seconds(100), sim::seconds(200)));
+  sim_.run_until(sim::seconds(10));
+  EXPECT_EQ(controller_.job(1).state, rjms::JobState::Pending);
+  // A half-width job fits at some frequency.
+  controller_.submit(make_request(2, 640, sim::seconds(100), sim::seconds(200)));
+  sim_.run_until(sim::seconds(20));
+  EXPECT_EQ(controller_.job(2).state, rjms::JobState::Running);
+}
+
+TEST_F(OnlineTest, ShutPolicyNeverLowersFrequency) {
+  PowercapConfig config;
+  config.policy = Policy::Shut;
+  PowercapManager manager(controller_, config);
+  manager.add_powercap_now(25000.0);
+  controller_.submit(make_request(1, 1440, sim::seconds(100), sim::seconds(200)));
+  sim_.run_until(sim::seconds(10));
+  // fmax would need 34 360 W > cap; SHUT cannot slow it down -> pending.
+  EXPECT_EQ(controller_.job(1).state, rjms::JobState::Pending);
+  // Smaller job runs at fmax: 40 nodes -> 12670 + 40*241 = 22310 <= cap.
+  controller_.submit(make_request(2, 640, sim::seconds(100), sim::seconds(200)));
+  sim_.run_until(sim::seconds(20));
+  EXPECT_EQ(controller_.job(2).state, rjms::JobState::Running);
+  EXPECT_EQ(controller_.job(2).freq, cl_.frequencies().max_index());
+}
+
+TEST_F(OnlineTest, MixPolicyRespectsFrequencyFloor) {
+  PowercapConfig config;
+  config.policy = Policy::Mix;
+  PowercapManager manager(controller_, config);
+  manager.add_powercap_now(25000.0);
+  // 90 nodes at the MIX floor (2.0 GHz, 269 W) need 12670 + 90*152 = 26350
+  // > 25000: pending despite lower frequencies existing below the floor.
+  controller_.submit(make_request(1, 1440, sim::seconds(100), sim::seconds(200)));
+  sim_.run_until(sim::seconds(10));
+  EXPECT_EQ(controller_.job(1).state, rjms::JobState::Pending);
+}
+
+TEST_F(OnlineTest, FutureWindowLowersFrequencyAhead) {
+  PowercapManager manager(controller_, dvfs_config());
+  // Window [1000 s, 2000 s): cap 20 kW. The window's global optimal
+  // frequency: 90 nodes * P(f) + infra 2 140 <= 20 000 -> P(f) <= 198.4 ->
+  // 1.2 GHz. Overlapping jobs are clamped to it (paper's "preparing for
+  // the cap" ramp).
+  manager.add_powercap(sim::seconds(1000), sim::seconds(2000), 20000.0);
+  controller_.submit(make_request(1, 1440, sim::seconds(1200), sim::seconds(1500)));
+  sim_.run_until(sim::seconds(10));
+  const rjms::Job& job = controller_.job(1);
+  ASSERT_EQ(job.state, rjms::JobState::Running);
+  EXPECT_DOUBLE_EQ(cl_.frequencies().ghz(job.freq), 1.2);
+}
+
+TEST_F(OnlineTest, OptimalWindowFreqComputation) {
+  PowercapManager manager(controller_, dvfs_config());
+  rjms::ReservationId id =
+      controller_.add_powercap_reservation(sim::seconds(1000), sim::seconds(2000), 26000.0);
+  const rjms::Reservation* cap = controller_.reservations().find(id);
+  ASSERT_NE(cap, nullptr);
+  // 90 * P(f) + 2 140 <= 26 000 -> P(f) <= 265.1 -> 1.8 GHz (248 W).
+  auto f_star = manager.governor().optimal_window_freq(*cap);
+  ASSERT_TRUE(f_star.has_value());
+  EXPECT_DOUBLE_EQ(cl_.frequencies().ghz(*f_star), 1.8);
+}
+
+TEST_F(OnlineTest, UnsatisfiableWindowBestEffortUsesLowestFrequency) {
+  // Cap below even all-at-1.2-GHz: f* undefined. PaperLive (default) still
+  // admits overlapping jobs at the policy's lowest frequency; the live
+  // check protects the cap once the window is active.
+  PowercapManager manager(controller_, dvfs_config());
+  manager.add_powercap(sim::seconds(1000), sim::seconds(2000), 15000.0);
+  controller_.submit(make_request(1, 1440, sim::seconds(1200), sim::seconds(1500)));
+  sim_.run_until(sim::seconds(10));
+  const rjms::Job& job = controller_.job(1);
+  ASSERT_EQ(job.state, rjms::JobState::Running);
+  EXPECT_DOUBLE_EQ(cl_.frequencies().ghz(job.freq), 1.2);
+}
+
+TEST_F(OnlineTest, UnsatisfiableWindowStrictModeKeepsPending) {
+  PowercapConfig config = dvfs_config();
+  config.admission = AdmissionMode::PaperLiveStrict;
+  PowercapManager manager(controller_, config);
+  manager.add_powercap(sim::seconds(1000), sim::seconds(2000), 15000.0);
+  controller_.submit(make_request(1, 1440, sim::seconds(1200), sim::seconds(1500)));
+  sim_.run_until(sim::seconds(10));
+  EXPECT_EQ(controller_.job(1).state, rjms::JobState::Pending);
+  // A job ending before the window is unaffected.
+  controller_.submit(make_request(2, 1440, sim::seconds(500), sim::seconds(900)));
+  sim_.run_until(sim::seconds(20));
+  EXPECT_EQ(controller_.job(2).state, rjms::JobState::Running);
+}
+
+TEST_F(OnlineTest, ShutPolicyOverlappingJobsRunAtMaxBeforeWindow) {
+  // SHUT cannot scale frequencies; before the window jobs run at fmax and
+  // the offline shutdown (not tested here) absorbs the cap.
+  PowercapConfig config;
+  config.policy = Policy::Shut;
+  PowercapManager manager(controller_, config);
+  manager.add_powercap(sim::seconds(1000), sim::seconds(2000), 15000.0);
+  // 20 nodes: fits beside the ~54 nodes the offline phase reserved.
+  controller_.submit(make_request(1, 320, sim::seconds(1200), sim::seconds(1500)));
+  sim_.run_until(sim::seconds(10));
+  const rjms::Job& job = controller_.job(1);
+  ASSERT_EQ(job.state, rjms::JobState::Running);
+  EXPECT_EQ(job.freq, cl_.frequencies().max_index());
+}
+
+TEST_F(OnlineTest, JobEndingBeforeWindowRunsAtMax) {
+  PowercapManager manager(controller_, dvfs_config());
+  manager.add_powercap(sim::seconds(1000), sim::seconds(2000), 20000.0);
+  controller_.submit(make_request(1, 1440, sim::seconds(500), sim::seconds(900)));
+  sim_.run_until(sim::seconds(10));
+  EXPECT_EQ(controller_.job(1).freq, cl_.frequencies().max_index());
+}
+
+TEST_F(OnlineTest, ProjectionModePersistingJobsAccumulateAgainstWindow) {
+  PowercapConfig config = dvfs_config();
+  config.admission = AdmissionMode::Projection;
+  PowercapManager manager(controller_, config);
+  // Window budget above the all-idle baseline: 20 000 - 12 670 = 7 330 W.
+  manager.add_powercap(sim::seconds(1000), sim::seconds(2000), 20000.0);
+  // J1: 10 nodes at fmax persisting into the window: surplus 2 410 W.
+  controller_.submit(make_request(1, 160, sim::seconds(1200), sim::seconds(1500)));
+  // J2: 30 nodes; remaining budget 7330-2410 = 4920 -> w <= 281 -> 2.0 GHz.
+  controller_.submit(make_request(2, 480, sim::seconds(1200), sim::seconds(1500)));
+  sim_.run_until(sim::seconds(10));
+  EXPECT_EQ(controller_.job(1).freq, cl_.frequencies().max_index());
+  ASSERT_EQ(controller_.job(2).state, rjms::JobState::Running);
+  EXPECT_DOUBLE_EQ(cl_.frequencies().ghz(controller_.job(2).freq), 2.0);
+}
+
+TEST_F(OnlineTest, ProjectionModeEarlyEndReleasesWindowBudget) {
+  PowercapConfig config = dvfs_config();
+  config.admission = AdmissionMode::Projection;
+  PowercapManager manager(controller_, config);
+  manager.add_powercap(sim::seconds(1000), sim::seconds(2000), 20000.0);
+  // J1 walltime overlaps the window but it actually finishes at t=100.
+  controller_.submit(make_request(1, 160, sim::seconds(100), sim::seconds(1500)));
+  sim_.run_until(sim::seconds(200));
+  EXPECT_EQ(controller_.job(1).state, rjms::JobState::Completed);
+  // J2 submitted after J1 ended: full window budget available again.
+  controller_.submit(make_request(2, 480, sim::seconds(1200), sim::seconds(1500)));
+  sim_.run_until(sim::seconds(300));
+  // 30 nodes * (358-117) = 7 230 <= 7 330 -> even fmax fits.
+  EXPECT_EQ(controller_.job(2).freq, cl_.frequencies().max_index());
+}
+
+TEST_F(OnlineTest, ProjectionModeNeverAdmitsBeyondWindowBudget) {
+  PowercapConfig config = dvfs_config();
+  config.admission = AdmissionMode::Projection;
+  PowercapManager manager(controller_, config);
+  manager.add_powercap(sim::seconds(1000), sim::seconds(2000), 15000.0);
+  // Budget above idle: 2 330 W. A 90-node job cannot fit at any frequency
+  // (90 * 76 = 6 840 W at 1.2 GHz): stays pending under Projection.
+  controller_.submit(make_request(1, 1440, sim::seconds(1200), sim::seconds(1500)));
+  sim_.run_until(sim::seconds(10));
+  EXPECT_EQ(controller_.job(1).state, rjms::JobState::Pending);
+}
+
+TEST_F(OnlineTest, PlannedSwitchOffRaisesWindowHeadroom) {
+  PowercapConfig config;
+  config.policy = Policy::Mix;
+  PowercapManager manager(controller_, config);
+  // Low cap -> offline reserves shutdown nodes; their idle draw leaves the
+  // projected baseline, so remaining nodes can be admitted.
+  double cap = 0.5 * cl_.power_model().max_cluster_watts();  // 17 180 W
+  manager.add_powercap(sim::seconds(1000), sim::seconds(2000), cap);
+  ASSERT_FALSE(manager.plans().empty());
+  const OfflinePlan& plan = manager.plans().front();
+  ASSERT_GT(plan.selection.nodes.size(), 0u);
+
+  // A job on few nodes overlapping the window: projection must subtract
+  // the planned saving, leaving room at some frequency.
+  controller_.submit(make_request(1, 160, sim::seconds(1200), sim::seconds(1500)));
+  sim_.run_until(sim::seconds(10));
+  EXPECT_EQ(controller_.job(1).state, rjms::JobState::Running);
+}
+
+TEST_F(OnlineTest, AppSpecificDegradationUsed) {
+  PowercapConfig config = dvfs_config();
+  config.use_app_degmin = true;
+  PowercapManager manager(controller_, config);
+  manager.add_powercap_now(25000.0);  // forces 1.8 GHz for 90-node jobs
+  controller_.submit(
+      make_request(1, 1440, sim::seconds(1000), sim::seconds(2000), "linpack"));
+  sim_.run_until(sim::seconds(5));
+  const rjms::Job& job = controller_.job(1);
+  ASSERT_EQ(job.state, rjms::JobState::Running);
+  DegradationModel deg(cl_.frequencies(), 1.63);
+  // linpack degmin 2.14 > default 1.63: runtime stretched more.
+  EXPECT_GT(job.scaled_runtime, deg.scale(sim::seconds(1000), job.freq));
+  EXPECT_EQ(job.scaled_runtime, deg.scale(sim::seconds(1000), job.freq, 2.14));
+}
+
+TEST_F(OnlineTest, WalltimeStretchReflectsPolicy) {
+  OnlineGovernor dvfs(controller_, dvfs_config());
+  EXPECT_GT(dvfs.max_walltime_stretch(), 2.0);  // worst app degmin 2.14
+
+  PowercapConfig shut;
+  shut.policy = Policy::Shut;
+  OnlineGovernor shut_governor(controller_, shut);
+  EXPECT_DOUBLE_EQ(shut_governor.max_walltime_stretch(), 1.0);
+
+  PowercapConfig mix;
+  mix.policy = Policy::Mix;
+  OnlineGovernor mix_governor(controller_, mix);
+  EXPECT_GT(mix_governor.max_walltime_stretch(), 1.0);
+  EXPECT_LT(mix_governor.max_walltime_stretch(), 1.6);
+}
+
+TEST_F(OnlineTest, PolicyFrequencyRanges) {
+  OnlineGovernor dvfs(controller_, dvfs_config());
+  EXPECT_EQ(dvfs.min_allowed_freq(), 0u);
+
+  PowercapConfig mix;
+  mix.policy = Policy::Mix;
+  OnlineGovernor mix_governor(controller_, mix);
+  EXPECT_DOUBLE_EQ(cl_.frequencies().ghz(mix_governor.min_allowed_freq()), 2.0);
+
+  PowercapConfig idle;
+  idle.policy = Policy::Idle;
+  OnlineGovernor idle_governor(controller_, idle);
+  EXPECT_EQ(idle_governor.min_allowed_freq(), cl_.frequencies().max_index());
+}
+
+}  // namespace
+}  // namespace ps::core

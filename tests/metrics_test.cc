@@ -1,0 +1,191 @@
+// Recorder step-series integrals (energy, work), summaries and report
+// rendering, validated against hand-computed values on a 1-rack cluster
+// (all-idle baseline 12 670 W).
+#include "metrics/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/curie.h"
+#include "metrics/report.h"
+#include "util/check.h"
+
+namespace ps::metrics {
+namespace {
+
+rjms::ControllerConfig fcfs_config() {
+  rjms::ControllerConfig config;
+  config.priority.age = 0.0;
+  config.priority.size = 0.0;
+  config.priority.fair_share = 0.0;
+  return config;
+}
+
+workload::JobRequest make_request(std::int64_t id, std::int64_t cores,
+                                  sim::Duration runtime, sim::Duration walltime,
+                                  sim::Time submit = 0) {
+  workload::JobRequest request;
+  request.id = id;
+  request.submit_time = submit;
+  request.requested_cores = cores;
+  request.base_runtime = runtime;
+  request.requested_walltime = walltime;
+  return request;
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest()
+      : cl_(cluster::curie::make_scaled_cluster(1)),
+        controller_(sim_, cl_, fcfs_config()),
+        recorder_(controller_) {}
+
+  sim::Simulator sim_;
+  cluster::Cluster cl_;
+  rjms::Controller controller_;
+  Recorder recorder_;
+};
+
+TEST_F(MetricsTest, IdleClusterEnergy) {
+  sim_.run_until(sim::seconds(100));
+  recorder_.sample(sim_.now());
+  EXPECT_NEAR(recorder_.energy_joules(0, sim::seconds(100)), 12670.0 * 100.0, 1e-6);
+  EXPECT_DOUBLE_EQ(recorder_.work_core_seconds(0, sim::seconds(100)), 0.0);
+}
+
+TEST_F(MetricsTest, JobEnergyAndWorkIntegrals) {
+  // 10 nodes at 2.7 GHz for 50 s: energy adds 10*(358-117)*50 J;
+  // work = 160 cores * 50 s.
+  controller_.submit(make_request(1, 160, sim::seconds(50), sim::seconds(100)));
+  sim_.run_until(sim::seconds(100));
+  recorder_.sample(sim_.now());
+  double expected_energy = 12670.0 * 100.0 + 10 * 241.0 * 50.0;
+  EXPECT_NEAR(recorder_.energy_joules(0, sim::seconds(100)), expected_energy, 1e-6);
+  EXPECT_NEAR(recorder_.work_core_seconds(0, sim::seconds(100)), 160.0 * 50.0, 1e-6);
+}
+
+TEST_F(MetricsTest, EffectiveWorkCorrectsForDegradation) {
+  // A job forced to 1.2 GHz: occupancy work counts full core-seconds, the
+  // effective work divides by the degradation 1.63.
+  controller_.submit(make_request(1, 160, sim::seconds(50), sim::seconds(100)));
+  sim_.run_until(sim::seconds(10));
+  // Re-scale the running job's nodes to the lowest level directly (the
+  // recorder only reads cluster state).
+  for (cluster::NodeId node : controller_.job(1).nodes) {
+    cl_.set_state(node, cluster::NodeState::Busy, 0);
+  }
+  recorder_.sample(sim_.now());
+  sim_.run_until(sim::seconds(50));
+  recorder_.sample(sim_.now());
+  // [10 s, 50 s): 160 cores at 1.2 GHz.
+  double occupancy = recorder_.work_core_seconds(sim::seconds(10), sim::seconds(50));
+  double effective =
+      recorder_.effective_work_core_seconds(sim::seconds(10), sim::seconds(50));
+  EXPECT_NEAR(occupancy, 160.0 * 40.0, 1e-6);
+  EXPECT_NEAR(effective, 160.0 * 40.0 / 1.63, 1e-6);
+  // At max frequency the two metrics agree.
+  double eff_max = recorder_.effective_work_core_seconds(0, sim::seconds(10));
+  double occ_max = recorder_.work_core_seconds(0, sim::seconds(10));
+  EXPECT_NEAR(eff_max, occ_max, 1e-6);
+}
+
+TEST_F(MetricsTest, PartialWindowIntegrals) {
+  controller_.submit(make_request(1, 160, sim::seconds(50), sim::seconds(100)));
+  sim_.run_until(sim::seconds(100));
+  recorder_.sample(sim_.now());
+  // Window [25 s, 75 s): job busy during [25, 50).
+  EXPECT_NEAR(recorder_.work_core_seconds(sim::seconds(25), sim::seconds(75)),
+              160.0 * 25.0, 1e-6);
+}
+
+TEST_F(MetricsTest, SeriesShapesConsistent) {
+  controller_.submit(make_request(1, 160, sim::seconds(50), sim::seconds(100)));
+  sim_.run();
+  recorder_.sample(sim_.now());
+  auto times = recorder_.times();
+  EXPECT_EQ(times.size(), recorder_.watts_series().size());
+  EXPECT_EQ(times.size(), recorder_.idle_nodes_series().size());
+  EXPECT_EQ(times.size(), recorder_.off_nodes_series().size());
+  EXPECT_EQ(times.size(), recorder_.busy_cores_series().size());
+  EXPECT_EQ(times.size(),
+            recorder_.busy_nodes_series(cl_.frequencies().max_index()).size());
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+TEST_F(MetricsTest, MaxWattsTracksPeak) {
+  controller_.submit(make_request(1, 1440, sim::seconds(50), sim::seconds(100)));
+  sim_.run_until(sim::seconds(100));
+  recorder_.sample(sim_.now());
+  EXPECT_DOUBLE_EQ(recorder_.max_watts(0, sim::seconds(100)), 34360.0);
+  EXPECT_DOUBLE_EQ(recorder_.max_watts(sim::seconds(60), sim::seconds(100)), 12670.0);
+}
+
+TEST_F(MetricsTest, CapViolationSecondsCounted) {
+  // No governor: the cap is recorded but unenforced.
+  controller_.add_powercap_reservation(sim::seconds(10), sim::seconds(60), 20000.0);
+  controller_.submit(make_request(1, 1440, sim::seconds(80), sim::seconds(100)));
+  sim_.run_until(sim::seconds(100));
+  recorder_.sample(sim_.now());
+  // Busy 34 360 W during [10, 60) -> 50 s above the cap.
+  EXPECT_NEAR(recorder_.cap_violation_seconds(0, sim::seconds(100)), 50.0, 0.1);
+}
+
+TEST_F(MetricsTest, SummaryCountsJobs) {
+  controller_.submit(make_request(1, 160, sim::seconds(50), sim::seconds(100)));
+  controller_.submit(make_request(2, 160, sim::seconds(200), sim::seconds(100)));  // killed
+  sim_.run_until(sim::seconds(300));
+  recorder_.sample(sim_.now());
+  RunSummary s = summarize(recorder_, controller_, 0, sim::seconds(300));
+  EXPECT_EQ(s.launched_jobs, 2u);
+  EXPECT_EQ(s.completed_jobs, 1u);
+  EXPECT_EQ(s.killed_jobs, 1u);
+  EXPECT_EQ(s.submitted_jobs, 2u);
+  EXPECT_GT(s.energy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_possible_work, 1440.0 * 300.0);
+  // Work: 160 cores * (50 + 100) seconds (job 2 killed at its walltime).
+  EXPECT_NEAR(s.work_core_seconds, 160.0 * 150.0, 1e-6);
+  EXPECT_NEAR(s.utilization, 160.0 * 150.0 / (1440.0 * 300.0), 1e-9);
+}
+
+TEST_F(MetricsTest, SummaryWaitTimes) {
+  controller_.submit(make_request(1, 1440, sim::seconds(100), sim::seconds(100)));
+  // Job 2 submitted at t=0 but starts when job 1 ends (t=100).
+  controller_.submit(make_request(2, 1440, sim::seconds(100), sim::seconds(100)));
+  sim_.run();
+  recorder_.sample(sim_.now());
+  RunSummary s = summarize(recorder_, controller_, 0, sim::seconds(300));
+  EXPECT_NEAR(s.mean_wait_seconds, 50.0, 1e-6);  // (0 + 100) / 2
+}
+
+TEST_F(MetricsTest, DescribeMentionsEnergyAndJobs) {
+  sim_.run_until(sim::seconds(10));
+  recorder_.sample(sim_.now());
+  RunSummary s = summarize(recorder_, controller_, 0, sim::seconds(10));
+  std::string text = s.describe();
+  EXPECT_NE(text.find("energy"), std::string::npos);
+  EXPECT_NE(text.find("jobs"), std::string::npos);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  std::string text = table.render();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_THROW(table.add_row({"wrong"}), ps::CheckError);
+}
+
+TEST(NormalizedBar, ClampsAndScales) {
+  std::string full = normalized_bar(1.0, 10);
+  std::string half = normalized_bar(0.5, 10);
+  std::string over = normalized_bar(1.7, 10);
+  EXPECT_EQ(std::count(full.begin(), full.end(), '#'), 10);
+  EXPECT_EQ(std::count(half.begin(), half.end(), '#'), 5);
+  EXPECT_EQ(std::count(over.begin(), over.end(), '#'), 10);
+  EXPECT_NE(over.find("1.700"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps::metrics

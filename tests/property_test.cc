@@ -1,0 +1,177 @@
+// Parameterized property sweep: for every (policy, lambda) combination the
+// core invariants must hold — caps never violated by enforcing policies,
+// bounded utilization, consistent job accounting, deterministic replay.
+// (run_scenario additionally audits incremental-vs-recomputed power.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "core/experiment.h"
+
+namespace ps::core {
+namespace {
+
+struct Case {
+  Policy policy;
+  double lambda;
+  AdmissionMode admission = AdmissionMode::PaperLive;
+  bool dynamic_dvfs = false;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = to_string(info.param.policy);
+  name += "_";
+  name += std::to_string(static_cast<int>(info.param.lambda * 100));
+  if (info.param.admission != AdmissionMode::PaperLive) {
+    name += info.param.admission == AdmissionMode::Projection ? "_proj" : "_strict";
+  }
+  if (info.param.dynamic_dvfs) name += "_dyn";
+  return name;
+}
+
+class PolicySweep : public ::testing::TestWithParam<Case> {
+ protected:
+  static ScenarioConfig config_for(const Case& c) {
+    workload::GeneratorParams params =
+        workload::params_for(workload::Profile::MedianJob);
+    params.name = "property";
+    params.span = sim::hours(2);
+    params.job_count = 2300;  // ~2x capacity demand over the 2 h span
+    params.w_huge = 0.0;      // one huge job would dwarf the 2-rack machine
+    ScenarioConfig config;
+    config.custom_workload = params;
+    config.racks = 2;
+    config.seed = 4242;
+    config.powercap.policy = c.policy;
+    config.cap_lambda = c.lambda;
+    config.powercap.admission = c.admission;
+    config.powercap.dynamic_dvfs = c.dynamic_dvfs;
+    return config;
+  }
+
+  const ScenarioResult& result() const {
+    static std::map<std::tuple<int, int, int, int>, ScenarioResult> cache;
+    Case c = GetParam();
+    auto key = std::make_tuple(static_cast<int>(c.policy),
+                               static_cast<int>(c.lambda * 100),
+                               static_cast<int>(c.admission),
+                               static_cast<int>(c.dynamic_dvfs));
+    auto it = cache.find(key);
+    if (it == cache.end()) it = cache.emplace(key, run_scenario(config_for(c))).first;
+    return it->second;
+  }
+};
+
+TEST_P(PolicySweep, CapEnforcementMatchesAdmissionMode) {
+  const ScenarioResult& r = result();
+  Case c = GetParam();
+  if (c.policy == Policy::None) {
+    GTEST_SKIP() << "None policy does not enforce";
+  }
+  EXPECT_LE(r.summary.max_watts, r.max_cluster_watts + 1e-6);
+  if (c.admission == AdmissionMode::Projection) {
+    // Projection mode guarantees the cap is never exceeded, ever.
+    EXPECT_DOUBLE_EQ(r.summary.cap_violation_seconds, 0.0);
+  } else {
+    // Paper semantics: jobs admitted before the window may carry power into
+    // it ("no extreme actions are taken with the running jobs"); the excess
+    // can only decay. Violations are bounded by the window length.
+    EXPECT_LE(r.summary.cap_violation_seconds,
+              sim::to_seconds(r.cap_end - r.cap_start) + 1.0);
+  }
+}
+
+TEST_P(PolicySweep, PowerInsideWindowOnlyDecaysWhileOverCap) {
+  // Strong PaperLive invariant: while the cluster is above the active cap
+  // no new job may start, so the peak inside the window is the carried-in
+  // power at window start.
+  const ScenarioResult& r = result();
+  Case c = GetParam();
+  if (c.policy == Policy::None || c.lambda >= 1.0) GTEST_SKIP();
+  double at_start = -1.0;
+  double peak = 0.0;
+  for (const metrics::Sample& s : r.samples) {
+    if (s.t < r.cap_start || s.t >= r.cap_end) continue;
+    if (at_start < 0.0) at_start = s.watts;
+    peak = std::max(peak, s.watts);
+  }
+  if (at_start < 0.0) GTEST_SKIP() << "no samples inside the window";
+  EXPECT_LE(peak, std::max(at_start, r.cap_watts) + 1e-6);
+}
+
+TEST_P(PolicySweep, UtilizationBounded) {
+  const ScenarioResult& r = result();
+  EXPECT_GE(r.summary.utilization, 0.0);
+  EXPECT_LE(r.summary.utilization, 1.0 + 1e-9);
+  EXPECT_GT(r.summary.work_core_seconds, 0.0);
+}
+
+TEST_P(PolicySweep, JobAccountingConsistent) {
+  const ScenarioResult& r = result();
+  EXPECT_EQ(r.stats.submitted, 2300u);
+  EXPECT_LE(r.stats.completed + r.stats.killed, r.stats.started + r.stats.rejected);
+  EXPECT_LE(r.summary.launched_jobs, r.stats.started);
+}
+
+TEST_P(PolicySweep, EnergyPositiveAndBounded) {
+  const ScenarioResult& r = result();
+  double span_seconds = sim::to_seconds(r.summary.to - r.summary.from);
+  EXPECT_GT(r.summary.energy_joules, 0.0);
+  EXPECT_LE(r.summary.energy_joules, r.max_cluster_watts * span_seconds * (1 + 1e-9));
+  EXPECT_LE(r.summary.mean_watts, r.summary.max_watts + 1e-9);
+}
+
+TEST_P(PolicySweep, SeriesMonotonicTimes) {
+  const ScenarioResult& r = result();
+  for (std::size_t i = 1; i < r.samples.size(); ++i) {
+    ASSERT_LT(r.samples[i - 1].t, r.samples[i].t);
+  }
+  // Node counts always total the machine.
+  std::int32_t total_nodes = 2 * 5 * 18;
+  for (const metrics::Sample& s : r.samples) {
+    std::int32_t busy = 0;
+    for (auto b : s.busy_by_freq) busy += b;
+    EXPECT_EQ(busy + s.idle_nodes + s.off_nodes + s.transitioning_nodes, total_nodes);
+  }
+}
+
+TEST_P(PolicySweep, CapBindsDuringWindowUnderProjection) {
+  const ScenarioResult& r = result();
+  Case c = GetParam();
+  if (c.policy == Policy::None || c.lambda >= 1.0 ||
+      c.admission != AdmissionMode::Projection) {
+    GTEST_SKIP() << "per-sample cap guarantee only under Projection admission";
+  }
+  for (const metrics::Sample& s : r.samples) {
+    if (s.t >= r.cap_start && s.t < r.cap_end) {
+      ASSERT_LE(s.watts, r.cap_watts + 0.5) << "at t=" << s.t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndCaps, PolicySweep,
+    ::testing::Values(
+        Case{Policy::None, 1.0}, Case{Policy::Shut, 0.8}, Case{Policy::Shut, 0.6},
+        Case{Policy::Shut, 0.4}, Case{Policy::Dvfs, 0.8}, Case{Policy::Dvfs, 0.6},
+        Case{Policy::Dvfs, 0.4}, Case{Policy::Mix, 0.8}, Case{Policy::Mix, 0.6},
+        Case{Policy::Mix, 0.4}, Case{Policy::Idle, 0.6}, Case{Policy::Auto, 0.6},
+        Case{Policy::Auto, 0.4},
+        Case{Policy::Shut, 0.6, AdmissionMode::Projection},
+        Case{Policy::Shut, 0.4, AdmissionMode::Projection},
+        Case{Policy::Dvfs, 0.6, AdmissionMode::Projection},
+        Case{Policy::Dvfs, 0.4, AdmissionMode::Projection},
+        Case{Policy::Mix, 0.6, AdmissionMode::Projection},
+        Case{Policy::Mix, 0.4, AdmissionMode::Projection},
+        Case{Policy::Dvfs, 0.4, AdmissionMode::PaperLiveStrict},
+        Case{Policy::Mix, 0.4, AdmissionMode::PaperLiveStrict},
+        Case{Policy::Dvfs, 0.6, AdmissionMode::PaperLive, true},
+        Case{Policy::Mix, 0.4, AdmissionMode::PaperLive, true}),
+    case_name);
+
+}  // namespace
+}  // namespace ps::core

@@ -1,0 +1,295 @@
+// Controller: job lifecycle, FCFS + EASY backfill, walltime enforcement,
+// switch-off reservations and observers. Priority weights are zeroed so
+// ordering is pure FCFS (submit time, then id) and scenarios stay exact.
+#include "rjms/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/curie.h"
+#include "util/check.h"
+
+namespace ps::rjms {
+namespace {
+
+ControllerConfig fcfs_config() {
+  ControllerConfig config;
+  config.priority.age = 0.0;
+  config.priority.size = 0.0;
+  config.priority.fair_share = 0.0;
+  return config;
+}
+
+workload::JobRequest make_request(std::int64_t id, std::int64_t cores,
+                                  sim::Duration runtime, sim::Duration walltime,
+                                  sim::Time submit = 0, std::int32_t user = 0) {
+  workload::JobRequest request;
+  request.id = id;
+  request.submit_time = submit;
+  request.user = user;
+  request.requested_cores = cores;
+  request.base_runtime = runtime;
+  request.requested_walltime = walltime;
+  return request;
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : cl_(cluster::curie::make_scaled_cluster(1)),  // 90 nodes, 1440 cores
+        controller_(sim_, cl_, fcfs_config()) {}
+
+  sim::Simulator sim_;
+  cluster::Cluster cl_;
+  Controller controller_;
+};
+
+TEST_F(ControllerTest, SingleJobLifecycle) {
+  controller_.submit(make_request(1, 32, sim::seconds(100), sim::seconds(200)));
+  sim_.run();
+  const Job& job = controller_.job(1);
+  EXPECT_EQ(job.state, JobState::Completed);
+  EXPECT_EQ(job.start_time, 0);
+  EXPECT_EQ(job.end_time, sim::seconds(100));
+  EXPECT_EQ(job.nodes.size(), 2u);  // 32 cores / 16 per node
+  EXPECT_EQ(job.freq, cl_.frequencies().max_index());
+  EXPECT_EQ(controller_.stats().completed, 1u);
+  EXPECT_EQ(cl_.count(cluster::NodeState::Busy), 0);
+}
+
+TEST_F(ControllerTest, NodesBusyWhileRunning) {
+  controller_.submit(make_request(1, 160, sim::seconds(100), sim::seconds(200)));
+  sim_.run_until(sim::seconds(50));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Busy), 10);
+  EXPECT_DOUBLE_EQ(cl_.watts(), cl_.audit_watts());
+  sim_.run();
+  EXPECT_EQ(cl_.count(cluster::NodeState::Busy), 0);
+}
+
+TEST_F(ControllerTest, JobWiderThanMachineRejected) {
+  controller_.submit(make_request(1, 1441, sim::seconds(10), sim::seconds(10)));
+  sim_.run();
+  EXPECT_EQ(controller_.job(1).state, JobState::Killed);
+  EXPECT_EQ(controller_.stats().rejected, 1u);
+  EXPECT_EQ(controller_.stats().started, 0u);
+}
+
+TEST_F(ControllerTest, WalltimeLimitKillsOverrunningJob) {
+  controller_.submit(make_request(1, 16, sim::seconds(100), sim::seconds(40)));
+  sim_.run();
+  const Job& job = controller_.job(1);
+  EXPECT_EQ(job.state, JobState::Killed);
+  EXPECT_EQ(job.end_time, sim::seconds(40));
+  EXPECT_EQ(controller_.stats().killed, 1u);
+}
+
+TEST_F(ControllerTest, FcfsOrderBySubmitThenId) {
+  // Two full-width jobs: must run back to back in id order.
+  controller_.submit(make_request(1, 1440, sim::seconds(100), sim::seconds(100)));
+  controller_.submit(make_request(2, 1440, sim::seconds(100), sim::seconds(100)));
+  sim_.run();
+  EXPECT_EQ(controller_.job(1).start_time, 0);
+  EXPECT_EQ(controller_.job(2).start_time, sim::seconds(100));
+}
+
+TEST_F(ControllerTest, EasyBackfillFillsWithoutDelayingHead) {
+  // J1 takes 89 nodes until t=100 (walltime 200). J2 (head) needs all 90:
+  // shadow at t=200. J3 fits the idle node and ends before the shadow ->
+  // backfills. J4 would outlive the shadow -> must wait.
+  controller_.submit(make_request(1, 89 * 16, sim::seconds(100), sim::seconds(200)));
+  controller_.submit(make_request(2, 1440, sim::seconds(100), sim::seconds(200)));
+  controller_.submit(make_request(3, 16, sim::seconds(50), sim::seconds(100)));
+  controller_.submit(make_request(4, 16, sim::seconds(50), sim::seconds(300)));
+  sim_.run();
+
+  EXPECT_EQ(controller_.job(1).start_time, 0);
+  EXPECT_EQ(controller_.job(3).start_time, 0);            // backfilled
+  EXPECT_EQ(controller_.job(2).start_time, sim::seconds(100));  // head at J1 end
+  EXPECT_GE(controller_.job(4).start_time, sim::seconds(200));  // never before head
+  EXPECT_GE(controller_.stats().backfill_starts, 1u);
+}
+
+TEST_F(ControllerTest, QuickAttemptBackfillsNewArrivalsUnderShadow) {
+  controller_.submit(make_request(1, 89 * 16, sim::seconds(100), sim::seconds(200)));
+  controller_.submit(make_request(2, 1440, sim::seconds(100), sim::seconds(200)));
+  sim_.run_until(sim::seconds(10));
+  // New tiny job arrives mid-run; shadow is cached (t=200): it fits.
+  controller_.submit(make_request(3, 16, sim::seconds(20), sim::seconds(50)));
+  sim_.run();
+  EXPECT_EQ(controller_.job(3).start_time, sim::seconds(10));
+}
+
+TEST_F(ControllerTest, SwitchOffReservationPowersNodesDownAndUp) {
+  auto nodes = cl_.topology().nodes_of_chassis(0);
+  controller_.add_switch_off_reservation(sim::seconds(100), sim::seconds(200), nodes,
+                                         2354.0);
+  sim_.run_until(sim::seconds(150));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Off), 18);
+  EXPECT_TRUE(cl_.chassis_fully_off(0));
+  sim_.run_until(sim::seconds(250));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Off), 0);
+  EXPECT_EQ(cl_.count(cluster::NodeState::Idle), 90);
+}
+
+TEST_F(ControllerTest, JobsAvoidReservedNodes) {
+  auto nodes = cl_.topology().nodes_of_chassis(0);
+  controller_.add_switch_off_reservation(sim::seconds(100), sim::seconds(200), nodes,
+                                         2354.0);
+  // 80 nodes requested at t=0 with walltime overlapping the window: only 72
+  // nodes are unreserved, so the job must wait until the window ends.
+  controller_.submit(
+      make_request(1, 80 * 16, sim::seconds(50), sim::seconds(150)));
+  sim_.run();
+  EXPECT_EQ(controller_.job(1).start_time, sim::seconds(200));
+}
+
+TEST_F(ControllerTest, ShortJobRunsBeforeSwitchOffWindow) {
+  auto nodes = cl_.topology().nodes_of_chassis(0);
+  controller_.add_switch_off_reservation(sim::seconds(100), sim::seconds(200), nodes,
+                                         2354.0);
+  // Walltime 50s: finishes before the window starts, so all 90 nodes are
+  // usable immediately.
+  controller_.submit(make_request(1, 80 * 16, sim::seconds(40), sim::seconds(50)));
+  sim_.run();
+  EXPECT_EQ(controller_.job(1).start_time, 0);
+}
+
+TEST_F(ControllerTest, TransitionDelaysAreModelled) {
+  ControllerConfig config = fcfs_config();
+  config.shutdown_delay = sim::seconds(30);
+  config.boot_delay = sim::seconds(60);
+  Controller controller(sim_, cl_, config);
+  auto nodes = cl_.topology().nodes_of_chassis(1);
+  controller.add_switch_off_reservation(sim::seconds(100), sim::seconds(200), nodes,
+                                        2354.0);
+  // Shutdown begins at 70 so the window opens with nodes already off.
+  sim_.run_until(sim::seconds(80));
+  EXPECT_EQ(cl_.count(cluster::NodeState::ShuttingDown), 18);
+  sim_.run_until(sim::seconds(150));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Off), 18);
+  sim_.run_until(sim::seconds(230));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Booting), 18);
+  sim_.run_until(sim::seconds(300));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Idle), 90);
+}
+
+TEST_F(ControllerTest, MaintenanceReservationBlocksWithoutPoweringOff) {
+  auto nodes = cl_.topology().nodes_of_chassis(0);
+  controller_.add_maintenance_reservation(sim::seconds(100), sim::seconds(200), nodes);
+  sim_.run_until(sim::seconds(150));
+  // Nodes stay powered (idle), unlike a switch-off reservation.
+  EXPECT_EQ(cl_.count(cluster::NodeState::Off), 0);
+  EXPECT_EQ(cl_.count(cluster::NodeState::Idle), 90);
+  // But jobs overlapping the window cannot use them.
+  controller_.submit(make_request(1, 80 * 16, sim::seconds(30), sim::seconds(100)));
+  sim_.run();
+  EXPECT_EQ(controller_.job(1).start_time, sim::seconds(200));
+}
+
+TEST_F(ControllerTest, PermissiveReservationAllowsPreWindowStarts) {
+  auto nodes = cl_.topology().nodes_of_chassis(0);
+  controller_.add_switch_off_reservation(sim::seconds(100), sim::seconds(200), nodes,
+                                         2354.0, /*permissive=*/true);
+  // 80 nodes with a walltime overlapping the window: permissive mode still
+  // lets it start immediately (strict mode would wait until t=200).
+  controller_.submit(make_request(1, 80 * 16, sim::seconds(50), sim::seconds(150)));
+  sim_.run_until(sim::seconds(10));
+  EXPECT_EQ(controller_.job(1).state, JobState::Running);
+  EXPECT_EQ(controller_.job(1).start_time, 0);
+}
+
+TEST_F(ControllerTest, PermissiveReservationPowersOffOpportunistically) {
+  auto nodes = cl_.topology().nodes_of_chassis(0);
+  controller_.add_switch_off_reservation(sim::seconds(100), sim::seconds(200), nodes,
+                                         2354.0, /*permissive=*/true);
+  // Whole machine busy until t=130 (inside the window): at the window start
+  // the busy reserved nodes are skipped; when the job ends its reserved
+  // nodes go straight to Off instead of Idle.
+  controller_.submit(make_request(1, 1440, sim::seconds(130), sim::seconds(150)));
+  sim_.run_until(sim::seconds(120));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Off), 0);  // all still busy
+  sim_.run_until(sim::seconds(140));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Off), 18);  // reserved chassis off
+  EXPECT_EQ(cl_.count(cluster::NodeState::Idle), 72);
+  sim_.run_until(sim::seconds(250));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Off), 0);  // window over: back up
+}
+
+TEST_F(ControllerTest, PermissiveReservationBlocksStartsInsideWindow) {
+  auto nodes = cl_.topology().nodes_of_chassis(0);
+  controller_.add_switch_off_reservation(sim::seconds(100), sim::seconds(200), nodes,
+                                         2354.0, /*permissive=*/true);
+  sim_.run_until(sim::seconds(150));
+  EXPECT_EQ(cl_.count(cluster::NodeState::Off), 18);
+  // A full-width job cannot start inside the window (only 72 nodes usable).
+  controller_.submit(make_request(1, 1440, sim::seconds(10), sim::seconds(20)));
+  sim_.run_until(sim::seconds(160));
+  EXPECT_EQ(controller_.job(1).state, JobState::Pending);
+  sim_.run();
+  EXPECT_EQ(controller_.job(1).start_time, sim::seconds(200));
+}
+
+TEST_F(ControllerTest, KillJobFreesNodesImmediately) {
+  controller_.submit(make_request(1, 160, sim::seconds(1000), sim::seconds(2000)));
+  sim_.run_until(sim::seconds(10));
+  EXPECT_EQ(controller_.running_count(), 1u);
+  controller_.kill_job(1);
+  EXPECT_EQ(controller_.job(1).state, JobState::Killed);
+  EXPECT_EQ(cl_.count(cluster::NodeState::Busy), 0);
+  EXPECT_EQ(controller_.running_count(), 0u);
+  // The cancelled end event must not fire.
+  sim_.run();
+  EXPECT_EQ(controller_.job(1).end_time, sim::seconds(10));
+}
+
+TEST_F(ControllerTest, KillNonRunningJobRejected) {
+  controller_.submit(make_request(1, 1440, sim::seconds(10), sim::seconds(10)));
+  controller_.submit(make_request(2, 1440, sim::seconds(10), sim::seconds(10)));
+  // Job 2 pending behind job 1 at t=0 (passes have not run yet).
+  EXPECT_THROW(controller_.kill_job(2), ps::CheckError);
+}
+
+class CountingObserver : public ControllerObserver {
+ public:
+  void on_job_start(const Job&) override { ++starts; }
+  void on_job_end(const Job&) override { ++ends; }
+  void on_state_change(sim::Time) override { ++changes; }
+  int starts = 0;
+  int ends = 0;
+  int changes = 0;
+};
+
+TEST_F(ControllerTest, ObserversSeeStartsAndEnds) {
+  CountingObserver observer;
+  controller_.add_observer(&observer);
+  controller_.submit(make_request(1, 16, sim::seconds(10), sim::seconds(20)));
+  controller_.submit(make_request(2, 16, sim::seconds(10), sim::seconds(20)));
+  sim_.run();
+  EXPECT_EQ(observer.starts, 2);
+  EXPECT_EQ(observer.ends, 2);
+  EXPECT_GE(observer.changes, 4);
+}
+
+TEST_F(ControllerTest, FairShareChargedOnCompletion) {
+  controller_.submit(make_request(1, 160, sim::seconds(100), sim::seconds(200), 0, 7));
+  sim_.run();
+  // 160 cores requested -> 10 nodes * 16 cores * 100 s.
+  EXPECT_NEAR(controller_.fairshare().total_usage(sim_.now()), 16000.0, 20.0);
+}
+
+TEST_F(ControllerTest, DuplicateJobIdRejected) {
+  controller_.submit(make_request(1, 16, sim::seconds(1), sim::seconds(1)));
+  EXPECT_THROW(controller_.submit(make_request(1, 16, sim::seconds(1), sim::seconds(1))),
+               ps::CheckError);
+}
+
+TEST_F(ControllerTest, StatsCountSubmissions) {
+  controller_.submit(make_request(1, 16, sim::seconds(1), sim::seconds(2)));
+  controller_.submit(make_request(2, 16, sim::seconds(1), sim::seconds(2)));
+  sim_.run();
+  EXPECT_EQ(controller_.stats().submitted, 2u);
+  EXPECT_EQ(controller_.stats().started, 2u);
+  EXPECT_EQ(controller_.all_jobs().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ps::rjms

@@ -1,0 +1,75 @@
+#include "rjms/fairshare.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace ps::rjms {
+namespace {
+
+TEST(FairShare, UnusedUserGetsFullFactor) {
+  FairShare fs;
+  EXPECT_DOUBLE_EQ(fs.factor(1, 0), 1.0);
+}
+
+TEST(FairShare, HeavyUserPenalized) {
+  FairShare fs;
+  fs.charge(1, 1e6, 0);
+  fs.charge(2, 1.0, 0);
+  EXPECT_LT(fs.factor(1, 0), fs.factor(2, 0));
+  EXPECT_GT(fs.factor(2, 0), 0.9);
+}
+
+TEST(FairShare, EqualUsageEqualFactor) {
+  FairShare fs;
+  fs.charge(1, 500.0, 0);
+  fs.charge(2, 500.0, 0);
+  EXPECT_DOUBLE_EQ(fs.factor(1, 0), fs.factor(2, 0));
+  // Two users, each at exactly their share: factor = 2^-1 = 0.5.
+  EXPECT_DOUBLE_EQ(fs.factor(1, 0), 0.5);
+}
+
+TEST(FairShare, UsageDecaysWithHalfLife) {
+  FairShare fs(sim::hours(1));
+  fs.charge(1, 1000.0, 0);
+  EXPECT_NEAR(fs.total_usage(sim::hours(1)), 500.0, 1e-9);
+  EXPECT_NEAR(fs.total_usage(sim::hours(2)), 250.0, 1e-9);
+}
+
+TEST(FairShare, DecayRestoresFactorOverTime) {
+  FairShare fs(sim::hours(1));
+  fs.charge(1, 1e6, 0);
+  fs.charge(2, 1.0, 0);
+  double early = fs.factor(1, 0);
+  // After many half-lives user 1's usage is negligible *relative to user 2's
+  // equally decayed usage*... both decay equally, so the ratio persists;
+  // what recovers the factor is new usage by others.
+  fs.charge(2, 1e6, sim::hours(10));
+  double later = fs.factor(1, sim::hours(10));
+  EXPECT_GT(later, early);
+}
+
+TEST(FairShare, ChargeAccumulates) {
+  FairShare fs;
+  fs.charge(1, 100.0, 0);
+  fs.charge(1, 200.0, 0);
+  EXPECT_NEAR(fs.total_usage(0), 300.0, 1e-9);
+  EXPECT_EQ(fs.user_count(), 1u);
+}
+
+TEST(FairShare, NegativeChargeRejected) {
+  FairShare fs;
+  EXPECT_THROW(fs.charge(1, -5.0, 0), CheckError);
+  EXPECT_THROW(FairShare(0), CheckError);
+}
+
+TEST(FairShare, FactorBounded) {
+  FairShare fs;
+  fs.charge(1, 1e9, 0);
+  double f = fs.factor(1, 0);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+}  // namespace
+}  // namespace ps::rjms

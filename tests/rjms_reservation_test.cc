@@ -1,0 +1,130 @@
+#include "rjms/reservation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ps::rjms {
+namespace {
+
+Reservation powercap(sim::Time start, sim::Time end, double watts) {
+  Reservation r;
+  r.kind = ReservationKind::Powercap;
+  r.start = start;
+  r.end = end;
+  r.watts = watts;
+  return r;
+}
+
+Reservation switch_off(sim::Time start, sim::Time end, std::vector<cluster::NodeId> nodes) {
+  Reservation r;
+  r.kind = ReservationKind::SwitchOff;
+  r.start = start;
+  r.end = end;
+  r.nodes = std::move(nodes);
+  return r;
+}
+
+TEST(Reservation, OverlapSemantics) {
+  Reservation r = powercap(100, 200, 1000.0);
+  EXPECT_TRUE(r.overlaps(150, 160));
+  EXPECT_TRUE(r.overlaps(50, 101));
+  EXPECT_TRUE(r.overlaps(199, 300));
+  EXPECT_FALSE(r.overlaps(200, 300));  // end-exclusive
+  EXPECT_FALSE(r.overlaps(0, 100));    // start-exclusive on the right
+  EXPECT_TRUE(r.active_at(100));
+  EXPECT_TRUE(r.active_at(199));
+  EXPECT_FALSE(r.active_at(200));
+}
+
+TEST(ReservationBook, AssignsIncreasingIds) {
+  ReservationBook book;
+  ReservationId a = book.add(powercap(0, 10, 1.0));
+  ReservationId b = book.add(powercap(0, 10, 2.0));
+  EXPECT_LT(a, b);
+  EXPECT_EQ(book.all().size(), 2u);
+}
+
+TEST(ReservationBook, FindAndRemove) {
+  ReservationBook book;
+  ReservationId id = book.add(switch_off(0, 10, {1, 2, 3}));
+  ASSERT_NE(book.find(id), nullptr);
+  EXPECT_EQ(book.find(id)->nodes.size(), 3u);
+  EXPECT_TRUE(book.remove(id));
+  EXPECT_EQ(book.find(id), nullptr);
+  EXPECT_FALSE(book.remove(id));
+}
+
+TEST(ReservationBook, NodeBlockedDuringWindow) {
+  ReservationBook book;
+  book.add(switch_off(100, 200, {5, 6, 7}));
+  EXPECT_TRUE(book.node_blocked(5, 150, 160));
+  EXPECT_TRUE(book.node_blocked(5, 0, 101));
+  EXPECT_FALSE(book.node_blocked(5, 200, 300));
+  EXPECT_FALSE(book.node_blocked(4, 150, 160));
+  // Powercap reservations never block nodes.
+  book.add(powercap(0, 1000, 1.0));
+  EXPECT_FALSE(book.node_blocked(4, 0, 1000));
+}
+
+TEST(ReservationBook, NodesSortedAndDeduplicated) {
+  ReservationBook book;
+  ReservationId id = book.add(switch_off(0, 10, {9, 3, 7}));
+  const Reservation* r = book.find(id);
+  EXPECT_EQ(r->nodes, (std::vector<cluster::NodeId>{3, 7, 9}));
+  EXPECT_THROW((void)book.add(switch_off(0, 10, {1, 1})), CheckError);
+}
+
+TEST(ReservationBook, CapAtPicksMinimumOfActiveCaps) {
+  ReservationBook book;
+  book.add(powercap(0, 100, 500.0));
+  book.add(powercap(50, 150, 300.0));
+  EXPECT_DOUBLE_EQ(book.cap_at(25), 500.0);
+  EXPECT_DOUBLE_EQ(book.cap_at(75), 300.0);
+  EXPECT_DOUBLE_EQ(book.cap_at(120), 300.0);
+  EXPECT_TRUE(std::isinf(book.cap_at(200)));
+}
+
+TEST(ReservationBook, MinCapOverWindow) {
+  ReservationBook book;
+  book.add(powercap(100, 200, 800.0));
+  EXPECT_DOUBLE_EQ(book.min_cap_over(0, 150), 800.0);
+  EXPECT_TRUE(std::isinf(book.min_cap_over(0, 100)));
+  EXPECT_TRUE(std::isinf(book.min_cap_over(200, 300)));
+}
+
+TEST(ReservationBook, OverlapQueriesFilterByKind) {
+  ReservationBook book;
+  book.add(powercap(0, 100, 1.0));
+  book.add(switch_off(0, 100, {1}));
+  book.add(switch_off(200, 300, {2}));
+  EXPECT_EQ(book.powercaps_overlapping(0, 1000).size(), 1u);
+  EXPECT_EQ(book.switchoffs_overlapping(0, 1000).size(), 2u);
+  EXPECT_EQ(book.switchoffs_overlapping(150, 180).size(), 0u);
+}
+
+TEST(ReservationBook, OpenEndedPowercap) {
+  ReservationBook book;
+  book.add(powercap(50, sim::kTimeMax, 700.0));
+  EXPECT_DOUBLE_EQ(book.cap_at(1'000'000'000), 700.0);
+  EXPECT_TRUE(std::isinf(book.cap_at(0)));
+}
+
+TEST(ReservationBook, ValidationRejectsBadInput) {
+  ReservationBook book;
+  EXPECT_THROW((void)book.add(powercap(10, 10, 1.0)), CheckError);   // empty window
+  EXPECT_THROW((void)book.add(powercap(10, 5, 1.0)), CheckError);    // inverted
+  EXPECT_THROW((void)book.add(powercap(0, 10, 0.0)), CheckError);    // zero watts
+  EXPECT_THROW((void)book.add(switch_off(0, 10, {})), CheckError);   // no nodes
+}
+
+TEST(Reservation, KindNames) {
+  EXPECT_STREQ(to_string(ReservationKind::Maintenance), "maintenance");
+  EXPECT_STREQ(to_string(ReservationKind::SwitchOff), "switch-off");
+  EXPECT_STREQ(to_string(ReservationKind::Powercap), "powercap");
+}
+
+}  // namespace
+}  // namespace ps::rjms

@@ -1,0 +1,59 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ps::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"t", "watts"});
+  w.row({"0", "709520"});
+  w.row({"1", "1924160"});
+  EXPECT_EQ(out.str(), "t,watts\n0,709520\n1,1924160\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"a,b", "say \"hi\"", "line\nbreak", "plain"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\",plain\n");
+}
+
+TEST(Csv, RowWidthCheckedAgainstHeader) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), CheckError);
+}
+
+TEST(Csv, HeaderTwiceThrows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.header({"a"});
+  EXPECT_THROW(w.header({"b"}), CheckError);
+}
+
+TEST(Csv, FieldFormatting) {
+  EXPECT_EQ(CsvWriter::field(static_cast<std::int64_t>(-12)), "-12");
+  EXPECT_EQ(CsvWriter::field(2.5), "2.5");
+  // Round-trip precision: 12 significant digits.
+  EXPECT_EQ(CsvWriter::field(1924160.125), "1924160.125");
+}
+
+TEST(Csv, NoHeaderRowsUnchecked) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"a"});
+  w.row({"b", "c"});  // allowed without a header
+  EXPECT_EQ(out.str(), "a\nb,c\n");
+}
+
+}  // namespace
+}  // namespace ps::util

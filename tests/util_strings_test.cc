@@ -1,0 +1,95 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace ps::strings {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWs, DropsEmptyRuns) {
+  EXPECT_EQ(split_ws("  a \t b\nc  "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Trim, RemovesBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(to_lower("AbC-12"), "abc-12"); }
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("powercap", "power"));
+  EXPECT_FALSE(starts_with("power", "powercap"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(ParseI64, StrictFullString) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("  -7 "), -7);
+  EXPECT_FALSE(parse_i64("42x").has_value());
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("1.5").has_value());
+}
+
+TEST(ParseF64, StrictFullString) {
+  EXPECT_DOUBLE_EQ(parse_f64("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_f64("-1e3").value(), -1000.0);
+  EXPECT_FALSE(parse_f64("3.25 watts").has_value());
+  EXPECT_FALSE(parse_f64("").has_value());
+}
+
+TEST(ParseBool, AcceptedSpellings) {
+  EXPECT_EQ(parse_bool("true"), true);
+  EXPECT_EQ(parse_bool("Yes"), true);
+  EXPECT_EQ(parse_bool("ON"), true);
+  EXPECT_EQ(parse_bool("1"), true);
+  EXPECT_EQ(parse_bool("false"), false);
+  EXPECT_EQ(parse_bool("no"), false);
+  EXPECT_EQ(parse_bool("off"), false);
+  EXPECT_EQ(parse_bool("0"), false);
+  EXPECT_FALSE(parse_bool("maybe").has_value());
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 1.005), "1.00");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(WithCommas, GroupsOfThree) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1924160), "1,924,160");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(HumanDuration, Formats) {
+  EXPECT_EQ(human_duration_ms(5000), "5s");
+  EXPECT_EQ(human_duration_ms(65000), "1m05s");
+  EXPECT_EQ(human_duration_ms(3600000 * 2 + 5 * 60000 + 30000), "2h05m30s");
+  EXPECT_EQ(human_duration_ms(-5000), "-5s");
+}
+
+TEST(Percent, Rounds) {
+  EXPECT_EQ(percent(0.853), "85.3%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace ps::strings

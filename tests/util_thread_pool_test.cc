@@ -1,0 +1,70 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace ps::util {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // no wait_idle: destructor must still run all queued tasks
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ThreadCountDefaultsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; }, 2);
+  SUCCEED();
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  auto run = [](std::size_t threads) {
+    std::vector<double> out(64, 0.0);
+    parallel_for(out.size(), [&out](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    }, threads);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+}  // namespace
+}  // namespace ps::util

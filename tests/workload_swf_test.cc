@@ -1,0 +1,95 @@
+#include "workload/swf.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ps::workload::swf {
+namespace {
+
+// job# submit wait run alloc avgcpu mem reqproc reqtime reqmem status uid
+// gid exe queue part prec think
+constexpr const char* kSample = R"(; SWF header comment
+; MaxProcs: 80640
+1 0 5 120 32 -1 -1 32 3600 -1 1 101 -1 -1 -1 -1 -1 -1
+2 60 -1 30 16 -1 -1 -1 600 -1 1 102 -1 -1 -1 -1 -1 -1
+3 120 -1 0 8 -1 -1 8 300 -1 0 103 -1 -1 -1 -1 -1 -1
+4 180 -1 45 64 -1 -1 64 -1 -1 5 104 -1 -1 -1 -1 -1 -1
+)";
+
+TEST(Swf, ParsesFields) {
+  auto jobs = parse_string(kSample);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].id, 1);
+  EXPECT_EQ(jobs[0].submit_time, sim::seconds(0));
+  EXPECT_EQ(jobs[0].base_runtime, sim::seconds(120));
+  EXPECT_EQ(jobs[0].requested_cores, 32);
+  EXPECT_EQ(jobs[0].requested_walltime, sim::seconds(3600));
+  EXPECT_EQ(jobs[0].user, 101);
+}
+
+TEST(Swf, RequestedCoresFallsBackToAllocated) {
+  auto jobs = parse_string(kSample);
+  EXPECT_EQ(jobs[1].requested_cores, 16);  // field 8 is -1, field 5 is 16
+}
+
+TEST(Swf, MissingRequestedTimeFallsBackToRuntime) {
+  auto jobs = parse_string(kSample);
+  EXPECT_EQ(jobs[3].requested_walltime, sim::seconds(45));
+}
+
+TEST(Swf, SkipFilters) {
+  ParseOptions opts;
+  opts.skip_zero_runtime = true;
+  EXPECT_EQ(parse_string(kSample, opts).size(), 3u);  // job 3 dropped
+
+  opts = {};
+  opts.skip_failed_status = true;
+  EXPECT_EQ(parse_string(kSample, opts).size(), 2u);  // jobs 3 (0) and 4 (5)
+
+  opts = {};
+  opts.max_jobs = 2;
+  EXPECT_EQ(parse_string(kSample, opts).size(), 2u);
+}
+
+TEST(Swf, MalformedLineThrowsWithLineNumber) {
+  EXPECT_THROW((void)parse_string("1 2 3\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_string("a b c d e f g h i j k l m n o p q r\n"),
+               std::runtime_error);
+}
+
+TEST(Swf, FractionalTimesAccepted) {
+  auto jobs = parse_string(
+      "1 10.5 -1 120.9 8 -1 -1 8 600 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].submit_time, sim::seconds(10));
+  EXPECT_EQ(jobs[0].base_runtime, sim::seconds(120));
+}
+
+TEST(Swf, EmptyAndCommentOnlyInputs) {
+  EXPECT_TRUE(parse_string("").empty());
+  EXPECT_TRUE(parse_string("; nothing here\n\n").empty());
+}
+
+TEST(Swf, WriteReadRoundTrip) {
+  auto jobs = parse_string(kSample);
+  std::ostringstream out;
+  write(out, jobs);
+  auto reparsed = parse_string(out.str());
+  ASSERT_EQ(reparsed.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(reparsed[i].id, jobs[i].id);
+    EXPECT_EQ(reparsed[i].submit_time, jobs[i].submit_time);
+    EXPECT_EQ(reparsed[i].base_runtime, jobs[i].base_runtime);
+    EXPECT_EQ(reparsed[i].requested_cores, jobs[i].requested_cores);
+    EXPECT_EQ(reparsed[i].requested_walltime, jobs[i].requested_walltime);
+    EXPECT_EQ(reparsed[i].user, jobs[i].user);
+  }
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW((void)load_file("/nonexistent/trace.swf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ps::workload::swf

@@ -1,0 +1,175 @@
+// Synthetic Curie generator: determinism and calibration against the
+// paper's published trace statistics (§VII-B).
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "workload/trace_stats.h"
+
+namespace ps::workload {
+namespace {
+
+TEST(Synthetic, DeterministicForSeed) {
+  auto a = generate(Profile::MedianJob, 7);
+  auto b = generate(Profile::MedianJob, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].requested_cores, b[i].requested_cores);
+    EXPECT_EQ(a[i].base_runtime, b[i].base_runtime);
+    EXPECT_EQ(a[i].requested_walltime, b[i].requested_walltime);
+    EXPECT_EQ(a[i].user, b[i].user);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto a = generate(Profile::MedianJob, 1);
+  auto b = generate(Profile::MedianJob, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    any_diff |= a[i].requested_cores != b[i].requested_cores;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, SortedBySubmitTimeWithSequentialIds) {
+  auto jobs = generate(Profile::SmallJob, 3);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_LE(jobs[i - 1].submit_time, jobs[i].submit_time);
+    EXPECT_EQ(jobs[i].id, static_cast<std::int64_t>(i + 1));
+  }
+}
+
+TEST(Synthetic, BacklogSubmittedAtTimeZero) {
+  GeneratorParams params = params_for(Profile::MedianJob);
+  auto jobs = generate(params, 11);
+  std::size_t at_zero = 0;
+  for (const auto& job : jobs) {
+    if (job.submit_time == 0) ++at_zero;
+  }
+  auto expected = static_cast<std::size_t>(params.backlog_fraction *
+                                           static_cast<double>(params.job_count));
+  EXPECT_GE(at_zero, expected);
+}
+
+TEST(Synthetic, MedianJobMatchesPaperStatistics) {
+  auto jobs = generate(Profile::MedianJob, 42);
+  StatsParams sp;
+  sp.span = sim::hours(5);
+  TraceStats stats = compute_stats(jobs, sp);
+  // 69 % small jobs (< 512 cores, < 2 min).
+  EXPECT_NEAR(stats.small_job_fraction, 0.69, 0.03);
+  // Huge jobs (> one cluster-hour of core-seconds) are rare: ~1 per
+  // interval (the trace's ~1.3/day rate; see GeneratorParams::w_huge).
+  EXPECT_LT(stats.huge_job_fraction, 0.002);
+  // Walltime over-estimation: paper reports median ~x12 000, mean ~x12 670.
+  // The generator calibrates to the same order of magnitude (the clamp at
+  // max_walltime makes exact matching across all size classes impossible).
+  EXPECT_NEAR(stats.walltime_overestimate_median, 12000.0, 2000.0);
+  EXPECT_NEAR(stats.walltime_overestimate_mean, 12670.0, 4000.0);
+  // Overloaded interval: well above 1x capacity.
+  EXPECT_GT(stats.demand_over_capacity, 1.2);
+  EXPECT_LT(stats.demand_over_capacity, 6.0);
+}
+
+TEST(Synthetic, SmallJobProfileHasMoreSmallJobs) {
+  StatsParams sp;
+  sp.span = sim::hours(5);
+  TraceStats median = compute_stats(generate(Profile::MedianJob, 5), sp);
+  TraceStats small = compute_stats(generate(Profile::SmallJob, 5), sp);
+  EXPECT_GT(small.small_job_fraction, median.small_job_fraction + 0.05);
+  EXPECT_GT(small.job_count, median.job_count);
+}
+
+TEST(Synthetic, BigJobProfileHasFewerSmallJobs) {
+  StatsParams sp;
+  sp.span = sim::hours(5);
+  TraceStats median = compute_stats(generate(Profile::MedianJob, 5), sp);
+  TraceStats big = compute_stats(generate(Profile::BigJob, 5), sp);
+  EXPECT_LT(big.small_job_fraction, median.small_job_fraction - 0.05);
+  EXPECT_LT(big.job_count, median.job_count);
+}
+
+TEST(Synthetic, Day24hSpansTwentyFourHours) {
+  GeneratorParams params = params_for(Profile::Day24h);
+  EXPECT_EQ(params.span, sim::hours(24));
+  auto jobs = generate(params, 9);
+  EXPECT_LE(jobs.back().submit_time, sim::hours(24));
+  EXPECT_GT(jobs.back().submit_time, sim::hours(20));  // arrivals reach the tail
+}
+
+TEST(Synthetic, HugeJobsExceedOneClusterHour) {
+  // Force a huge-heavy mixture to sample the class densely and verify the
+  // defining property: core-seconds beyond 80 640 * 3600.
+  GeneratorParams params = params_for(Profile::MedianJob);
+  params.w_tiny = 0.0;
+  params.w_medium = 0.0;
+  params.w_large = 0.0;
+  params.w_huge = 1.0;
+  params.job_count = 300;
+  for (const auto& job : generate(params, 21)) {
+    double core_seconds = static_cast<double>(job.requested_cores) *
+                          sim::to_seconds(job.base_runtime);
+    EXPECT_GT(core_seconds, 80640.0 * 3600.0);
+  }
+}
+
+TEST(Synthetic, WalltimeNeverBelowRuntime) {
+  for (auto profile : {Profile::MedianJob, Profile::SmallJob, Profile::BigJob}) {
+    for (const auto& job : generate(profile, 13)) {
+      EXPECT_GE(job.requested_walltime, job.base_runtime);
+      EXPECT_GE(job.requested_cores, 1);
+      EXPECT_GT(job.base_runtime, 0);
+    }
+  }
+}
+
+TEST(Synthetic, HeterogeneousAppsTagging) {
+  GeneratorParams params = params_for(Profile::MedianJob);
+  params.heterogeneous_apps = true;
+  params.job_count = 500;
+  auto jobs = generate(params, 3);
+  std::size_t tagged = 0;
+  for (const auto& job : jobs) {
+    if (!job.app.empty()) ++tagged;
+  }
+  EXPECT_EQ(tagged, jobs.size());
+  // Default: untagged.
+  params.heterogeneous_apps = false;
+  for (const auto& job : generate(params, 3)) EXPECT_TRUE(job.app.empty());
+}
+
+TEST(Synthetic, ProfileNames) {
+  EXPECT_STREQ(to_string(Profile::MedianJob), "medianjob");
+  EXPECT_STREQ(to_string(Profile::SmallJob), "smalljob");
+  EXPECT_STREQ(to_string(Profile::BigJob), "bigjob");
+  EXPECT_STREQ(to_string(Profile::Day24h), "24h");
+}
+
+TEST(Synthetic, InvalidParamsRejected) {
+  GeneratorParams params = params_for(Profile::MedianJob);
+  params.job_count = 0;
+  EXPECT_THROW((void)generate(params, 1), CheckError);
+  params = params_for(Profile::MedianJob);
+  params.backlog_fraction = 1.5;
+  EXPECT_THROW((void)generate(params, 1), CheckError);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  TraceStats stats = compute_stats({});
+  EXPECT_EQ(stats.job_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.total_core_seconds, 0.0);
+}
+
+TEST(TraceStats, DescribeRuns) {
+  auto jobs = generate(Profile::MedianJob, 1);
+  StatsParams sp;
+  sp.span = sim::hours(5);
+  std::string text = compute_stats(jobs, sp).describe();
+  EXPECT_NE(text.find("jobs:"), std::string::npos);
+  EXPECT_NE(text.find("overestimate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ps::workload
