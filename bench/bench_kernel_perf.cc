@@ -1,9 +1,19 @@
 // google-benchmark microbenchmarks of the simulation substrates: event
-// queue throughput, incremental power accounting, node selection, full
-// scheduling passes and an end-to-end scenario. These back the claim that
-// the discrete-event reproduction runs a full-scale 5 040-node, 5 h Curie
+// queue throughput (bulk, interleaved, cancellation), incremental power
+// accounting and the idle-node index, blocked-set construction, node
+// selection and an end-to-end scenario. These back the claim that the
+// discrete-event reproduction runs a full-scale 5 040-node, 5 h Curie
 // replay in roughly a second.
+//
+// Unless the caller passes its own --benchmark_out, results are also
+// written to BENCH_kernel.json (google-benchmark JSON schema; see
+// bench/README.md) so the perf trajectory is machine-readable PR to PR.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "cluster/curie.h"
 #include "core/experiment.h"
@@ -31,6 +41,47 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
 
+// Steady-state simulator shape: a standing population of events where each
+// pop triggers a fresh push (job end schedules the next pass, etc.). This
+// exercises the heap path rather than the bulk sorted-run path.
+void BM_EventQueueInterleaved(benchmark::State& state) {
+  const auto standing = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  sim::EventQueue queue;
+  sim::Time now = 0;
+  for (std::size_t i = 0; i < standing; ++i) {
+    queue.push(rng.uniform_int(0, 1 << 16), [] {});
+  }
+  for (auto _ : state) {
+    auto fired = queue.pop();
+    now = fired.time;
+    queue.push(now + 1 + rng.uniform_int(0, 1 << 16), [] {});
+    benchmark::DoNotOptimize(fired.time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueInterleaved)->Arg(1024)->Arg(16384);
+
+// Cancellation-heavy pattern (walltime rescaling cancels and reschedules
+// end events): half the pushed events are cancelled before draining.
+void BM_EventQueueCancel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  std::vector<sim::Time> times;
+  times.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) times.push_back(rng.uniform_int(0, 1 << 20));
+  std::vector<sim::EventId> ids(n);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < n; ++i) ids[i] = queue.push(times[i], [] {});
+    for (std::size_t i = 0; i < n; i += 2) queue.cancel(ids[i]);
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueCancel)->Arg(16384);
+
 void BM_ClusterSetState(benchmark::State& state) {
   cluster::Cluster cl = cluster::curie::make_cluster();
   util::Rng rng(2);
@@ -57,21 +108,91 @@ void BM_ClusterAuditWatts(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterAuditWatts);
 
-void BM_NodeSelectionPacking(benchmark::State& state) {
+// Consuming the idle index the way PackingSelector does: walk buckets in
+// (idle asc, id asc) order over a fragmented full-scale machine.
+void BM_IdleIndexWalk(benchmark::State& state) {
+  cluster::Cluster cl = cluster::curie::make_cluster();
+  util::Rng rng(11);
+  for (cluster::NodeId n = 0; n < cl.topology().total_nodes(); ++n) {
+    if (rng.chance(0.6)) cl.set_state(n, cluster::NodeState::Busy, 7);
+  }
+  for (auto _ : state) {
+    std::int64_t sum = 0;
+    for (std::int32_t idle = 1; idle <= cl.topology().nodes_per_chassis(); ++idle) {
+      for (cluster::ChassisId c : cl.chassis_with_idle(idle)) sum += c;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IdleIndexWalk);
+
+// Pass-scoped blocked-set rebuild from a realistic reservation book (a cap
+// window plus a handful of switch-off/maintenance windows at Curie scale).
+void BM_BlockedSetBuild(benchmark::State& state) {
+  cluster::Cluster cl = cluster::curie::make_cluster();
+  rjms::ReservationBook book;
+  {
+    rjms::Reservation cap;
+    cap.kind = rjms::ReservationKind::Powercap;
+    cap.start = 0;
+    cap.end = sim::hours(2);
+    cap.watts = 1e6;
+    book.add(std::move(cap));
+  }
+  util::Rng rng(13);
+  for (int r = 0; r < 4; ++r) {
+    rjms::Reservation res;
+    res.kind = r % 2 == 0 ? rjms::ReservationKind::SwitchOff
+                          : rjms::ReservationKind::Maintenance;
+    res.start = sim::minutes(10 * r);
+    res.end = sim::hours(1 + r);
+    for (int i = 0; i < 256; ++i) {
+      res.nodes.push_back(static_cast<cluster::NodeId>(
+          rng.uniform_int(0, cl.topology().total_nodes() - 1)));
+    }
+    std::sort(res.nodes.begin(), res.nodes.end());
+    res.nodes.erase(std::unique(res.nodes.begin(), res.nodes.end()), res.nodes.end());
+    book.add(std::move(res));
+  }
+  rjms::BlockedSet blocked;
+  sim::Time horizon = sim::minutes(30);
+  for (auto _ : state) {
+    horizon += 1;  // force a rebuild every iteration (cache-miss path)
+    blocked.ensure(book, 0, horizon, cl.topology().total_nodes());
+    benchmark::DoNotOptimize(blocked.blocked(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BlockedSetBuild);
+
+template <rjms::SelectorKind kKind>
+void BM_NodeSelection(benchmark::State& state) {
   cluster::Cluster cl = cluster::curie::make_cluster();
   // Fragment the machine: every third node busy.
   for (cluster::NodeId n = 0; n < cl.topology().total_nodes(); n += 3) {
     cl.set_state(n, cluster::NodeState::Busy, 7);
   }
   rjms::ReservationBook book;
-  auto selector = rjms::make_selector(rjms::SelectorKind::Packing);
+  auto selector = rjms::make_selector(kKind);
   rjms::SelectionContext ctx{cl, book, 0, sim::hours(1)};
   for (auto _ : state) {
     auto nodes = selector->select(ctx, static_cast<std::int32_t>(state.range(0)));
     benchmark::DoNotOptimize(nodes);
   }
 }
+void BM_NodeSelectionPacking(benchmark::State& state) {
+  BM_NodeSelection<rjms::SelectorKind::Packing>(state);
+}
 BENCHMARK(BM_NodeSelectionPacking)->Arg(1)->Arg(32)->Arg(512);
+void BM_NodeSelectionLinear(benchmark::State& state) {
+  BM_NodeSelection<rjms::SelectorKind::Linear>(state);
+}
+BENCHMARK(BM_NodeSelectionLinear)->Arg(512);
+void BM_NodeSelectionSpread(benchmark::State& state) {
+  BM_NodeSelection<rjms::SelectorKind::Spread>(state);
+}
+BENCHMARK(BM_NodeSelectionSpread)->Arg(512);
 
 void BM_FullScenarioSmall(benchmark::State& state) {
   for (auto _ : state) {
@@ -102,4 +223,28 @@ BENCHMARK(BM_FullScenarioCurie5h)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default a JSON dump to BENCH_kernel.json next to the CWD so
+// every run leaves a machine-readable record, while still honouring any
+// --benchmark_* flags the caller passes (their --benchmark_out wins).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--benchmark_out") == 0 ||
+        std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      has_out = true;
+    }
+  }
+  static std::string out_flag = "--benchmark_out=BENCH_kernel.json";
+  static std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

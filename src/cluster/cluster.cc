@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -29,6 +30,13 @@ Cluster::Cluster(PowerModel model)
 
   auto chassis_count = static_cast<std::size_t>(topo.total_chassis());
   chassis_nodes_on_.assign(chassis_count, topo.nodes_per_chassis());
+  chassis_idle_.assign(chassis_count, topo.nodes_per_chassis());
+  chassis_by_idle_.assign(static_cast<std::size_t>(topo.nodes_per_chassis()) + 1, {});
+  auto& full_bucket = chassis_by_idle_[static_cast<std::size_t>(topo.nodes_per_chassis())];
+  full_bucket.resize(chassis_count);
+  for (ChassisId c = 0; c < topo.total_chassis(); ++c) {
+    full_bucket[static_cast<std::size_t>(c)] = c;
+  }
   chassis_node_mw_.assign(chassis_count,
                           static_cast<std::int64_t>(topo.nodes_per_chassis()) * idle_mw_);
   auto rack_count = static_cast<std::size_t>(topo.racks());
@@ -122,8 +130,65 @@ void Cluster::set_state(NodeId node, NodeState new_state, FreqIndex freq) {
   if (old_state == NodeState::Busy) --busy_by_freq_[old_freq];
   if (new_state == NodeState::Busy) ++busy_by_freq_[freq];
 
+  // Idle index: move the chassis between buckets when its idle count moves.
+  std::int32_t idle_delta = (new_state == NodeState::Idle ? 1 : 0) -
+                            (old_state == NodeState::Idle ? 1 : 0);
+  if (idle_delta != 0) {
+    std::int32_t old_idle = chassis_idle_[ci];
+    std::int32_t new_idle = old_idle + idle_delta;
+    PS_CHECK(new_idle >= 0 && new_idle <= topology().nodes_per_chassis());
+    chassis_idle_[ci] = new_idle;
+    move_idle_bucket(c, old_idle, new_idle);
+  }
+
   slot.state = new_state;
   slot.freq = freq;
+}
+
+void Cluster::move_idle_bucket(ChassisId c, std::int32_t old_idle, std::int32_t new_idle) {
+  auto& from = chassis_by_idle_[static_cast<std::size_t>(old_idle)];
+  auto pos = std::lower_bound(from.begin(), from.end(), c);
+  PS_CHECK(pos != from.end() && *pos == c);
+  from.erase(pos);
+  auto& to = chassis_by_idle_[static_cast<std::size_t>(new_idle)];
+  to.insert(std::lower_bound(to.begin(), to.end(), c), c);
+}
+
+std::int32_t Cluster::idle_nodes(ChassisId chassis) const {
+  PS_CHECK(chassis >= 0 && chassis < topology().total_chassis());
+  return chassis_idle_[static_cast<std::size_t>(chassis)];
+}
+
+const std::vector<ChassisId>& Cluster::chassis_with_idle(std::int32_t idle) const {
+  PS_CHECK(idle >= 0 && idle <= topology().nodes_per_chassis());
+  return chassis_by_idle_[static_cast<std::size_t>(idle)];
+}
+
+bool Cluster::audit_idle_index() const {
+  const Topology& topo = topology();
+  std::vector<std::int32_t> recount(static_cast<std::size_t>(topo.total_chassis()), 0);
+  for (NodeId n = 0; n < topo.total_nodes(); ++n) {
+    if (nodes_[static_cast<std::size_t>(n)].state == NodeState::Idle) {
+      ++recount[static_cast<std::size_t>(topo.chassis_of_node(n))];
+    }
+  }
+  if (recount != chassis_idle_) return false;
+  // Every chassis must sit in exactly the bucket of its recounted idle
+  // value, and buckets must be sorted with no duplicates or strays.
+  std::size_t bucketed = 0;
+  for (std::size_t k = 0; k < chassis_by_idle_.size(); ++k) {
+    const auto& bucket = chassis_by_idle_[k];
+    if (!std::is_sorted(bucket.begin(), bucket.end())) return false;
+    if (std::adjacent_find(bucket.begin(), bucket.end()) != bucket.end()) return false;
+    for (ChassisId c : bucket) {
+      if (c < 0 || c >= topo.total_chassis()) return false;
+      if (recount[static_cast<std::size_t>(c)] != static_cast<std::int32_t>(k)) {
+        return false;
+      }
+    }
+    bucketed += bucket.size();
+  }
+  return bucketed == static_cast<std::size_t>(topo.total_chassis());
 }
 
 double Cluster::audit_watts() const {

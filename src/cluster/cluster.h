@@ -54,6 +54,22 @@ class Cluster {
     return busy_by_freq_;
   }
   std::int32_t nodes_on(ChassisId chassis) const;  ///< nodes not Off
+
+  // --- incremental idle-node index (selector hot path) --------------------
+
+  /// Idle nodes in one chassis, maintained incrementally by set_state.
+  std::int32_t idle_nodes(ChassisId chassis) const;
+
+  /// Chassis holding exactly `idle` Idle nodes, ascending chassis id.
+  /// Valid idle values are 0..nodes_per_chassis(); selectors walk buckets
+  /// 1..nodes_per_chassis() to get (idle asc, id asc) ordering in
+  /// O(chassis visited) instead of an O(nodes) sweep + sort.
+  const std::vector<ChassisId>& chassis_with_idle(std::int32_t idle) const;
+
+  /// Full O(N) recount cross-checking idle_nodes() and the idle buckets
+  /// against node states (the audit_watts() of the idle index). Returns
+  /// false on any disagreement.
+  bool audit_idle_index() const;
   bool chassis_fully_off(ChassisId chassis) const;
   bool rack_fully_off(RackId rack) const;
   std::int32_t fully_off_chassis_count() const;
@@ -66,6 +82,7 @@ class Cluster {
   std::int64_t node_mw(NodeState state, FreqIndex freq) const;
   std::int64_t chassis_mw(ChassisId c) const;
   std::int64_t rack_mw(RackId r) const;
+  void move_idle_bucket(ChassisId c, std::int32_t old_idle, std::int32_t new_idle);
 
   PowerModel model_;
   std::int32_t total_nodes_;
@@ -78,6 +95,11 @@ class Cluster {
 
   // Per-chassis and per-rack gating state.
   std::vector<std::int32_t> chassis_nodes_on_;   // nodes not Off
+  std::vector<std::int32_t> chassis_idle_;       // nodes in state Idle
+  // chassis_by_idle_[k] = chassis with exactly k idle nodes, sorted by id.
+  // Buckets keep their capacity across moves, so steady-state churn is
+  // allocation-free.
+  std::vector<std::vector<ChassisId>> chassis_by_idle_;
   std::vector<std::int64_t> chassis_node_mw_;    // sum of node mw (incl. BMC of Off nodes)
   std::vector<std::int32_t> rack_chassis_on_;    // chassis with nodes_on > 0
   std::vector<std::int64_t> rack_chassis_mw_;    // sum of gated chassis contributions

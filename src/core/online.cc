@@ -132,12 +132,13 @@ std::optional<cluster::FreqIndex> OnlineGovernor::optimal_window_freq(
   // frequency-independent: bonus = saving_idle - n * (IdleWatts - DownWatts).
   double n_off = 0.0;
   double bonus_part = 0.0;
-  for (const rjms::Reservation* so :
-       controller_.reservations().switchoffs_overlapping(cap.start, cap.end)) {
-    auto n = static_cast<double>(so->nodes.size());
-    n_off += n;
-    bonus_part += so->planned_saving_watts - n * (pm.idle_watts() - pm.down_watts());
-  }
+  controller_.reservations().for_each_overlapping(
+      rjms::ReservationKind::SwitchOff, cap.start, cap.end,
+      [&](const rjms::Reservation& so) {
+        auto n = static_cast<double>(so.nodes.size());
+        n_off += n;
+        bonus_part += so.planned_saving_watts - n * (pm.idle_watts() - pm.down_watts());
+      });
   double active = static_cast<double>(topo.total_nodes()) - n_off;
 
   for (cluster::FreqIndex f = max_freq_ + 1; f-- > min_freq_;) {
@@ -201,32 +202,25 @@ std::optional<rjms::PowerGovernor::Admission> OnlineGovernor::admit(
 
     // Future windows the (stretched) job span overlaps.
     bool fits = true;
-    for (const rjms::Reservation* cap : book.powercaps_overlapping(now, span_end)) {
-      if (cap->start <= now) continue;  // covered by the instantaneous check
-      if (config_.admission == AdmissionMode::Projection) {
-        double projected = projected_watts_at(*cap) + delta;
-        if (projected > cap->watts + kWattsEpsilon) {
-          fits = false;
-          break;
-        }
-        continue;
-      }
-      // PaperLive / PaperLiveStrict: the job is clamped to the window's
-      // global optimal frequency.
-      std::optional<cluster::FreqIndex> f_star = optimal_window_freq(*cap);
-      if (f_star.has_value()) {
-        if (f > *f_star) {
-          fits = false;
-          break;
-        }
-      } else if (config_.admission == AdmissionMode::PaperLiveStrict) {
-        fits = false;  // "the job remains pending"
-        break;
-      } else if (f > min_freq_) {
-        fits = false;  // best effort: only the lowest frequency may pass
-        break;
-      }
-    }
+    book.for_each_overlapping(
+        rjms::ReservationKind::Powercap, now, span_end, [&](const rjms::Reservation& cap) {
+          if (!fits || cap.start <= now) return;  // covered by the instantaneous check
+          if (config_.admission == AdmissionMode::Projection) {
+            double projected = projected_watts_at(cap) + delta;
+            if (projected > cap.watts + kWattsEpsilon) fits = false;
+            return;
+          }
+          // PaperLive / PaperLiveStrict: the job is clamped to the window's
+          // global optimal frequency.
+          std::optional<cluster::FreqIndex> f_star = optimal_window_freq(cap);
+          if (f_star.has_value()) {
+            if (f > *f_star) fits = false;
+          } else if (config_.admission == AdmissionMode::PaperLiveStrict) {
+            fits = false;  // "the job remains pending"
+          } else if (f > min_freq_) {
+            fits = false;  // best effort: only the lowest frequency may pass
+          }
+        });
     if (!fits) continue;
 
     Admission admission;

@@ -117,9 +117,9 @@ void Controller::compute_shadow(const Job& head) {
     // binding cap window closes (or when jobs free power — approximated by
     // the earliest running-job end).
     sim::Time cap_end = sim::kTimeMax;
-    for (const Reservation* cap : reservations_.powercaps_overlapping(now, now + 1)) {
-      cap_end = std::min(cap_end, cap->end);
-    }
+    reservations_.for_each_overlapping(
+        ReservationKind::Powercap, now, now + 1,
+        [&cap_end](const Reservation& cap) { cap_end = std::min(cap_end, cap.end); });
     sim::Time first_end =
         running_by_end_.empty() ? sim::kTimeMax : running_by_end_.begin()->first;
     shadow_time_ = std::min(cap_end, first_end);
@@ -150,7 +150,8 @@ std::optional<Controller::StartPlan> Controller::plan_start(const Job& job) {
       static_cast<double>(job.request.requested_walltime) * stretch);
   sim::Time horizon = now + est_walltime + config_.shutdown_delay;
 
-  SelectionContext ctx{cluster_, reservations_, now, horizon};
+  blocked_.ensure(reservations_, now, horizon, cluster_.topology().total_nodes());
+  SelectionContext ctx{cluster_, reservations_, now, horizon, &blocked_};
   auto nodes = selector_->select(ctx, count);
   if (!nodes) return std::nullopt;
 
@@ -212,24 +213,32 @@ void Controller::power_node_off(cluster::NodeId node) {
 
 void Controller::release_node(cluster::NodeId node) {
   sim::Time now = simulator_.now();
-  for (const Reservation* res : reservations_.switchoffs_overlapping(now, now + 1)) {
-    if (std::binary_search(res->nodes.begin(), res->nodes.end(), node)) {
-      power_node_off(node);  // opportunistic shutdown inside the window
-      return;
-    }
+  bool switch_off = false;
+  reservations_.for_each_overlapping(
+      ReservationKind::SwitchOff, now, now + 1, [&switch_off, node](const Reservation& res) {
+        switch_off = switch_off ||
+                     std::binary_search(res.nodes.begin(), res.nodes.end(), node);
+      });
+  if (switch_off) {
+    power_node_off(node);  // opportunistic shutdown inside the window
+    return;
   }
   cluster_.set_state(node, cluster::NodeState::Idle);
 }
 
-void Controller::finish_job(JobId id, bool killed_by_walltime) {
+void Controller::teardown_running_job(JobId id, bool cancel_end_event, JobState final_state) {
   Job& job = jobs_.at(id);
-  PS_CHECK_MSG(job.state == JobState::Running, "finish_job on non-running job");
   sim::Time now = simulator_.now();
+
+  auto event = end_events_.find(id);
+  PS_CHECK(event != end_events_.end());
+  if (cancel_end_event) simulator_.cancel(event->second);
+  end_events_.erase(event);
 
   for (cluster::NodeId node : job.nodes) {
     release_node(node);
   }
-  job.state = killed_by_walltime ? JobState::Killed : JobState::Completed;
+  job.state = final_state;
   job.end_time = now;
 
   double used_core_seconds =
@@ -238,8 +247,7 @@ void Controller::finish_job(JobId id, bool killed_by_walltime) {
   fairshare_.charge(job.request.user, used_core_seconds, now);
 
   running_by_end_.erase({job.start_time + job.scaled_walltime, id});
-  end_events_.erase(id);
-  if (killed_by_walltime) {
+  if (final_state == JobState::Killed) {
     ++stats_.killed;
   } else {
     ++stats_.completed;
@@ -247,33 +255,20 @@ void Controller::finish_job(JobId id, bool killed_by_walltime) {
   ++epoch_;
   for (ControllerObserver* obs : observers_) obs->on_job_end(job);
   notify_state_change();
+}
+
+void Controller::finish_job(JobId id, bool killed_by_walltime) {
+  PS_CHECK_MSG(jobs_.at(id).state == JobState::Running, "finish_job on non-running job");
+  // The end event is firing right now: erase it, but there is nothing to
+  // cancel.
+  teardown_running_job(id, /*cancel_end_event=*/false,
+                       killed_by_walltime ? JobState::Killed : JobState::Completed);
   request_schedule();
 }
 
 void Controller::kill_job(JobId id) {
-  Job& job = jobs_.at(id);
-  PS_CHECK_MSG(job.state == JobState::Running, "kill_job on non-running job");
-  auto it = end_events_.find(id);
-  PS_CHECK(it != end_events_.end());
-  simulator_.cancel(it->second);
-  end_events_.erase(it);
-
-  sim::Time now = simulator_.now();
-  for (cluster::NodeId node : job.nodes) {
-    release_node(node);
-  }
-  double used_core_seconds =
-      static_cast<double>(job.allocated_cores(cluster_.topology().cores_per_node())) *
-      sim::to_seconds(now - job.start_time);
-  fairshare_.charge(job.request.user, used_core_seconds, now);
-
-  running_by_end_.erase({job.start_time + job.scaled_walltime, id});
-  job.state = JobState::Killed;
-  job.end_time = now;
-  ++stats_.killed;
-  ++epoch_;
-  for (ControllerObserver* obs : observers_) obs->on_job_end(job);
-  notify_state_change();
+  PS_CHECK_MSG(jobs_.at(id).state == JobState::Running, "kill_job on non-running job");
+  teardown_running_job(id, /*cancel_end_event=*/true, JobState::Killed);
 }
 
 void Controller::rescale_running_job(JobId id, cluster::FreqIndex new_freq,

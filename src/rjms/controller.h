@@ -169,6 +169,9 @@ class Controller {
   std::optional<StartPlan> plan_start(const Job& job);
   void start_job(Job& job, StartPlan plan);
   void finish_job(JobId id, bool killed_by_walltime);
+  /// Shared end-of-life bookkeeping for finish_job and kill_job: end-event
+  /// cleanup, node release, fairshare charge, stats, observers.
+  void teardown_running_job(JobId id, bool cancel_end_event, JobState final_state);
   void recompute_priorities();
   /// Shadow-time estimate for the head job (EASY): earliest time enough
   /// nodes are expected free, using walltime-based end estimates.
@@ -196,6 +199,10 @@ class Controller {
   std::vector<JobId> pending_;  ///< sorted by priority each full pass
   std::set<std::pair<sim::Time, JobId>> running_by_end_;
   std::unordered_map<JobId, sim::EventId> end_events_;
+
+  // Pass-scoped blocked-node cache handed to the selectors; rebuilt lazily
+  // by plan_start when the reservation book or the probed span changes.
+  BlockedSet blocked_;
 
   // EASY shadow cached from the last full pass (for submit-path attempts).
   sim::Time shadow_time_ = sim::kTimeMax;

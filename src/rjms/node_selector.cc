@@ -1,14 +1,12 @@
 #include "rjms/node_selector.h"
 
-#include <algorithm>
-#include <numeric>
-
 #include "util/check.h"
 
 namespace ps::rjms {
 
 bool node_available(const SelectionContext& ctx, cluster::NodeId node) {
   if (ctx.cluster.state(node) != cluster::NodeState::Idle) return false;
+  if (ctx.blocked != nullptr) return !ctx.blocked->blocked(node);
   return !ctx.reservations.node_blocked(node, ctx.start, ctx.horizon);
 }
 
@@ -26,41 +24,26 @@ void take_from_chassis(const SelectionContext& ctx, cluster::ChassisId chassis,
   }
 }
 
+// All three selectors read the cluster's incremental idle index instead of
+// sweeping nodes, so one select costs O(chassis visited + nodes taken), not
+// O(cluster). Selection order is unchanged from the sweeping originals.
+
 class PackingSelector final : public NodeSelector {
  public:
   std::optional<std::vector<cluster::NodeId>> select(const SelectionContext& ctx,
                                                      std::int32_t count) override {
     const cluster::Topology& topo = ctx.cluster.topology();
-    // Order chassis by (idle count ascending, id): filling the most loaded
-    // chassis first leaves whole chassis free for grouped shutdown.
-    struct Slot {
-      std::int32_t idle;
-      cluster::ChassisId chassis;
-    };
-    // Idle counts per chassis in one pass over nodes.
-    std::vector<std::int32_t> idle_count(
-        static_cast<std::size_t>(topo.total_chassis()), 0);
-    for (cluster::NodeId n = 0; n < topo.total_nodes(); ++n) {
-      if (ctx.cluster.state(n) == cluster::NodeState::Idle) {
-        ++idle_count[static_cast<std::size_t>(topo.chassis_of_node(n))];
-      }
-    }
-    std::vector<Slot> slots;
-    slots.reserve(static_cast<std::size_t>(topo.total_chassis()));
-    for (cluster::ChassisId c = 0; c < topo.total_chassis(); ++c) {
-      std::int32_t idle = idle_count[static_cast<std::size_t>(c)];
-      if (idle > 0) slots.push_back(Slot{idle, c});
-    }
-    std::sort(slots.begin(), slots.end(), [](const Slot& a, const Slot& b) {
-      if (a.idle != b.idle) return a.idle < b.idle;
-      return a.chassis < b.chassis;
-    });
-
     std::vector<cluster::NodeId> out;
     out.reserve(static_cast<std::size_t>(count));
-    for (const Slot& slot : slots) {
-      take_from_chassis(ctx, slot.chassis, count, out);
-      if (static_cast<std::int32_t>(out.size()) >= count) return out;
+    // (idle count ascending, id ascending) straight off the bucket index:
+    // filling the most loaded chassis first leaves whole chassis free for
+    // grouped shutdown. select() does not mutate node states, so iterating
+    // the live index is safe.
+    for (std::int32_t idle = 1; idle <= topo.nodes_per_chassis(); ++idle) {
+      for (cluster::ChassisId chassis : ctx.cluster.chassis_with_idle(idle)) {
+        take_from_chassis(ctx, chassis, count, out);
+        if (static_cast<std::int32_t>(out.size()) >= count) return out;
+      }
     }
     return std::nullopt;
   }
@@ -75,11 +58,13 @@ class LinearSelector final : public NodeSelector {
     const cluster::Topology& topo = ctx.cluster.topology();
     std::vector<cluster::NodeId> out;
     out.reserve(static_cast<std::size_t>(count));
-    for (cluster::NodeId n = 0; n < topo.total_nodes(); ++n) {
-      if (node_available(ctx, n)) {
-        out.push_back(n);
-        if (static_cast<std::int32_t>(out.size()) >= count) return out;
-      }
+    // First fit by ascending node id == ascending chassis id with ascending
+    // node within each chassis; chassis with no idle node contribute nothing
+    // and are skipped via the index.
+    for (cluster::ChassisId c = 0; c < topo.total_chassis(); ++c) {
+      if (ctx.cluster.idle_nodes(c) == 0) continue;
+      take_from_chassis(ctx, c, count, out);
+      if (static_cast<std::int32_t>(out.size()) >= count) return out;
     }
     return std::nullopt;
   }
@@ -95,9 +80,11 @@ class SpreadSelector final : public NodeSelector {
     std::vector<cluster::NodeId> out;
     out.reserve(static_cast<std::size_t>(count));
     // Round-robin: index i within chassis, sweeping all chassis, so
-    // allocations scatter as widely as possible (ablation baseline).
+    // allocations scatter as widely as possible (ablation baseline). Fully
+    // occupied chassis are skipped via the idle index.
     for (std::int32_t i = 0; i < topo.nodes_per_chassis(); ++i) {
       for (cluster::ChassisId c = 0; c < topo.total_chassis(); ++c) {
+        if (ctx.cluster.idle_nodes(c) == 0) continue;
         cluster::NodeId node = topo.first_node_of_chassis(c) + i;
         if (node_available(ctx, node)) {
           out.push_back(node);

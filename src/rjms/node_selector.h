@@ -23,6 +23,11 @@ struct SelectionContext {
   const ReservationBook& reservations;
   sim::Time start;    ///< job start (now)
   sim::Time horizon;  ///< start + pessimistic walltime (+ transition margins)
+  /// Pass-scoped blocked-node cache for [start, horizon). When set (the
+  /// controller threads one through every pass), availability probes are two
+  /// array reads; when null, probes fall back to the ReservationBook
+  /// interval query (identical result, used by direct/test callers).
+  const BlockedSet* blocked = nullptr;
 };
 
 /// A node is selectable iff it is Idle and no Maintenance/SwitchOff

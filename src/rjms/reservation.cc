@@ -28,6 +28,7 @@ ReservationId ReservationBook::add(Reservation reservation) {
   }
   reservation.id = next_id_++;
   reservations_.push_back(std::move(reservation));
+  ++version_;
   return reservations_.back().id;
 }
 
@@ -36,6 +37,7 @@ bool ReservationBook::remove(ReservationId id) {
                          [id](const Reservation& r) { return r.id == id; });
   if (it == reservations_.end()) return false;
   reservations_.erase(it);
+  ++version_;
   return true;
 }
 
@@ -47,13 +49,7 @@ const Reservation* ReservationBook::find(ReservationId id) const {
 
 bool ReservationBook::node_blocked(cluster::NodeId node, sim::Time from, sim::Time to) const {
   for (const Reservation& r : reservations_) {
-    if (r.kind == ReservationKind::Powercap) continue;
-    if (r.kind == ReservationKind::SwitchOff && r.permissive) {
-      // Permissive: only job *starts* inside the window are forbidden.
-      if (!r.active_at(from)) continue;
-    } else {
-      if (!r.overlaps(from, to)) continue;
-    }
+    if (!r.blocks_job_span(from, to)) continue;
     if (std::binary_search(r.nodes.begin(), r.nodes.end(), node)) return true;
   }
   return false;
@@ -62,18 +58,16 @@ bool ReservationBook::node_blocked(cluster::NodeId node, sim::Time from, sim::Ti
 std::vector<const Reservation*> ReservationBook::powercaps_overlapping(sim::Time from,
                                                                        sim::Time to) const {
   std::vector<const Reservation*> out;
-  for (const Reservation& r : reservations_) {
-    if (r.kind == ReservationKind::Powercap && r.overlaps(from, to)) out.push_back(&r);
-  }
+  for_each_overlapping(ReservationKind::Powercap, from, to,
+                       [&out](const Reservation& r) { out.push_back(&r); });
   return out;
 }
 
 std::vector<const Reservation*> ReservationBook::switchoffs_overlapping(sim::Time from,
                                                                         sim::Time to) const {
   std::vector<const Reservation*> out;
-  for (const Reservation& r : reservations_) {
-    if (r.kind == ReservationKind::SwitchOff && r.overlaps(from, to)) out.push_back(&r);
-  }
+  for_each_overlapping(ReservationKind::SwitchOff, from, to,
+                       [&out](const Reservation& r) { out.push_back(&r); });
   return out;
 }
 
@@ -85,6 +79,32 @@ double ReservationBook::cap_at(sim::Time t) const {
     }
   }
   return cap;
+}
+
+void BlockedSet::ensure(const ReservationBook& book, sim::Time start, sim::Time horizon,
+                        std::int32_t total_nodes) {
+  auto nodes = static_cast<std::size_t>(total_nodes);
+  if (book_version_ == book.version() && start_ == start && horizon_ == horizon &&
+      stamps_.size() == nodes) {
+    return;
+  }
+  if (stamps_.size() != nodes) {
+    stamps_.assign(nodes, 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+  // ReservationBook::node_blocked vectorized over nodes, sharing its
+  // blocking predicate.
+  for (const Reservation& r : book.all()) {
+    if (!r.blocks_job_span(start, horizon)) continue;
+    for (cluster::NodeId node : r.nodes) {
+      auto i = static_cast<std::size_t>(node);
+      if (i < stamps_.size()) stamps_[i] = epoch_;
+    }
+  }
+  book_version_ = book.version();
+  start_ = start;
+  horizon_ = horizon;
 }
 
 double ReservationBook::min_cap_over(sim::Time from, sim::Time to) const {

@@ -56,6 +56,19 @@ struct Reservation {
     return start < to && from < end;
   }
   bool active_at(sim::Time t) const noexcept { return start <= t && t < end; }
+
+  /// True when this reservation forbids starting a job spanning
+  /// [from, to) on its nodes. The single source of blocking semantics —
+  /// ReservationBook::node_blocked and BlockedSet::ensure both defer here
+  /// so the cached and fallback availability paths can never diverge.
+  bool blocks_job_span(sim::Time from, sim::Time to) const noexcept {
+    if (kind == ReservationKind::Powercap) return false;
+    if (kind == ReservationKind::SwitchOff && permissive) {
+      // Permissive: only job *starts* inside the window are forbidden.
+      return active_at(from);
+    }
+    return overlaps(from, to);
+  }
 };
 
 /// Registry of reservations with the interval queries the scheduler needs.
@@ -76,11 +89,26 @@ class ReservationBook {
   /// overlapping [from, to).
   bool node_blocked(cluster::NodeId node, sim::Time from, sim::Time to) const;
 
+  /// Allocation-free interval query: calls `fn(const Reservation&)` for each
+  /// reservation of `kind` overlapping [from, to), in id order. This is the
+  /// hot-path form of the *_overlapping vector queries below.
+  template <typename Fn>
+  void for_each_overlapping(ReservationKind kind, sim::Time from, sim::Time to,
+                            Fn&& fn) const {
+    for (const Reservation& r : reservations_) {
+      if (r.kind == kind && r.overlaps(from, to)) fn(r);
+    }
+  }
+
   /// Pointers to powercap reservations overlapping [from, to), in id order.
   std::vector<const Reservation*> powercaps_overlapping(sim::Time from, sim::Time to) const;
 
   /// Pointers to switch-off reservations overlapping [from, to).
   std::vector<const Reservation*> switchoffs_overlapping(sim::Time from, sim::Time to) const;
+
+  /// Mutation counter: bumped by add/remove. Lets derived caches (e.g.
+  /// BlockedSet) detect staleness without observing every call site.
+  std::uint64_t version() const noexcept { return version_; }
 
   /// Effective cap at instant `t`: the minimum watts among active powercap
   /// reservations; +infinity when none.
@@ -92,6 +120,36 @@ class ReservationBook {
  private:
   std::vector<Reservation> reservations_;
   ReservationId next_id_ = 1;
+  std::uint64_t version_ = 0;
+};
+
+/// Pass-scoped cache of "which nodes are reservation-blocked for a job
+/// spanning [start, horizon)". Built from the ReservationBook in
+/// O(reservations + blocked nodes), it turns each node_available probe's
+/// interval query (O(reservations × log nodes)) into two array reads.
+///
+/// Epoch-stamped: ensure() bumps an epoch and restamps the blocked nodes
+/// instead of clearing the bitmap, so rebuilds never pay O(total nodes).
+/// A rebuild only happens when the book version or the queried interval
+/// changed; repeated probes within one scheduling pass hit the cache.
+class BlockedSet {
+ public:
+  /// Makes the set describe [start, horizon) under `book`. No-op when the
+  /// cached interval and book version still match.
+  void ensure(const ReservationBook& book, sim::Time start, sim::Time horizon,
+              std::int32_t total_nodes);
+
+  bool blocked(cluster::NodeId node) const noexcept {
+    auto i = static_cast<std::size_t>(node);
+    return i < stamps_.size() && stamps_[i] == epoch_;
+  }
+
+ private:
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t book_version_ = ~0ull;
+  sim::Time start_ = -1;
+  sim::Time horizon_ = -1;
 };
 
 }  // namespace ps::rjms

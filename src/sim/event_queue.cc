@@ -1,55 +1,11 @@
+// EventQueue is header-inline (see event_queue.h): the simulator's inner
+// loop runs through push/pop/next_time and wants them inlined at the call
+// site. This TU exists so the build keeps a stable object for the header.
 #include "sim/event_queue.h"
-
-#include "util/check.h"
 
 namespace ps::sim {
 
-EventId EventQueue::push(Time time, Callback callback) {
-  PS_CHECK_MSG(callback != nullptr, "event callback must not be null");
-  EventId id = next_id_++;
-  heap_.push(Entry{time, next_seq_++, id});
-  callbacks_.emplace(id, std::move(callback));
-  ++live_count_;
-  return id;
-}
-
-bool EventQueue::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  --live_count_;
-  return true;
-}
-
-void EventQueue::skip_cancelled() const {
-  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
-  }
-}
-
-Time EventQueue::next_time() const {
-  skip_cancelled();
-  if (heap_.empty()) return kTimeMax;
-  return heap_.top().time;
-}
-
-EventQueue::Fired EventQueue::pop() {
-  skip_cancelled();
-  PS_CHECK_MSG(!heap_.empty(), "pop from empty event queue");
-  Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  PS_CHECK(it != callbacks_.end());
-  Fired fired{top.time, top.id, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_count_;
-  return fired;
-}
-
-void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
-  callbacks_.clear();
-  live_count_ = 0;
-}
+// Anchor to keep the translation unit non-empty.
+static_assert(kInvalidEventId == 0);
 
 }  // namespace ps::sim

@@ -1,13 +1,35 @@
-// Cancellable min-heap event queue with deterministic FIFO tie-breaking.
+// Cancellable priority event queue with deterministic FIFO tie-breaking.
+//
+// Allocation-lean core, three cooperating parts:
+//   * a slab of callback slots in fixed-size chunks — growth never moves a
+//     live std::function, a freelist recycles slots, and steady-state
+//     push/pop performs no container allocation;
+//   * a staging buffer + sorted run for bulk patterns: pushes land in an
+//     unsorted staging vector; when a large batch accumulates (workload
+//     preload, scheduling-pass bursts) it is sorted once and merged into a
+//     sorted run that pops in O(1) per event — far cheaper than sifting a
+//     heap for every entry;
+//   * a 4-ary min-heap for small interleaved batches — shallower than a
+//     binary heap and friendlier to the cache on the sift path.
+// The pop order is the total order (time, insertion seq) regardless of
+// which structure holds an entry, so determinism and FIFO tie-breaks are
+// structural invariants, not scheduling accidents. Cancellation is lazy
+// and in-place: cancel() frees the slot immediately and stale entries are
+// skipped when they surface, identified by their slot key; a dead-entry
+// counter keeps the no-cancellation fast path free of slot lookups.
+// Methods are defined inline: the simulator drives millions of events per
+// run and the hot loops want to inline into the caller.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
+#include "util/check.h"
 
 namespace ps::sim {
 
@@ -24,11 +46,49 @@ class EventQueue {
   using Callback = std::function<void()>;
 
   /// Enqueues `callback` at `time`; returns a handle for cancel().
-  EventId push(Time time, Callback callback);
+  EventId push(Time time, Callback callback) {
+    PS_CHECK_MSG(callback != nullptr, "event callback must not be null");
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = slot_count_++;
+      PS_CHECK_MSG(slot < (1u << kSlotBits), "too many concurrent events");
+      if ((slot >> kChunkBits) == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      }
+    }
+    Slot& s = slot_ref(slot);
+    s.callback = std::move(callback);
+    s.live = true;
+    std::uint64_t key = (next_seq_++ << kSlotBits) | slot;
+    s.last_key = key;
+
+    std::uint64_t utime = bias(time);
+    staging_.push_back(Entry{utime, key});
+    staging_or_ |= utime;
+    staging_and_ &= utime;
+    ++live_count_;
+    // The id is the key plus one so that id 0 is never issued.
+    return key + 1;
+  }
 
   /// Cancels a pending event. Returns false if the event already fired,
   /// was already cancelled, or the id was never issued.
-  bool cancel(EventId id);
+  bool cancel(EventId id) {
+    if (id == kInvalidEventId) return false;
+    std::uint64_t key = id - 1;
+    std::uint32_t slot = slot_of(key);
+    if (slot >= slot_count_) return false;
+    Slot& s = slot_ref(slot);
+    if (!s.live || s.last_key != key) return false;
+    // Lazy: the entry stays where it is and is skipped when it surfaces.
+    free_slot(slot);
+    ++dead_count_;
+    --live_count_;
+    return true;
+  }
 
   /// True when no live (non-cancelled) events remain.
   bool empty() const noexcept { return live_count_ == 0; }
@@ -37,7 +97,10 @@ class EventQueue {
   std::size_t size() const noexcept { return live_count_; }
 
   /// Time of the earliest live event; kTimeMax when empty.
-  Time next_time() const;
+  Time next_time() const {
+    const Entry* top = peek();
+    return top == nullptr ? kTimeMax : unbias(top->utime);
+  }
 
   /// Removes and returns the earliest live event. Requires !empty().
   struct Fired {
@@ -45,32 +108,285 @@ class EventQueue {
     EventId id;
     Callback callback;
   };
-  Fired pop();
+  Fired pop() {
+    const Entry* top_ptr = peek();
+    PS_CHECK_MSG(top_ptr != nullptr, "pop from empty event queue");
+    Entry top = *top_ptr;
+    if (top_ptr == run_.data() + run_head_) {
+      ++run_head_;
+      if (run_head_ == run_.size()) {
+        run_.clear();
+        run_head_ = 0;
+      }
+    } else {
+      pop_heap_top();
+    }
+
+    std::uint32_t slot = slot_of(top.key);
+    Slot& s = slot_ref(slot);
+    Fired fired{unbias(top.utime), top.key + 1, std::move(s.callback)};
+    free_slot(slot);
+    --live_count_;
+    return fired;
+  }
 
   /// Drops everything (used between simulation runs).
-  void clear();
+  void clear() {
+    staging_.clear();
+    staging_or_ = 0;
+    staging_and_ = ~std::uint64_t{0};
+    run_.clear();
+    run_head_ = 0;
+    heap_.clear();
+    chunks_.clear();
+    slot_count_ = 0;
+    free_slots_.clear();
+    live_count_ = 0;
+    dead_count_ = 0;
+  }
 
  private:
+  // An EventId encodes (slot index, insertion seq). The slot remembers the
+  // key of the event currently occupying it, so handles to fired/cancelled
+  // events can never alias an event that later reuses the slot.
+  struct Slot {
+    Callback callback;
+    std::uint64_t last_key = 0;  // key of the event occupying the slot
+    bool live = false;
+  };
+  // 16 bytes: sign-biased time + (seq << kSlotBits | slot). The time is
+  // stored biased (sign bit flipped) so it orders correctly as unsigned —
+  // which is what the radix sort digests. The seq sits in the key's high
+  // bits so key comparison breaks time ties FIFO; the slot in the low bits
+  // never affects the order because the seq is unique.
   struct Entry {
-    Time time;
-    std::uint64_t seq;  // insertion order; breaks time ties FIFO
-    EventId id;
-    // Callbacks live in a side map so that heap moves stay cheap.
+    std::uint64_t utime;  // bias(time)
+    std::uint64_t key;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+  static constexpr std::uint64_t kTimeBias = std::uint64_t{1} << 63;
+  static std::uint64_t bias(Time t) noexcept {
+    return static_cast<std::uint64_t>(t) ^ kTimeBias;
+  }
+  static Time unbias(std::uint64_t ut) noexcept {
+    return static_cast<Time>(ut ^ kTimeBias);
+  }
+
+  static constexpr std::size_t kArity = 4;
+  static constexpr unsigned kSlotBits = 24;  // up to 16.7M concurrent events
+  static constexpr unsigned kChunkBits = 12;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+
+  static std::uint32_t slot_of(std::uint64_t key) noexcept {
+    return static_cast<std::uint32_t>(key & ((1u << kSlotBits) - 1));
+  }
+
+  Slot& slot_ref(std::uint32_t s) noexcept {
+    return chunks_[s >> kChunkBits][s & (kChunkSize - 1)];
+  }
+  const Slot& slot_ref(std::uint32_t s) const noexcept {
+    return chunks_[s >> kChunkBits][s & (kChunkSize - 1)];
+  }
+
+  bool entry_live(const Entry& e) const noexcept {
+    const Slot& s = slot_ref(slot_of(e.key));
+    return s.live && s.last_key == e.key;
+  }
+  /// Earlier-than for the queue order (time, then insertion seq).
+  static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.utime != b.utime) return a.utime < b.utime;
+    return a.key < b.key;
+  }
+
+  void free_slot(std::uint32_t slot) {
+    Slot& s = slot_ref(slot);
+    s.callback = nullptr;
+    s.live = false;
+    free_slots_.push_back(slot);
+  }
+
+  /// Points at the earliest live entry (run head or heap top), or null when
+  /// no live event exists. Flushes staging and discards surfaced dead
+  /// entries. Only dead-entry removal mutates, so observable state is
+  /// untouched — hence usable from const accessors via mutable storage.
+  const Entry* peek() const {
+    auto& self = const_cast<EventQueue&>(*this);
+    self.flush_staging();
+    self.discard_dead();
+    const Entry* run_top = run_head_ < run_.size() ? &run_[run_head_] : nullptr;
+    const Entry* heap_top = heap_.empty() ? nullptr : &heap_.front();
+    if (run_top == nullptr) return heap_top;
+    if (heap_top == nullptr) return run_top;
+    return before(*run_top, *heap_top) ? run_top : heap_top;
+  }
+
+  /// Advances past cancelled entries at the run head and heap top. The
+  /// dead-entry counter makes the common no-cancellation case a single
+  /// comparison with no slot lookups.
+  void discard_dead() {
+    while (dead_count_ != 0) {
+      if (run_head_ < run_.size() && !entry_live(run_[run_head_])) {
+        ++run_head_;
+        if (run_head_ == run_.size()) {
+          run_.clear();
+          run_head_ = 0;
+        }
+        --dead_count_;
+        continue;
+      }
+      if (!heap_.empty() && !entry_live(heap_.front())) {
+        pop_heap_top();
+        --dead_count_;
+        continue;
+      }
+      break;
     }
-  };
+  }
 
-  void skip_cancelled() const;
+  void flush_staging() {
+    if (staging_.empty()) return;
+    std::size_t run_len = run_.size() - run_head_;
+    if (staging_.size() * 4 < run_len) {
+      // Batch small relative to the run: sift into the heap. Merging here
+      // would re-copy the whole run for a handful of events — repeated
+      // small batches against a long preloaded run must not go quadratic.
+      for (const Entry& e : staging_) {
+        heap_.push_back(e);
+        sift_up(heap_.size() - 1);
+      }
+    } else {
+      // Batch comparable to (or larger than) the run: one sort + linear
+      // merge. The ratio test above bounds merge work at a constant factor
+      // of the batch size, so bulk loads cost a few linear passes per
+      // event instead of a full heap sift.
+      sort_staging();
+      if (run_len == 0) {
+        run_.swap(staging_);
+        run_head_ = 0;
+      } else {
+        scratch_.clear();
+        scratch_.reserve(run_len + staging_.size());
+        std::merge(run_.begin() + static_cast<std::ptrdiff_t>(run_head_), run_.end(),
+                   staging_.begin(), staging_.end(), std::back_inserter(scratch_),
+                   [](const Entry& a, const Entry& b) { return before(a, b); });
+        run_.swap(scratch_);
+        run_head_ = 0;
+      }
+    }
+    staging_.clear();
+    staging_or_ = 0;
+    staging_and_ = ~std::uint64_t{0};
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  /// Sorts staging into queue order. Staging is appended in insertion
+  /// order, so its seq values are already ascending: a STABLE sort by
+  /// biased time alone yields exactly the (time, seq) total order. That
+  /// enables a stable LSD radix sort over only the bytes of utime that
+  /// actually vary across the batch (tracked with running or/and masks at
+  /// push time) — typically 2-4 passes instead of an O(n log n) comparison
+  /// sort whose data-dependent branches mispredict on random times.
+  void sort_staging() {
+    const std::size_t n = staging_.size();
+    std::uint64_t varying = staging_or_ ^ staging_and_;
+    if (varying == 0) return;  // all times equal: already in queue order
+    int passes = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      if ((varying >> (8 * b)) & 0xff) ++passes;
+    }
+    // Small batches or many digit passes: comparison sort wins.
+    if (n < 128 || passes > 5) {
+      std::stable_sort(staging_.begin(), staging_.end(),
+                       [](const Entry& a, const Entry& b) { return a.utime < b.utime; });
+      return;
+    }
+    radix_buf_.resize(n);
+    Entry* src = staging_.data();
+    Entry* dst = radix_buf_.data();
+    for (unsigned b = 0; b < 8; ++b) {
+      if (((varying >> (8 * b)) & 0xff) == 0) continue;
+      const unsigned shift = 8 * b;
+      std::uint32_t count[256] = {};
+      for (std::size_t i = 0; i < n; ++i) {
+        ++count[(src[i].utime >> shift) & 0xff];
+      }
+      std::uint32_t pos = 0;
+      for (std::uint32_t& c : count) {
+        std::uint32_t next = pos + c;
+        c = pos;
+        pos = next;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[count[(src[i].utime >> shift) & 0xff]++] = src[i];
+      }
+      std::swap(src, dst);
+    }
+    if (src != staging_.data()) staging_.swap(radix_buf_);
+  }
+
+  void pop_heap_top() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  void sift_up(std::size_t i) {
+    Entry moving = heap_[i];
+    while (i > 0) {
+      std::size_t parent = (i - 1) / kArity;
+      if (!before(moving, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = moving;
+  }
+
+  void sift_down(std::size_t i) {
+    Entry moving = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best;
+      if (first_child + kArity <= n) {
+        // Straight-line tournament over the full 4 children (common case).
+        std::size_t b01 = before(heap_[first_child + 1], heap_[first_child])
+                              ? first_child + 1
+                              : first_child;
+        std::size_t b23 = before(heap_[first_child + 3], heap_[first_child + 2])
+                              ? first_child + 3
+                              : first_child + 2;
+        best = before(heap_[b23], heap_[b01]) ? b23 : b01;
+      } else {
+        best = first_child;
+        for (std::size_t c = first_child + 1; c < n; ++c) {
+          if (before(heap_[c], heap_[best])) best = c;
+        }
+      }
+      if (!before(heap_[best], moving)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = moving;
+  }
+
+  // All entry containers are mutable: peek() (used by const next_time)
+  // flushes staging and discards surfaced dead entries, neither of which
+  // changes the observable set of live events.
+  mutable std::vector<Entry> staging_;  // unsorted recent pushes
+  mutable std::uint64_t staging_or_ = 0;              // OR of staged utimes
+  mutable std::uint64_t staging_and_ = ~std::uint64_t{0};  // AND of staged utimes
+  mutable std::vector<Entry> run_;      // sorted ascending; consumed from run_head_
+  mutable std::size_t run_head_ = 0;
+  mutable std::vector<Entry> heap_;     // 4-ary min-heap over (time, seq)
+  mutable std::vector<Entry> scratch_;  // merge workspace (capacity reused)
+  mutable std::vector<Entry> radix_buf_;  // radix scatter workspace
+  // Slot slab in fixed chunks: growth never moves a live std::function and
+  // slot addresses stay stable for the lifetime of the queue.
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::size_t live_count_ = 0;
+  mutable std::size_t dead_count_ = 0;  // cancelled entries not yet surfaced
 };
 
 }  // namespace ps::sim
