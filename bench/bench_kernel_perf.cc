@@ -17,6 +17,7 @@
 
 #include "cluster/curie.h"
 #include "core/experiment.h"
+#include "core/online.h"
 #include "rjms/controller.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
@@ -193,6 +194,161 @@ void BM_NodeSelectionSpread(benchmark::State& state) {
   BM_NodeSelection<rjms::SelectorKind::Spread>(state);
 }
 BENCHMARK(BM_NodeSelectionSpread)->Arg(512);
+
+// --- admission-path benchmarks (512-node config) ---------------------------
+//
+// A 512-node machine (4 racks x 8 chassis x 16 nodes, Curie power values)
+// under unsatisfiable future powercap windows: every pending job is priced
+// by the governor on every pass and stays pending. This is the worst case
+// the batched admission path (coalesced quick-attempts, epoch-keyed
+// admission cache, interval-indexed reservation book) is built for.
+
+cluster::Cluster make_512_node_cluster() {
+  cluster::Topology topo(4, 8, 16, cluster::curie::kCoresPerNode);
+  cluster::PowerModelSpec spec{cluster::curie::kDownWatts,
+                               cluster::curie::kIdleWatts,
+                               cluster::curie::kIdleWatts,
+                               cluster::curie::kIdleWatts,
+                               cluster::curie::kChassisInfraWatts,
+                               cluster::curie::kRackInfraWatts,
+                               cluster::curie::frequency_table()};
+  return cluster::Cluster(cluster::PowerModel(std::move(topo), std::move(spec)));
+}
+
+struct AdmissionBenchRig {
+  AdmissionBenchRig(std::size_t backfill_depth)
+      : cl(make_512_node_cluster()), controller(sim, cl, config_for(backfill_depth)),
+        governor(controller, powercap_config()) {
+    controller.set_governor(&governor);
+    controller.add_observer(&governor);
+    // Four future cap windows no frequency can satisfy (PaperLiveStrict
+    // keeps overlapping jobs pending) plus six switch-off reservations the
+    // window pricing must aggregate — the per-admission work repeated for
+    // every pending job.
+    for (int w = 0; w < 4; ++w) {
+      controller.add_powercap_reservation(sim::hours(1 + w), sim::hours(2 + w), 1000.0);
+    }
+    for (int c = 0; c < 6; ++c) {
+      controller.add_switch_off_reservation(sim::hours(1), sim::hours(5),
+                                            cl.topology().nodes_of_chassis(c), 6692.0,
+                                            /*permissive=*/true);
+    }
+  }
+
+  static ps::rjms::ControllerConfig config_for(std::size_t backfill_depth) {
+    rjms::ControllerConfig config;
+    config.priority.age = 0.0;
+    config.priority.size = 0.0;
+    config.priority.fair_share = 0.0;
+    config.fairshare_enabled = false;
+    config.backfill_depth = backfill_depth;
+    return config;
+  }
+
+  static core::PowercapConfig powercap_config() {
+    core::PowercapConfig pc;
+    pc.policy = core::Policy::Mix;
+    pc.admission = core::AdmissionMode::PaperLiveStrict;
+    return pc;
+  }
+
+  workload::JobRequest request(std::int64_t id, std::int64_t cores,
+                               sim::Duration walltime) {
+    workload::JobRequest req;
+    req.id = id;
+    req.submit_time = sim.now();
+    req.user = static_cast<std::int32_t>(id % 16);
+    req.requested_cores = cores;
+    req.base_runtime = sim::hours(1);
+    req.requested_walltime = walltime;
+    return req;
+  }
+
+  sim::Simulator sim;
+  cluster::Cluster cl;
+  rjms::Controller controller;
+  core::OnlineGovernor governor;
+};
+
+// Full-pass cost over a deep pending queue: N jobs of 8 distinct
+// (width, walltime) classes, all power-blocked by the future windows, priced
+// on every pass. One iteration = one forced full pass over the queue.
+void BM_AdmissionDeepPendingPass(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  AdmissionBenchRig rig(pending);
+  for (std::size_t i = 0; i < pending; ++i) {
+    auto klass = static_cast<std::int64_t>(i % 8);
+    rig.controller.submit(rig.request(static_cast<std::int64_t>(i + 1),
+                                      (klass + 1) * 16,
+                                      sim::hours(2) + sim::minutes(klass)));
+  }
+  rig.sim.run_until(rig.sim.now());  // initial pass prices the whole queue
+  for (auto _ : state) {
+    // A far-future maintenance reservation bumps the controller epoch and
+    // triggers a coalesced pass without otherwise affecting admission.
+    rjms::ReservationId id = rig.controller.add_maintenance_reservation(
+        sim::hours(24), sim::hours(25), {0});
+    rig.sim.run_until(rig.sim.now());
+    rig.controller.reservations().remove(id);
+    benchmark::DoNotOptimize(rig.controller.pending_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pending));
+}
+BENCHMARK(BM_AdmissionDeepPendingPass)->Arg(256)->Arg(1024);
+
+// Submit-burst cost with a cached EASY shadow: each iteration submits a
+// same-millisecond burst of one job class; every attempt fails governor
+// admission and stays pending. Fixed iteration count keeps the job table
+// bounded and runs comparable across versions.
+void BM_AdmissionBurstSubmit(benchmark::State& state) {
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  AdmissionBenchRig rig(50);
+  // Full-width head: fails admission, leaves a cached shadow for the burst.
+  rig.controller.submit(rig.request(1, 512 * 16, sim::hours(2)));
+  rig.sim.run_until(rig.sim.now());
+  std::int64_t next_id = 2;
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < burst; ++b) {
+      rig.controller.submit(rig.request(next_id++, 64, sim::hours(2)));
+    }
+    rig.sim.run_until(rig.sim.now());  // drains the staged batch
+    benchmark::DoNotOptimize(rig.controller.pending_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_AdmissionBurstSubmit)->Arg(64)->Iterations(256);
+
+// Interval query throughput on a reservation book holding many per-job
+// reservations (the regime the interval index targets; a handful of
+// reservations stays on the linear small-kind path).
+void BM_ReservationOverlapQuery(benchmark::State& state) {
+  const auto count = static_cast<std::int32_t>(state.range(0));
+  rjms::ReservationBook book;
+  util::Rng rng(17);
+  for (std::int32_t i = 0; i < count; ++i) {
+    rjms::Reservation res;
+    res.kind = i % 3 == 0 ? rjms::ReservationKind::SwitchOff
+                          : rjms::ReservationKind::Maintenance;
+    res.start = rng.uniform_int(0, sim::hours(48));
+    res.end = res.start + sim::minutes(10) + rng.uniform_int(0, sim::hours(2));
+    res.nodes.push_back(i % 512);
+    book.add(std::move(res));
+  }
+  std::int64_t hits = 0;
+  for (auto _ : state) {
+    sim::Time from = rng.uniform_int(0, sim::hours(48));
+    std::int32_t n = 0;
+    book.for_each_overlapping(rjms::ReservationKind::Maintenance, from,
+                              from + sim::minutes(30),
+                              [&n](const rjms::Reservation&) { ++n; });
+    hits += n;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReservationOverlapQuery)->Arg(8)->Arg(256)->Arg(4096);
 
 void BM_FullScenarioSmall(benchmark::State& state) {
   for (auto _ : state) {

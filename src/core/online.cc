@@ -1,6 +1,7 @@
 #include "core/online.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "apps/calibrated_apps.h"
@@ -173,27 +174,31 @@ double OnlineGovernor::projected_watts_at(const rjms::Reservation& cap) const {
   return watts;
 }
 
-std::optional<rjms::PowerGovernor::Admission> OnlineGovernor::admit(
-    const rjms::Job& job, const std::vector<cluster::NodeId>& nodes) {
-  if (config_.policy == Policy::None) {
-    Admission admission;
-    admission.freq = max_freq_;
-    admission.scaled_runtime = job.request.base_runtime;
-    admission.scaled_walltime = job.request.requested_walltime;
-    return admission;
-  }
+std::size_t OnlineGovernor::VerdictKeyHash::operator()(
+    const VerdictKey& key) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<std::uint64_t>(key.walltime));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(key.width)));
+  // + 0.0 canonicalizes -0.0, keeping the hash consistent with the
+  // defaulted double equality (-0.0 == 0.0).
+  mix(std::bit_cast<std::uint64_t>(key.degmin + 0.0));
+  return static_cast<std::size_t>(h);
+}
 
-  sim::Time now = controller_.simulator().now();
+std::optional<cluster::FreqIndex> OnlineGovernor::compute_admission_freq(
+    double node_count, sim::Duration walltime, double degmin, sim::Time now) const {
   const rjms::ReservationBook& book = controller_.reservations();
   double cap_now = book.cap_at(now);
-  double degmin = degmin_for(job);
-  auto node_count = static_cast<double>(nodes.size());
 
   // Highest frequency first (Algorithm 2 walks downward on failure).
   for (cluster::FreqIndex f = max_freq_ + 1; f-- > min_freq_;) {
     double factor = degradation_.factor(f, degmin);
     auto eff_walltime = static_cast<sim::Duration>(
-        std::llround(static_cast<double>(job.request.requested_walltime) * factor));
+        std::llround(static_cast<double>(walltime) * factor));
     sim::Time span_end = now + eff_walltime;
     double delta = node_count * busy_delta(f);
 
@@ -222,15 +227,89 @@ std::optional<rjms::PowerGovernor::Admission> OnlineGovernor::admit(
           }
         });
     if (!fits) continue;
-
-    Admission admission;
-    admission.freq = f;
-    admission.scaled_runtime = static_cast<sim::Duration>(
-        std::llround(static_cast<double>(job.request.base_runtime) * factor));
-    admission.scaled_walltime = eff_walltime;
-    return admission;
+    return f;
   }
   return std::nullopt;
+}
+
+bool OnlineGovernor::admission_known_rejected(const rjms::Job& job,
+                                              std::int32_t width) const {
+  if (config_.policy == Policy::None) return false;
+  // Cache-only probe: valid only while the generation the verdicts were
+  // computed under still holds. Never clears or populates the cache.
+  if (cache_epoch_ != controller_.epoch() ||
+      cache_now_ != controller_.simulator().now() ||
+      cache_book_version_ != controller_.reservations().version()) {
+    return false;
+  }
+  VerdictKey key{job.request.requested_walltime, width, degmin_for(job)};
+  auto it = verdicts_.find(key);
+  if (it == verdicts_.end() || it->second.has_value()) return false;
+  ++cache_stats_.fast_rejects;
+  if (config_.audit_admission_cache) {
+    ++cache_stats_.audits;
+    std::optional<cluster::FreqIndex> fresh = compute_admission_freq(
+        static_cast<double>(width), key.walltime, key.degmin, cache_now_);
+    PS_CHECK_MSG(!fresh.has_value(),
+                 "cached rejection diverged from brute-force re-verdict");
+  }
+  return true;
+}
+
+std::optional<rjms::PowerGovernor::Admission> OnlineGovernor::admit(
+    const rjms::Job& job, const std::vector<cluster::NodeId>& nodes) {
+  if (config_.policy == Policy::None) {
+    Admission admission;
+    admission.freq = max_freq_;
+    admission.scaled_runtime = job.request.base_runtime;
+    admission.scaled_walltime = job.request.requested_walltime;
+    return admission;
+  }
+
+  sim::Time now = controller_.simulator().now();
+  double degmin = degmin_for(job);
+  auto node_count = static_cast<double>(nodes.size());
+
+  // Generation check: any resource-state, time or reservation change since
+  // the last verdict invalidates the whole cache (see Controller::epoch).
+  if (cache_epoch_ != controller_.epoch() || cache_now_ != now ||
+      cache_book_version_ != controller_.reservations().version()) {
+    if (!verdicts_.empty()) ++cache_stats_.invalidations;
+    verdicts_.clear();
+    cache_epoch_ = controller_.epoch();
+    cache_now_ = now;
+    cache_book_version_ = controller_.reservations().version();
+  }
+
+  VerdictKey key{job.request.requested_walltime,
+                 static_cast<std::int32_t>(nodes.size()), degmin};
+  std::optional<cluster::FreqIndex> verdict;
+  auto it = verdicts_.find(key);
+  if (it != verdicts_.end()) {
+    ++cache_stats_.hits;
+    verdict = it->second;
+    if (config_.audit_admission_cache) {
+      ++cache_stats_.audits;
+      std::optional<cluster::FreqIndex> fresh =
+          compute_admission_freq(node_count, key.walltime, degmin, now);
+      PS_CHECK_MSG(fresh == verdict,
+                   "admission cache diverged from brute-force re-verdict");
+    }
+  } else {
+    ++cache_stats_.misses;
+    verdict = compute_admission_freq(node_count, key.walltime, degmin, now);
+    verdicts_.emplace(key, verdict);
+  }
+  if (!verdict.has_value()) return std::nullopt;
+
+  double factor = degradation_.factor(*verdict, degmin);
+  Admission admission;
+  admission.freq = *verdict;
+  admission.scaled_runtime = static_cast<sim::Duration>(
+      std::llround(static_cast<double>(job.request.base_runtime) * factor));
+  admission.scaled_walltime = static_cast<sim::Duration>(
+      std::llround(static_cast<double>(job.request.requested_walltime) * factor));
+  return admission;
 }
 
 }  // namespace ps::core

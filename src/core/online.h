@@ -11,6 +11,14 @@
 //
 // Power-projection bookkeeping is incremental (observer callbacks), so an
 // admission test costs O(#overlapping windows), not O(#running jobs).
+//
+// Admission verdicts are additionally cached per job class: a verdict
+// depends only on (requested walltime, allocation width, degmin) plus the
+// shadow state captured by (controller epoch, now, reservation-book
+// version). A scheduling pass over a deep pending queue therefore prices
+// each distinct class once; repeats are hash lookups. The cache can be
+// audited against brute-force re-verdicts (PowercapConfig::
+// audit_admission_cache), mirroring Cluster::audit_watts.
 #pragma once
 
 #include <map>
@@ -32,6 +40,8 @@ class OnlineGovernor final : public rjms::PowerGovernor, public rjms::Controller
   std::optional<Admission> admit(const rjms::Job& job,
                                  const std::vector<cluster::NodeId>& nodes) override;
   double max_walltime_stretch() const override { return walltime_stretch_; }
+  bool admission_known_rejected(const rjms::Job& job,
+                                std::int32_t width) const override;
 
   // --- rjms::ControllerObserver (power bookkeeping) ------------------------
   void on_job_start(const rjms::Job& job) override;
@@ -61,6 +71,18 @@ class OnlineGovernor final : public rjms::PowerGovernor, public rjms::Controller
   /// degmin used for a given job (app-specific when configured and known).
   double degmin_for(const rjms::Job& job) const;
 
+  /// Admission-cache observability (tests, benches, ops counters).
+  struct AdmissionCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;  ///< generation moved, map cleared
+    std::uint64_t audits = 0;         ///< brute-force re-verdicts performed
+    std::uint64_t fast_rejects = 0;   ///< selector walks skipped via cached rejection
+  };
+  const AdmissionCacheStats& admission_cache_stats() const noexcept {
+    return cache_stats_;
+  }
+
  private:
   struct CapCache {
     double persisting_delta = 0.0;  ///< watts above idle from jobs running into the window
@@ -82,6 +104,36 @@ class OnlineGovernor final : public rjms::PowerGovernor, public rjms::Controller
   /// Future-cap persistence sums, keyed by reservation id; entries for
   /// windows that already started are pruned lazily.
   mutable std::map<rjms::ReservationId, CapCache> future_caps_;
+
+  // --- epoch-keyed admission cache -----------------------------------------
+
+  /// Everything an admission verdict depends on besides the generation
+  /// triple below: jobs of one class always get the same frequency (or the
+  /// same rejection).
+  struct VerdictKey {
+    sim::Duration walltime = 0;  ///< requested (pre-degradation) walltime
+    std::int32_t width = 0;      ///< allocation width in nodes
+    double degmin = 0.0;         ///< the job's degradation parameter
+    bool operator==(const VerdictKey&) const = default;
+  };
+  struct VerdictKeyHash {
+    std::size_t operator()(const VerdictKey& key) const noexcept;
+  };
+
+  /// Algorithm 2's frequency walk, extracted so cache misses and audits
+  /// share one implementation. nullopt = job stays pending.
+  std::optional<cluster::FreqIndex> compute_admission_freq(double node_count,
+                                                           sim::Duration walltime,
+                                                           double degmin,
+                                                           sim::Time now) const;
+
+  /// Verdicts valid for the current (epoch, now, book version) generation.
+  std::unordered_map<VerdictKey, std::optional<cluster::FreqIndex>, VerdictKeyHash>
+      verdicts_;
+  std::uint64_t cache_epoch_ = ~0ull;
+  std::uint64_t cache_book_version_ = ~0ull;
+  sim::Time cache_now_ = -1;
+  mutable AdmissionCacheStats cache_stats_;  ///< counters move on const probes too
 };
 
 }  // namespace ps::core

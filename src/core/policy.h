@@ -90,6 +90,13 @@ struct PowercapConfig {
   /// wait for completions).
   bool kill_on_overcap = false;
 
+  /// Audit mode for the governor's epoch-keyed admission cache: every cache
+  /// hit is re-verdicted from scratch and checked against the cached value
+  /// (the admission analogue of Cluster::audit_watts). Throws CheckError on
+  /// divergence. Costs the full admission computation per hit — tests and
+  /// debugging only.
+  bool audit_admission_cache = false;
+
   /// Extension (the paper's §VIII future work): dynamically re-scale the
   /// frequency of *running* jobs at cap-window boundaries — down to the
   /// window's optimal frequency when it opens ("faster power decrease when

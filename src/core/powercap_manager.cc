@@ -47,6 +47,7 @@ rjms::ReservationId PowercapManager::add_powercap(sim::Time start, sim::Time end
 }
 
 void PowercapManager::rescale_down_for_window(rjms::ReservationId cap_id) {
+  controller_.drain_submit_batch();  // rescaling mutates scheduling state
   const rjms::Reservation* cap = controller_.reservations().find(cap_id);
   if (cap == nullptr) return;
   std::optional<cluster::FreqIndex> target = governor_.optimal_window_freq(*cap);
@@ -74,6 +75,7 @@ void PowercapManager::rescale_down_for_window(rjms::ReservationId cap_id) {
 }
 
 void PowercapManager::rescale_up_after_window() {
+  controller_.drain_submit_batch();  // rescaling mutates scheduling state
   double cap_now = controller_.reservations().cap_at(controller_.simulator().now());
   const DegradationModel& degradation = governor_.degradation();
   const cluster::PowerModel& pm = controller_.cluster().power_model();
@@ -111,6 +113,9 @@ rjms::ReservationId PowercapManager::add_powercap_now(double watts) {
 }
 
 void PowercapManager::enforce_cap(double watts) {
+  // Same-millisecond submissions must land before the watts reading below,
+  // exactly as they would have with inline quick attempts.
+  controller_.drain_submit_batch();
   // Paper §IV-B: by default no extreme actions are taken; sites may opt in
   // to killing "the necessary number of jobs ... until the power
   // consumption of the cluster drops". Newest-first loses the least work.

@@ -47,16 +47,38 @@ JobId Controller::submit(const workload::JobRequest& request) {
   jobs_.emplace(id, std::move(job));
   pending_.push_back(id);
   if (shadow_valid_) {
-    quick_attempt(id);
+    stage_quick_attempt(id);
   } else {
     request_schedule();
   }
   return id;
 }
 
+void Controller::stage_quick_attempt(JobId id) {
+  staged_submits_.push_back(id);
+  if (drain_scheduled_) return;
+  drain_scheduled_ = true;
+  simulator_.schedule_at(simulator_.now(), [this] {
+    drain_scheduled_ = false;
+    drain_submit_batch();
+  });
+}
+
+void Controller::drain_submit_batch() {
+  if (draining_ || staged_submits_.empty()) return;
+  draining_ = true;
+  ++stats_.submit_batches;
+  for (std::size_t i = 0; i < staged_submits_.size(); ++i) {
+    quick_attempt(staged_submits_[i]);
+  }
+  staged_submits_.clear();
+  draining_ = false;
+}
+
 void Controller::quick_attempt(JobId id) {
   Job& job = jobs_.at(id);
   if (job.state != JobState::Pending) return;
+  ++stats_.quick_attempts;
   double stretch = governor_ != nullptr ? governor_->max_walltime_stretch() : 1.0;
   auto est_walltime = static_cast<sim::Duration>(
       static_cast<double>(job.request.requested_walltime) * stretch);
@@ -144,16 +166,46 @@ std::optional<Controller::StartPlan> Controller::plan_start(const Job& job) {
   std::int32_t count = job.required_nodes(cluster_.topology().cores_per_node());
   if (count > cluster_.count(cluster::NodeState::Idle)) return std::nullopt;
 
+  // Admission verdicts depend on the allocation only through its width
+  // (PowerGovernor purity contract), so a cached rejection for this class
+  // settles the attempt before any selector walk.
+  if (governor_ != nullptr && governor_->admission_known_rejected(job, count)) {
+    ++stats_.admission_fast_fails;
+    return std::nullopt;
+  }
+
   sim::Time now = simulator_.now();
   double stretch = governor_ != nullptr ? governor_->max_walltime_stretch() : 1.0;
   auto est_walltime = static_cast<sim::Duration>(
       static_cast<double>(job.request.requested_walltime) * stretch);
   sim::Time horizon = now + est_walltime + config_.shutdown_delay;
 
+  // Selection-failure fast path: within one generation a failed selection
+  // of width W proves every width >= W fails (the selectors collect all
+  // available nodes, so success is monotone in width).
+  bool same_fail_generation =
+      sel_fail_epoch_ == epoch_ && sel_fail_book_version_ == reservations_.version() &&
+      sel_fail_now_ == now && sel_fail_horizon_ == horizon;
+  if (same_fail_generation && count >= sel_fail_width_) {
+    ++stats_.selector_fast_fails;
+    return std::nullopt;
+  }
+
   blocked_.ensure(reservations_, now, horizon, cluster_.topology().total_nodes());
   SelectionContext ctx{cluster_, reservations_, now, horizon, &blocked_};
   auto nodes = selector_->select(ctx, count);
-  if (!nodes) return std::nullopt;
+  if (!nodes) {
+    if (same_fail_generation) {
+      sel_fail_width_ = std::min(sel_fail_width_, count);
+    } else {
+      sel_fail_epoch_ = epoch_;
+      sel_fail_book_version_ = reservations_.version();
+      sel_fail_now_ = now;
+      sel_fail_horizon_ = horizon;
+      sel_fail_width_ = count;
+    }
+    return std::nullopt;
+  }
 
   PowerGovernor::Admission admission;
   if (governor_ != nullptr) {
@@ -204,6 +256,7 @@ void Controller::power_node_off(cluster::NodeId node) {
   cluster_.set_state(node, cluster::NodeState::ShuttingDown);
   simulator_.schedule_in(config_.shutdown_delay, [this, node] {
     if (cluster_.state(node) == cluster::NodeState::ShuttingDown) {
+      drain_submit_batch();
       cluster_.set_state(node, cluster::NodeState::Off);
       ++epoch_;
       notify_state_change();
@@ -258,6 +311,7 @@ void Controller::teardown_running_job(JobId id, bool cancel_end_event, JobState 
 }
 
 void Controller::finish_job(JobId id, bool killed_by_walltime) {
+  drain_submit_batch();
   PS_CHECK_MSG(jobs_.at(id).state == JobState::Running, "finish_job on non-running job");
   // The end event is firing right now: erase it, but there is nothing to
   // cancel.
@@ -267,12 +321,14 @@ void Controller::finish_job(JobId id, bool killed_by_walltime) {
 }
 
 void Controller::kill_job(JobId id) {
+  drain_submit_batch();
   PS_CHECK_MSG(jobs_.at(id).state == JobState::Running, "kill_job on non-running job");
   teardown_running_job(id, /*cancel_end_event=*/true, JobState::Killed);
 }
 
 void Controller::rescale_running_job(JobId id, cluster::FreqIndex new_freq,
                                      double remaining_ratio) {
+  drain_submit_batch();
   Job& job = jobs_.at(id);
   PS_CHECK_MSG(job.state == JobState::Running, "rescale of non-running job");
   PS_CHECK_MSG(remaining_ratio > 0.0, "remaining_ratio must be positive");
@@ -321,6 +377,7 @@ const Job& Controller::job(JobId id) const {
 }
 
 void Controller::full_pass() {
+  drain_submit_batch();
   ++stats_.full_passes;
   if (pending_.empty()) {
     shadow_valid_ = false;
@@ -388,6 +445,7 @@ void Controller::full_pass() {
 
 ReservationId Controller::add_powercap_reservation(sim::Time start, sim::Time end,
                                                    double watts) {
+  drain_submit_batch();
   Reservation reservation;
   reservation.kind = ReservationKind::Powercap;
   reservation.start = start;
@@ -397,6 +455,7 @@ ReservationId Controller::add_powercap_reservation(sim::Time start, sim::Time en
 
   // Admission conditions change at the boundaries: trigger passes.
   auto boundary = [this] {
+    drain_submit_batch();
     ++epoch_;
     notify_state_change();
     request_schedule();
@@ -410,6 +469,7 @@ ReservationId Controller::add_powercap_reservation(sim::Time start, sim::Time en
 
 ReservationId Controller::add_maintenance_reservation(sim::Time start, sim::Time end,
                                                       std::vector<cluster::NodeId> nodes) {
+  drain_submit_batch();
   Reservation reservation;
   reservation.kind = ReservationKind::Maintenance;
   reservation.start = start;
@@ -418,6 +478,7 @@ ReservationId Controller::add_maintenance_reservation(sim::Time start, sim::Time
   ReservationId id = reservations_.add(std::move(reservation));
   // Availability changes at the boundaries.
   auto boundary = [this] {
+    drain_submit_batch();
     ++epoch_;
     request_schedule();
   };
@@ -432,6 +493,7 @@ ReservationId Controller::add_switch_off_reservation(sim::Time start, sim::Time 
                                                      std::vector<cluster::NodeId> nodes,
                                                      double planned_saving_watts,
                                                      bool permissive) {
+  drain_submit_batch();
   Reservation reservation;
   reservation.kind = ReservationKind::SwitchOff;
   reservation.start = start;
@@ -452,6 +514,7 @@ ReservationId Controller::add_switch_off_reservation(sim::Time start, sim::Time 
 }
 
 void Controller::begin_switch_off(ReservationId id) {
+  drain_submit_batch();
   const Reservation* res = reservations_.find(id);
   if (res == nullptr) return;  // removed meanwhile
   std::size_t skipped = 0;
@@ -476,6 +539,7 @@ void Controller::begin_switch_off(ReservationId id) {
 }
 
 void Controller::end_switch_off(ReservationId id) {
+  drain_submit_batch();
   const Reservation* res = reservations_.find(id);
   if (res == nullptr) return;
   for (cluster::NodeId node : res->nodes) {
@@ -486,6 +550,7 @@ void Controller::end_switch_off(ReservationId id) {
       cluster_.set_state(node, cluster::NodeState::Booting);
       simulator_.schedule_in(config_.boot_delay, [this, node] {
         if (cluster_.state(node) == cluster::NodeState::Booting) {
+          drain_submit_batch();
           cluster_.set_state(node, cluster::NodeState::Idle);
           ++epoch_;
           notify_state_change();

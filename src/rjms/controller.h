@@ -9,6 +9,16 @@
 // have been freed (job end, reservation boundary, node boot) and a cheap
 // single-job attempt runs on submit, honouring the EASY reservation of the
 // head job. Everything is deterministic.
+//
+// Submission bursts are batched: same-millisecond submissions are staged
+// and drained in FIFO order through one coalesced event, so a burst shares
+// one blocked-set build, one selection-failure verdict per width class and
+// (with a governor) one admission verdict per job class. The drain-on-
+// mutation invariant keeps this bit-identical to inline attempts: every
+// path that mutates scheduling state — passes, job endings, reservation
+// registration, node transitions, external actions like cap enforcement —
+// calls drain_submit_batch() first, so a staged attempt always observes
+// exactly the state it would have seen synchronously inside submit().
 #pragma once
 
 #include <cstdint>
@@ -136,6 +146,14 @@ class Controller {
   /// Requests a full scheduling pass at the current time (coalesced).
   void request_schedule();
 
+  /// Runs any quick attempts staged by submit() for the current
+  /// millisecond, in FIFO order. Called automatically by the coalesced
+  /// drain event and at the top of every state-mutating entry point;
+  /// external components that read scheduling state mid-timestep (e.g. the
+  /// powercap manager's cap enforcement) must call it before reading.
+  /// Idempotent and cheap when nothing is staged.
+  void drain_submit_batch();
+
   // --- accessors ------------------------------------------------------------
 
   sim::Simulator& simulator() noexcept { return simulator_; }
@@ -143,6 +161,14 @@ class Controller {
   const cluster::Cluster& cluster() const noexcept { return cluster_; }
   const ControllerConfig& config() const noexcept { return config_; }
   const FairShare& fairshare() const noexcept { return fairshare_; }
+
+  /// Resource-state generation counter: bumps on any event that can change
+  /// an admission or selection outcome (job start/end/rescale, node power
+  /// transition, reservation registration). Together with the reservation
+  /// book `version()` and the current time it keys derived caches — most
+  /// notably the governor's admission cache: a verdict computed at
+  /// (epoch, now, book version) is valid until any of the three moves.
+  std::uint64_t epoch() const noexcept { return epoch_; }
 
   struct Stats {
     std::uint64_t submitted = 0;
@@ -152,6 +178,10 @@ class Controller {
     std::uint64_t rejected = 0;
     std::uint64_t full_passes = 0;
     std::uint64_t backfill_starts = 0;
+    std::uint64_t quick_attempts = 0;       ///< submit-path attempts evaluated
+    std::uint64_t submit_batches = 0;       ///< non-empty batch drains
+    std::uint64_t selector_fast_fails = 0;  ///< selections skipped by the width cache
+    std::uint64_t admission_fast_fails = 0; ///< attempts settled by a cached rejection
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -166,6 +196,9 @@ class Controller {
   void full_pass();
   /// Single-job attempt (submit path) honouring the cached EASY shadow.
   void quick_attempt(JobId id);
+  /// Stages `id` for the next batch drain and schedules the coalesced
+  /// drain event at the current time.
+  void stage_quick_attempt(JobId id);
   std::optional<StartPlan> plan_start(const Job& job);
   void start_job(Job& job, StartPlan plan);
   void finish_job(JobId id, bool killed_by_walltime);
@@ -208,6 +241,21 @@ class Controller {
   sim::Time shadow_time_ = sim::kTimeMax;
   std::int32_t shadow_extra_nodes_ = 0;
   bool shadow_valid_ = false;
+
+  // Submissions staged for the coalesced batch drain (see class comment).
+  std::vector<JobId> staged_submits_;
+  bool drain_scheduled_ = false;
+  bool draining_ = false;
+
+  // Selection-failure fast path: selector success is monotone in width for
+  // a fixed (cluster state, blocked set), so once a selection of width W
+  // fails, any request of width >= W in the same (epoch, book version,
+  // now, horizon) generation fails without walking the idle index.
+  std::uint64_t sel_fail_epoch_ = ~0ull;
+  std::uint64_t sel_fail_book_version_ = ~0ull;
+  sim::Time sel_fail_now_ = -1;
+  sim::Time sel_fail_horizon_ = -1;
+  std::int32_t sel_fail_width_ = 0;
 
   bool pass_scheduled_ = false;
   std::uint64_t epoch_ = 0;            ///< bumps on any resource change

@@ -30,6 +30,14 @@ class PowerGovernor {
   /// Decides whether `job` may start now on `nodes`; picks the highest
   /// frequency that keeps cluster power within every powercap window the
   /// job's (frequency-dependent) span overlaps. nullopt = stay pending.
+  ///
+  /// Purity contract (what makes verdicts cacheable): for a fixed
+  /// (controller epoch, simulation time, reservation-book version) the
+  /// result may depend only on the job's class — requested walltime,
+  /// allocation width and degradation parameter — never on the identity of
+  /// the nodes or on hidden mutable state. Implementations that memoize
+  /// (OnlineGovernor's epoch-keyed admission cache) rely on the controller
+  /// bumping its epoch on every resource change; see Controller::epoch().
   virtual std::optional<Admission> admit(const Job& job,
                                          const std::vector<cluster::NodeId>& nodes) = 0;
 
@@ -37,6 +45,19 @@ class PowerGovernor {
   /// horizons before the frequency is known (1.0 when DVFS cannot be
   /// forced under the current policy).
   virtual double max_walltime_stretch() const { return 1.0; }
+
+  /// True when the governor can prove — from cached verdicts alone,
+  /// without pricing — that a job of this class (walltime, `width` nodes,
+  /// degradation parameter) would be rejected right now. Because admission
+  /// depends on the allocation only through its width (see admit), the
+  /// controller may then skip node selection entirely: the attempt's
+  /// outcome is already known to be "stay pending". Must never return a
+  /// false positive. Default: no knowledge.
+  virtual bool admission_known_rejected(const Job& job, std::int32_t width) const {
+    (void)job;
+    (void)width;
+    return false;
+  }
 };
 
 }  // namespace ps::rjms

@@ -33,26 +33,89 @@ ReservationId ReservationBook::add(Reservation reservation) {
 }
 
 bool ReservationBook::remove(ReservationId id) {
-  auto it = std::find_if(reservations_.begin(), reservations_.end(),
-                         [id](const Reservation& r) { return r.id == id; });
-  if (it == reservations_.end()) return false;
+  // Ids are assigned monotonically and erase keeps relative order, so the
+  // book is always sorted by id.
+  auto it = std::lower_bound(
+      reservations_.begin(), reservations_.end(), id,
+      [](const Reservation& r, ReservationId target) { return r.id < target; });
+  if (it == reservations_.end() || it->id != id) return false;
   reservations_.erase(it);
   ++version_;
   return true;
 }
 
 const Reservation* ReservationBook::find(ReservationId id) const {
-  auto it = std::find_if(reservations_.begin(), reservations_.end(),
-                         [id](const Reservation& r) { return r.id == id; });
-  return it == reservations_.end() ? nullptr : &*it;
+  auto it = std::lower_bound(
+      reservations_.begin(), reservations_.end(), id,
+      [](const Reservation& r, ReservationId target) { return r.id < target; });
+  return it == reservations_.end() || it->id != id ? nullptr : &*it;
+}
+
+void ReservationBook::rebuild_index() const {
+  for (KindIndex& ki : index_) {
+    ki.members.clear();
+    ki.by_start.clear();
+    ki.tree.clear();
+    ki.leaf_count = 0;
+  }
+  for (std::uint32_t pos = 0; pos < reservations_.size(); ++pos) {
+    index_[static_cast<std::size_t>(reservations_[pos].kind)].members.push_back(pos);
+  }
+  for (KindIndex& ki : index_) {
+    if (ki.members.size() <= kLinearScanMax) continue;  // linear path, no tree
+    ki.by_start = ki.members;
+    std::sort(ki.by_start.begin(), ki.by_start.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                if (reservations_[a].start != reservations_[b].start) {
+                  return reservations_[a].start < reservations_[b].start;
+                }
+                return a < b;
+              });
+    std::size_t cap = 1;
+    while (cap < ki.by_start.size()) cap *= 2;
+    ki.leaf_count = cap;
+    ki.tree.assign(2 * cap, std::numeric_limits<sim::Time>::min());
+    for (std::size_t i = 0; i < ki.by_start.size(); ++i) {
+      ki.tree[cap + i] = reservations_[ki.by_start[i]].end;
+    }
+    for (std::size_t i = cap - 1; i >= 1; --i) {
+      ki.tree[i] = std::max(ki.tree[2 * i], ki.tree[2 * i + 1]);
+    }
+  }
+  indexed_version_ = version_;
+}
+
+void ReservationBook::collect_overlapping(const KindIndex& ki, std::size_t node,
+                                          std::size_t lo, std::size_t len,
+                                          sim::Time from, sim::Time to,
+                                          std::vector<std::uint32_t>& out) const {
+  if (lo >= ki.by_start.size()) return;            // padding subtree
+  if (ki.tree[node] <= from) return;               // max end <= from: no overlap below
+  if (reservations_[ki.by_start[lo]].start >= to) return;  // min start >= to
+  if (len == 1) {
+    // Leaf: end > from (pruned above) and start < to (pruned above) hold
+    // exactly, so this entry overlaps [from, to).
+    out.push_back(ki.by_start[lo]);
+    return;
+  }
+  collect_overlapping(ki, 2 * node, lo, len / 2, from, to, out);
+  collect_overlapping(ki, 2 * node + 1, lo + len / 2, len / 2, from, to, out);
 }
 
 bool ReservationBook::node_blocked(cluster::NodeId node, sim::Time from, sim::Time to) const {
-  for (const Reservation& r : reservations_) {
-    if (!r.blocks_job_span(from, to)) continue;
-    if (std::binary_search(r.nodes.begin(), r.nodes.end(), node)) return true;
-  }
-  return false;
+  // This runs per node probe on the selectors' no-BlockedSet fallback path;
+  // the empty book (no governor, no reservations) must stay one branch.
+  if (reservations_.empty()) return false;
+  bool blocked = false;
+  auto check = [&](const Reservation& r) {
+    if (blocked || !r.blocks_job_span(from, to)) return;
+    blocked = std::binary_search(r.nodes.begin(), r.nodes.end(), node);
+  };
+  // blocks_job_span implies overlaps(from, to) for node kinds, so the
+  // interval query never misses a blocking reservation.
+  for_each_overlapping(ReservationKind::Maintenance, from, to, check);
+  if (!blocked) for_each_overlapping(ReservationKind::SwitchOff, from, to, check);
+  return blocked;
 }
 
 std::vector<const Reservation*> ReservationBook::powercaps_overlapping(sim::Time from,
@@ -73,11 +136,15 @@ std::vector<const Reservation*> ReservationBook::switchoffs_overlapping(sim::Tim
 
 double ReservationBook::cap_at(sim::Time t) const {
   double cap = std::numeric_limits<double>::infinity();
-  for (const Reservation& r : reservations_) {
-    if (r.kind == ReservationKind::Powercap && r.active_at(t)) {
-      cap = std::min(cap, r.watts);
-    }
-  }
+  for_each_overlapping(ReservationKind::Powercap, t, t + 1,
+                       [&cap](const Reservation& r) { cap = std::min(cap, r.watts); });
+  return cap;
+}
+
+double ReservationBook::min_cap_over(sim::Time from, sim::Time to) const {
+  double cap = std::numeric_limits<double>::infinity();
+  for_each_overlapping(ReservationKind::Powercap, from, to,
+                       [&cap](const Reservation& r) { cap = std::min(cap, r.watts); });
   return cap;
 }
 
@@ -94,27 +161,20 @@ void BlockedSet::ensure(const ReservationBook& book, sim::Time start, sim::Time 
   }
   ++epoch_;
   // ReservationBook::node_blocked vectorized over nodes, sharing its
-  // blocking predicate.
-  for (const Reservation& r : book.all()) {
-    if (!r.blocks_job_span(start, horizon)) continue;
+  // blocking predicate; the interval query bounds the work to reservations
+  // overlapping [start, horizon) (blocks_job_span implies overlap).
+  auto stamp = [&](const Reservation& r) {
+    if (!r.blocks_job_span(start, horizon)) return;
     for (cluster::NodeId node : r.nodes) {
       auto i = static_cast<std::size_t>(node);
       if (i < stamps_.size()) stamps_[i] = epoch_;
     }
-  }
+  };
+  book.for_each_overlapping(ReservationKind::Maintenance, start, horizon, stamp);
+  book.for_each_overlapping(ReservationKind::SwitchOff, start, horizon, stamp);
   book_version_ = book.version();
   start_ = start;
   horizon_ = horizon;
-}
-
-double ReservationBook::min_cap_over(sim::Time from, sim::Time to) const {
-  double cap = std::numeric_limits<double>::infinity();
-  for (const Reservation& r : reservations_) {
-    if (r.kind == ReservationKind::Powercap && r.overlaps(from, to)) {
-      cap = std::min(cap, r.watts);
-    }
-  }
-  return cap;
 }
 
 }  // namespace ps::rjms

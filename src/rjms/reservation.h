@@ -12,6 +12,8 @@
 //     end == kTimeMax means "set for now, no time limitation".
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -72,7 +74,13 @@ struct Reservation {
 };
 
 /// Registry of reservations with the interval queries the scheduler needs.
-/// Linear scans are fine: real systems hold a handful of reservations.
+///
+/// Interval queries run off a per-kind index: positions sorted by start
+/// time under a max-end segment tree, so a stabbing query costs
+/// O(log n + matches) instead of a scan over the whole book. Small kinds
+/// (the common handful-of-reservations case) stay on a plain linear path
+/// with zero index overhead. The index is rebuilt lazily when `version()`
+/// changes; mutations are rare next to queries.
 class ReservationBook {
  public:
   /// Adds a reservation and returns its id. Throws ps::CheckError on
@@ -86,18 +94,31 @@ class ReservationBook {
   const std::vector<Reservation>& all() const noexcept { return reservations_; }
 
   /// True if `node` is covered by a Maintenance/SwitchOff reservation
-  /// overlapping [from, to).
+  /// blocking a job spanning [from, to).
   bool node_blocked(cluster::NodeId node, sim::Time from, sim::Time to) const;
 
   /// Allocation-free interval query: calls `fn(const Reservation&)` for each
   /// reservation of `kind` overlapping [from, to), in id order. This is the
-  /// hot-path form of the *_overlapping vector queries below.
+  /// hot-path form of the *_overlapping vector queries below. Queries may
+  /// nest (a callback may issue further queries); callbacks must not mutate
+  /// the book.
   template <typename Fn>
   void for_each_overlapping(ReservationKind kind, sim::Time from, sim::Time to,
                             Fn&& fn) const {
-    for (const Reservation& r : reservations_) {
-      if (r.kind == kind && r.overlaps(from, to)) fn(r);
+    if (indexed_version_ != version_) rebuild_index();
+    const KindIndex& ki = index_[static_cast<std::size_t>(kind)];
+    if (ki.tree.empty()) {  // small kind: members are already in id order
+      for (std::uint32_t pos : ki.members) {
+        const Reservation& r = reservations_[pos];
+        if (r.overlaps(from, to)) fn(r);
+      }
+      return;
     }
+    ScratchLease lease(*this);
+    std::vector<std::uint32_t>& matches = lease.buf();
+    collect_overlapping(ki, 1, 0, ki.leaf_count, from, to, matches);
+    std::sort(matches.begin(), matches.end());  // position order == id order
+    for (std::uint32_t pos : matches) fn(reservations_[pos]);
   }
 
   /// Pointers to powercap reservations overlapping [from, to), in id order.
@@ -118,9 +139,59 @@ class ReservationBook {
   double min_cap_over(sim::Time from, sim::Time to) const;
 
  private:
+  /// Kinds at or below this size skip the tree: a linear pass over a
+  /// handful of entries beats the collect + sort round trip.
+  static constexpr std::size_t kLinearScanMax = 16;
+
+  /// Per-kind interval index. `members` holds positions into reservations_
+  /// ascending (insertion order == id order). For kinds larger than
+  /// kLinearScanMax, `by_start` re-sorts those positions by (start, id) and
+  /// `tree` is a max-end segment tree over by_start (1-based heap layout,
+  /// leaf_count padded to a power of two) used to prune stabbing queries.
+  struct KindIndex {
+    std::vector<std::uint32_t> members;
+    std::vector<std::uint32_t> by_start;
+    std::vector<sim::Time> tree;
+    std::size_t leaf_count = 0;
+  };
+
+  /// Reentrant scratch acquisition for query result buffers, depth-indexed
+  /// so nested for_each_overlapping calls (admission pricing re-enters via
+  /// optimal_window_freq) never clobber an outer query.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(const ReservationBook& book) : book_(book) {
+      if (book_.scratch_depth_ == book_.scratch_pool_.size()) {
+        book_.scratch_pool_.emplace_back();
+      }
+      depth_ = book_.scratch_depth_++;
+      buf().clear();
+    }
+    ~ScratchLease() { --book_.scratch_depth_; }
+    ScratchLease(const ScratchLease&) = delete;
+    ScratchLease& operator=(const ScratchLease&) = delete;
+    std::vector<std::uint32_t>& buf() const { return book_.scratch_pool_[depth_]; }
+
+   private:
+    const ReservationBook& book_;
+    std::size_t depth_ = 0;
+  };
+
+  void rebuild_index() const;
+  /// Appends positions of by_start entries overlapping [from, to) under the
+  /// subtree `node` covering leaves [lo, lo + len).
+  void collect_overlapping(const KindIndex& ki, std::size_t node, std::size_t lo,
+                           std::size_t len, sim::Time from, sim::Time to,
+                           std::vector<std::uint32_t>& out) const;
+
   std::vector<Reservation> reservations_;
   ReservationId next_id_ = 1;
   std::uint64_t version_ = 0;
+
+  mutable KindIndex index_[3];
+  mutable std::uint64_t indexed_version_ = ~0ull;
+  mutable std::vector<std::vector<std::uint32_t>> scratch_pool_;
+  mutable std::size_t scratch_depth_ = 0;
 };
 
 /// Pass-scoped cache of "which nodes are reservation-blocked for a job

@@ -120,6 +120,112 @@ TEST(ReservationBook, ValidationRejectsBadInput) {
   EXPECT_THROW((void)book.add(switch_off(0, 10, {})), CheckError);   // no nodes
 }
 
+// --- interval index (tree path engages above the small-kind threshold) -----
+
+Reservation maintenance(sim::Time start, sim::Time end, std::vector<cluster::NodeId> nodes) {
+  Reservation r;
+  r.kind = ReservationKind::Maintenance;
+  r.start = start;
+  r.end = end;
+  r.nodes = std::move(nodes);
+  return r;
+}
+
+/// Ids of `kind` reservations overlapping [from, to), via the query API.
+std::vector<ReservationId> overlapping_ids(const ReservationBook& book,
+                                           ReservationKind kind, sim::Time from,
+                                           sim::Time to) {
+  std::vector<ReservationId> ids;
+  book.for_each_overlapping(kind, from, to,
+                            [&ids](const Reservation& r) { ids.push_back(r.id); });
+  return ids;
+}
+
+/// Reference answer from a brute-force scan over all().
+std::vector<ReservationId> brute_force_ids(const ReservationBook& book,
+                                           ReservationKind kind, sim::Time from,
+                                           sim::Time to) {
+  std::vector<ReservationId> ids;
+  for (const Reservation& r : book.all()) {
+    if (r.kind == kind && r.overlaps(from, to)) ids.push_back(r.id);
+  }
+  return ids;
+}
+
+TEST(ReservationBook, IntervalIndexMatchesBruteForceInIdOrder) {
+  ReservationBook book;
+  // 64 maintenance windows per kind: well past the linear threshold, with a
+  // deterministic staggered layout producing plenty of partial overlaps.
+  for (int i = 0; i < 64; ++i) {
+    sim::Time start = (i * 37) % 500;
+    book.add(maintenance(start, start + 20 + (i % 7) * 40, {i}));
+    book.add(powercap(((i * 53) % 400) + 1000, ((i * 53) % 400) + 1100, 500.0 + i));
+  }
+  for (sim::Time from = 0; from < 800; from += 35) {
+    for (sim::Duration span : {1, 10, 150, 600}) {
+      auto got = overlapping_ids(book, ReservationKind::Maintenance, from, from + span);
+      auto want = brute_force_ids(book, ReservationKind::Maintenance, from, from + span);
+      EXPECT_EQ(got, want) << "maintenance [" << from << ", " << from + span << ")";
+      auto got_caps = overlapping_ids(book, ReservationKind::Powercap, from, from + span);
+      auto want_caps = brute_force_ids(book, ReservationKind::Powercap, from, from + span);
+      EXPECT_EQ(got_caps, want_caps) << "powercap [" << from << ", " << from + span << ")";
+    }
+  }
+}
+
+TEST(ReservationBook, IntervalIndexTracksMutations) {
+  ReservationBook book;
+  std::vector<ReservationId> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(book.add(maintenance(i * 10, i * 10 + 25, {i})));
+  }
+  EXPECT_EQ(overlapping_ids(book, ReservationKind::Maintenance, 0, 1000).size(), 40u);
+  // Remove every other reservation: the rebuilt index must drop them.
+  for (std::size_t i = 0; i < ids.size(); i += 2) EXPECT_TRUE(book.remove(ids[i]));
+  auto got = overlapping_ids(book, ReservationKind::Maintenance, 0, 1000);
+  EXPECT_EQ(got, brute_force_ids(book, ReservationKind::Maintenance, 0, 1000));
+  EXPECT_EQ(got.size(), 20u);
+  // Add after remove: new ids keep ascending and show up.
+  ReservationId fresh = book.add(maintenance(5000, 5100, {99}));
+  EXPECT_EQ(overlapping_ids(book, ReservationKind::Maintenance, 5000, 5001),
+            std::vector<ReservationId>{fresh});
+}
+
+TEST(ReservationBook, NestedQueriesDoNotClobberEachOther) {
+  ReservationBook book;
+  for (int i = 0; i < 32; ++i) {
+    book.add(maintenance(i * 10, i * 10 + 15, {i}));
+    book.add(switch_off(i * 10, i * 10 + 15, {100 + i}));
+  }
+  // The admission path issues a SwitchOff query from inside a Powercap/
+  // Maintenance callback; both iterations must stay intact.
+  std::size_t outer = 0, inner = 0;
+  book.for_each_overlapping(ReservationKind::Maintenance, 0, 400,
+                            [&](const Reservation&) {
+                              ++outer;
+                              book.for_each_overlapping(
+                                  ReservationKind::SwitchOff, 0, 400,
+                                  [&inner](const Reservation&) { ++inner; });
+                            });
+  EXPECT_EQ(outer, brute_force_ids(book, ReservationKind::Maintenance, 0, 400).size());
+  EXPECT_EQ(inner, outer * brute_force_ids(book, ReservationKind::SwitchOff, 0, 400).size());
+}
+
+TEST(ReservationBook, IndexedNodeBlockedAndCapsMatchSemantics) {
+  ReservationBook book;
+  for (int i = 0; i < 32; ++i) {
+    book.add(maintenance(i * 100, i * 100 + 50, {i}));
+    book.add(powercap(i * 100, i * 100 + 50, 1000.0 + i));
+  }
+  // Spot-check node_blocked and cap_at against the reservation definitions.
+  EXPECT_TRUE(book.node_blocked(3, 310, 320));
+  EXPECT_FALSE(book.node_blocked(3, 360, 380));   // window over
+  EXPECT_FALSE(book.node_blocked(4, 310, 320));   // other node's window
+  EXPECT_DOUBLE_EQ(book.cap_at(310), 1003.0);
+  EXPECT_TRUE(std::isinf(book.cap_at(360)));
+  EXPECT_DOUBLE_EQ(book.min_cap_over(0, 320), 1000.0);
+}
+
 TEST(Reservation, KindNames) {
   EXPECT_STREQ(to_string(ReservationKind::Maintenance), "maintenance");
   EXPECT_STREQ(to_string(ReservationKind::SwitchOff), "switch-off");

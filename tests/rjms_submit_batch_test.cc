@@ -1,0 +1,121 @@
+// Batched quick-attempts: same-millisecond submissions are staged and
+// drained FIFO through one coalesced event, and every state-mutating entry
+// point drains first (the drain-on-mutation invariant), so batching is
+// observationally identical to the old inline attempts. Also covers the
+// selection-failure fast path that makes a drained batch cost one selector
+// walk per failing width class.
+#include <gtest/gtest.h>
+
+#include "cluster/curie.h"
+#include "rjms/controller.h"
+#include "util/check.h"
+
+namespace ps::rjms {
+namespace {
+
+ControllerConfig fcfs_config(std::size_t backfill_depth = 50) {
+  ControllerConfig config;
+  config.priority.age = 0.0;
+  config.priority.size = 0.0;
+  config.priority.fair_share = 0.0;
+  config.backfill_depth = backfill_depth;
+  return config;
+}
+
+workload::JobRequest make_request(std::int64_t id, std::int64_t cores,
+                                  sim::Duration runtime, sim::Duration walltime,
+                                  sim::Time submit = 0) {
+  workload::JobRequest request;
+  request.id = id;
+  request.submit_time = submit;
+  request.requested_cores = cores;
+  request.base_runtime = runtime;
+  request.requested_walltime = walltime;
+  return request;
+}
+
+class SubmitBatchTest : public ::testing::Test {
+ protected:
+  SubmitBatchTest()
+      : cl_(cluster::curie::make_scaled_cluster(1)),  // 90 nodes, 1440 cores
+        controller_(sim_, cl_, fcfs_config()) {}
+
+  /// Runs until a full pass has cached an EASY shadow: a long 89-node job
+  /// plus a full-width head leave one idle node and shadow at t=200 s.
+  void establish_shadow() {
+    controller_.submit(make_request(1, 89 * 16, sim::seconds(150), sim::seconds(200)));
+    controller_.submit(make_request(2, 1440, sim::seconds(100), sim::seconds(200)));
+    sim_.run_until(sim::seconds(10));
+  }
+
+  sim::Simulator sim_;
+  cluster::Cluster cl_;
+  Controller controller_;
+};
+
+TEST_F(SubmitBatchTest, BurstDrainsFifoThroughOneBatch) {
+  establish_shadow();
+  std::uint64_t batches_before = controller_.stats().submit_batches;
+  // Three same-millisecond arrivals; only one node is idle, so FIFO order
+  // decides who gets it: job 10 starts, 11 and 12 stay pending.
+  for (std::int64_t id : {10, 11, 12}) {
+    sim_.schedule_at(sim::seconds(20), [this, id] {
+      controller_.submit(make_request(id, 16, sim::seconds(30), sim::seconds(60),
+                                      sim::seconds(20)));
+    });
+  }
+  sim_.run_until(sim::seconds(21));
+  EXPECT_EQ(controller_.job(10).state, JobState::Running);
+  EXPECT_EQ(controller_.job(10).start_time, sim::seconds(20));
+  EXPECT_EQ(controller_.job(11).state, JobState::Pending);
+  EXPECT_EQ(controller_.job(12).state, JobState::Pending);
+  // One coalesced drain evaluated the whole burst.
+  EXPECT_EQ(controller_.stats().submit_batches, batches_before + 1);
+  EXPECT_GE(controller_.stats().quick_attempts, 3u);
+}
+
+TEST_F(SubmitBatchTest, MutatingEntryPointsDrainStagedAttemptsFirst) {
+  establish_shadow();
+  // Staged but not yet drained: the drain event sits at the current time.
+  controller_.submit(make_request(3, 16, sim::seconds(30), sim::seconds(60),
+                                  sim::seconds(10)));
+  EXPECT_EQ(controller_.job(3).state, JobState::Pending);
+  // kill_job must drain first: job 3 takes the idle node *before* the kill
+  // frees the other 89, exactly as inline attempts would have.
+  controller_.kill_job(1);
+  EXPECT_EQ(controller_.job(3).state, JobState::Running);
+  EXPECT_EQ(controller_.job(3).start_time, sim::seconds(10));
+  sim_.run();
+  EXPECT_EQ(controller_.job(3).state, JobState::Completed);
+}
+
+TEST_F(SubmitBatchTest, DrainEventAloneRunsStagedAttempts) {
+  establish_shadow();
+  controller_.submit(make_request(3, 16, sim::seconds(30), sim::seconds(60),
+                                  sim::seconds(10)));
+  EXPECT_EQ(controller_.job(3).state, JobState::Pending);
+  sim_.run_until(sim::seconds(10));  // nothing else scheduled: drain event fires
+  EXPECT_EQ(controller_.job(3).state, JobState::Running);
+}
+
+TEST_F(SubmitBatchTest, SelectionFailureFastPathSkipsRepeatWalks) {
+  // Chassis 0 under maintenance for any span reaching into the window:
+  // 72 of 90 nodes are usable, so 80-node jobs pass the idle-count check
+  // but fail selection. The first failure prices the width class; the rest
+  // of the pass fast-fails without walking the idle index.
+  Controller controller(sim_, cl_, fcfs_config(500));
+  controller.add_maintenance_reservation(sim::seconds(10), sim::hours(2),
+                                         cl_.topology().nodes_of_chassis(0));
+  for (std::int64_t id = 1; id <= 20; ++id) {
+    controller.submit(make_request(id, 80 * 16, sim::seconds(100), sim::hours(1)));
+  }
+  sim_.run_until(sim::seconds(1));
+  EXPECT_EQ(controller.pending_count(), 20u);
+  EXPECT_GE(controller.stats().selector_fast_fails, 19u);
+  // The window ends eventually; jobs drain in order afterwards.
+  sim_.run_until(sim::hours(2) + sim::seconds(1));
+  EXPECT_EQ(controller.job(1).state, JobState::Running);
+}
+
+}  // namespace
+}  // namespace ps::rjms

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate bench_kernel_perf results against the committed baseline.
+
+Compares a fresh BENCH_kernel.json emit (google-benchmark JSON schema, see
+bench/README.md) to the baseline committed at the repository root and fails
+when any gated kernel regressed by more than --threshold (default 10%).
+
+Because absolute timings differ across machines, pass --calibrate to divide
+every ratio by the ratio of a calibration kernel (a steady, allocation-free
+benchmark): the gate then measures regressions *relative to machine speed*
+rather than wall time. On identical hardware the calibration is ~1.0 and
+changes nothing.
+
+Usage:
+  tools/check_bench_regression.py --baseline BENCH_kernel.json \
+      --fresh build/BENCH_kernel.json [--threshold 0.10] \
+      [--calibrate BM_ClusterAuditWatts]
+
+Exit code 1 on regression or missing gated kernels.
+"""
+
+import argparse
+import json
+import sys
+
+# Kernels under the gate: one per hot subsystem, preferring long-running,
+# low-variance shapes. Keep names in sync with bench/bench_kernel_perf.cc.
+GATED_KERNELS = [
+    "BM_EventQueuePushPop/16384",
+    "BM_NodeSelectionPacking/512",
+    "BM_AdmissionDeepPendingPass/1024",
+    "BM_AdmissionBurstSubmit/64/iterations:256",
+    "BM_ReservationOverlapQuery/4096",
+    "BM_FullScenarioSmall",
+]
+
+TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """name -> real_time in nanoseconds."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") != "iteration":
+            continue
+        unit = TIME_UNITS_NS.get(bench.get("time_unit", "ns"), 1.0)
+        times[bench["name"]] = bench["real_time"] * unit
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_kernel.json")
+    parser.add_argument("--fresh", required=True, help="freshly emitted BENCH_kernel.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    parser.add_argument("--calibrate", default=None,
+                        help="kernel whose fresh/baseline ratio normalizes machine speed")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    fresh = load_times(args.fresh)
+
+    scale = 1.0
+    if args.calibrate:
+        if args.calibrate not in baseline or args.calibrate not in fresh:
+            print(f"FAIL: calibration kernel {args.calibrate!r} missing from a record")
+            return 1
+        scale = fresh[args.calibrate] / baseline[args.calibrate]
+        print(f"calibration {args.calibrate}: machine-speed ratio {scale:.3f}")
+
+    failed = []
+    for name in GATED_KERNELS:
+        if name not in baseline:
+            print(f"WARN: {name} not in baseline (new kernel?) — skipping")
+            continue
+        if name not in fresh:
+            print(f"FAIL: gated kernel {name} missing from fresh emit")
+            failed.append(name)
+            continue
+        ratio = fresh[name] / baseline[name] / scale
+        verdict = "ok"
+        if ratio > 1.0 + args.threshold:
+            verdict = f"REGRESSION (> +{args.threshold:.0%})"
+            failed.append(name)
+        print(f"{name}: baseline {baseline[name]:.0f} ns, fresh {fresh[name]:.0f} ns, "
+              f"normalized ratio {ratio:.3f} — {verdict}")
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} gated kernel(s) regressed: {', '.join(failed)}")
+        print("If intentional, regenerate the baseline: run bench_kernel_perf and "
+              "commit the new BENCH_kernel.json with the justification in CHANGES.md.")
+        return 1
+    print("\nbench regression gate: all gated kernels within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

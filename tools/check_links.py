@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs.
+
+Verifies that every relative link target in the given markdown files exists
+on disk, so README/ROADMAP/docs pointers cannot rot silently. External
+links (http/https/mailto) and pure in-page anchors are skipped; a relative
+target's '#fragment' suffix is ignored.
+
+Usage: tools/check_links.py README.md ROADMAP.md docs/*.md bench/README.md
+Exit code 1 when any target is missing.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path):
+    base = os.path.dirname(os.path.abspath(path))
+    missing = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                if not os.path.exists(os.path.join(base, rel)):
+                    missing.append((lineno, target))
+    return missing
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    bad = 0
+    for path in sys.argv[1:]:
+        for lineno, target in check_file(path):
+            print(f"{path}:{lineno}: broken link -> {target}")
+            bad += 1
+    if bad:
+        print(f"\nFAIL: {bad} broken link(s)")
+        return 1
+    print(f"link check: {len(sys.argv) - 1} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
