@@ -10,14 +10,21 @@
 // the window on paper, which makes this choice matter enormously.
 #include "bench_common.h"
 
+#include "core/sweep.h"
 #include "metrics/report.h"
 
 int main() {
   using namespace ps;
   bench::print_header("Ablation — admission semantics for future cap windows");
 
-  metrics::TextTable table({"policy/cap", "admission", "work (% max)",
-                            "launched", "violation (s)", "energy (MJ)"});
+  // The 12-cell {policy} x {lambda} x {admission} grid as one sweep.
+  struct Cell {
+    core::Policy policy;
+    double lambda;
+    core::AdmissionMode mode;
+  };
+  std::vector<Cell> grid;
+  std::vector<core::ScenarioConfig> cells;
   for (core::Policy policy : {core::Policy::Dvfs, core::Policy::Mix}) {
     for (double lambda : {0.6, 0.4}) {
       for (core::AdmissionMode mode :
@@ -26,16 +33,24 @@ int main() {
         core::ScenarioConfig config =
             bench::scenario(workload::Profile::MedianJob, policy, lambda);
         config.powercap.admission = mode;
-        core::ScenarioResult r = core::run_scenario(config);
-        table.add_row({strings::format("%s/%d%%", core::to_string(policy),
-                                       static_cast<int>(lambda * 100)),
-                       core::to_string(mode),
-                       strings::format("%.1f%%", 100.0 * r.summary.utilization),
-                       std::to_string(r.summary.launched_jobs),
-                       strings::format("%.0f", r.summary.cap_violation_seconds),
-                       strings::format("%.0f", r.summary.energy_joules / 1e6)});
+        grid.push_back({policy, lambda, mode});
+        cells.push_back(config);
       }
     }
+  }
+  std::vector<core::ScenarioResult> results = core::run_sweep(cells);
+
+  metrics::TextTable table({"policy/cap", "admission", "work (% max)",
+                            "launched", "violation (s)", "energy (MJ)"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const core::ScenarioResult& r = results[i];
+    table.add_row({strings::format("%s/%d%%", core::to_string(grid[i].policy),
+                                   static_cast<int>(grid[i].lambda * 100)),
+                   core::to_string(grid[i].mode),
+                   strings::format("%.1f%%", 100.0 * r.summary.utilization),
+                   std::to_string(r.summary.launched_jobs),
+                   strings::format("%.0f", r.summary.cap_violation_seconds),
+                   strings::format("%.0f", r.summary.energy_joules / 1e6)});
   }
   std::printf("%s", table.render().c_str());
   std::printf(

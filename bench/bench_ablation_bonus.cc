@@ -4,6 +4,7 @@
 #include "bench_common.h"
 
 #include "core/offline.h"
+#include "core/sweep.h"
 #include "metrics/report.h"
 
 int main() {
@@ -35,16 +36,24 @@ int main() {
   }
   std::printf("%s", table.render().c_str());
 
-  // End-to-end: SHUT at 60 / 40% with both selection strategies.
+  // End-to-end: SHUT at 60 / 40% with both selection strategies, swept in
+  // parallel.
   bench::print_section("end-to-end SHUT runs, medianjob, 1 h window");
-  for (double lambda : {0.6, 0.4}) {
+  const double lambdas[] = {0.6, 0.4};
+  std::vector<core::ScenarioConfig> cells;
+  for (double lambda : lambdas) {
     core::ScenarioConfig grouped_config =
         bench::scenario(workload::Profile::MedianJob, core::Policy::Shut, lambda);
     core::ScenarioConfig scattered_config = grouped_config;
     scattered_config.powercap.selection = core::OfflineSelection::Scattered;
-
-    core::ScenarioResult grouped = core::run_scenario(grouped_config);
-    core::ScenarioResult scattered = core::run_scenario(scattered_config);
+    cells.push_back(grouped_config);
+    cells.push_back(scattered_config);
+  }
+  std::vector<core::ScenarioResult> results = core::run_sweep(cells);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double lambda = lambdas[i];
+    const core::ScenarioResult& grouped = results[2 * i];
+    const core::ScenarioResult& scattered = results[2 * i + 1];
     bench::print_run_summary(strings::format("%d%% grouped", int(lambda * 100)),
                              grouped);
     bench::print_run_summary(strings::format("%d%% scattered", int(lambda * 100)),

@@ -2,47 +2,41 @@
 // waits for completions ("no extreme actions are taken with the running
 // jobs"), the opt-in kill mode terminates the necessary number of jobs so
 // power drops instantaneously.
+//
+// The mid-replay cap uses an announce-typed CapWindow (announced at t = 2 h
+// while the machine is loaded, open-ended), so both variants run through
+// the standard scenario runner and sweep in parallel.
 #include "bench_common.h"
 
-#include "core/powercap_manager.h"
+#include "core/sweep.h"
 
 int main() {
   using namespace ps;
   bench::print_header("Ablation — over-cap handling: wait (default) vs kill mode");
 
+  std::vector<core::ScenarioConfig> cells;
   for (bool kill : {false, true}) {
     core::ScenarioConfig config =
         bench::scenario(workload::Profile::MedianJob, core::Policy::Shut, 1.0);
-    // No advance window; instead the cap drops "now", mid-replay, while the
-    // machine is loaded: cap at 50% from t = 2 h, open-ended.
-    config.cap_lambda = 1.0;  // disable the standard centered window
     config.powercap.kill_on_overcap = kill;
+    // Cap at 50% "set for now", announced mid-replay at t = 2 h with no
+    // time limitation — no advance window, no offline planning ahead.
+    core::CapWindow window;
+    window.lambda = 0.5;
+    window.start = sim::hours(2);
+    window.duration = 0;  // open-ended
+    window.announce = sim::hours(2);
+    config.cap_windows = {window};
+    config.horizon = sim::hours(5);
+    cells.push_back(config);
+  }
+  std::vector<core::ScenarioResult> results = core::run_sweep(cells);
 
-    // run_scenario has no hook for mid-run actions, so replicate its core
-    // wiring here with a manual cap at 2 h.
-    cluster::Cluster cl = cluster::curie::make_cluster();
-    sim::Simulator sim;
-    rjms::Controller controller(sim, cl, config.controller);
-    core::PowercapManager manager(controller, config.powercap);
-    metrics::Recorder recorder(controller);
-
-    auto jobs = workload::generate(workload::Profile::MedianJob, bench::kSeed);
-    for (const auto& job : jobs) {
-      const workload::JobRequest* ptr = &job;
-      sim.schedule_at(job.submit_time, [&controller, ptr] { controller.submit(*ptr); });
-    }
-    double cap_watts = manager.lambda_to_watts(0.5);
-    sim.schedule_at(sim::hours(2), [&manager, cap_watts] {
-      manager.add_powercap_now(cap_watts);
-    });
-    sim.run_until(sim::hours(5));
-    recorder.sample(sim.now());
-
-    metrics::RunSummary summary = metrics::summarize(recorder, controller, 0,
-                                                     sim::hours(5));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const metrics::RunSummary& summary = results[i].summary;
     std::printf("%-12s killed-by-cap=%4llu  violation=%6.0fs  work=%.3g core-h  "
                 "energy=%.4g MJ\n",
-                kill ? "kill mode" : "wait mode",
+                i == 1 ? "kill mode" : "wait mode",
                 static_cast<unsigned long long>(summary.killed_jobs),
                 summary.cap_violation_seconds, summary.work_core_seconds / 3600.0,
                 summary.energy_joules / 1e6);

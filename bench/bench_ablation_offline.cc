@@ -1,23 +1,33 @@
 // Ablation — what the offline phase buys: SHUT and MIX runs with the
 // advance switch-off reservations disabled (online admission only). Without
 // the offline part no node is ever powered off, the idle floor stays high,
-// and no power bonus is harvested.
+// and no power bonus is harvested. All four runs go through one parallel
+// sweep.
 #include "bench_common.h"
+
+#include "core/sweep.h"
 
 int main() {
   using namespace ps;
   bench::print_header("Ablation — offline phase enabled vs disabled");
 
-  for (core::Policy policy : {core::Policy::Shut, core::Policy::Mix}) {
-    bench::print_section(std::string(core::to_string(policy)) +
-                         ", medianjob, 1 h window at 40%");
+  const core::Policy policies[] = {core::Policy::Shut, core::Policy::Mix};
+  std::vector<core::ScenarioConfig> cells;
+  for (core::Policy policy : policies) {
     core::ScenarioConfig with_offline =
         bench::scenario(workload::Profile::MedianJob, policy, 0.40);
     core::ScenarioConfig without_offline = with_offline;
     without_offline.powercap.offline_enabled = false;
+    cells.push_back(with_offline);
+    cells.push_back(without_offline);
+  }
+  std::vector<core::ScenarioResult> results = core::run_sweep(cells);
 
-    core::ScenarioResult on = core::run_scenario(with_offline);
-    core::ScenarioResult off = core::run_scenario(without_offline);
+  for (std::size_t p = 0; p < 2; ++p) {
+    bench::print_section(std::string(core::to_string(policies[p])) +
+                         ", medianjob, 1 h window at 40%");
+    const core::ScenarioResult& on = results[2 * p];
+    const core::ScenarioResult& off = results[2 * p + 1];
     bench::print_run_summary("offline on", on);
     bench::print_run_summary("offline off", off);
 

@@ -12,14 +12,19 @@
 //      mode (the default here) matters for reproducing the paper's figures.
 #include "bench_common.h"
 
+#include "core/sweep.h"
 #include "metrics/report.h"
 
 int main() {
   using namespace ps;
   bench::print_header("Ablation — walltime over-estimation x reservation blocking");
 
-  metrics::TextTable table({"overestimate", "blocking", "work (% of max)",
-                            "launched", "backfills", "mean wait (s)"});
+  struct Cell {
+    double factor;
+    bool strict;
+  };
+  std::vector<Cell> grid;
+  std::vector<core::ScenarioConfig> cells;
   for (double factor : {1.0, 100.0, 14500.0}) {
     for (bool strict : {false, true}) {
       workload::GeneratorParams params =
@@ -31,14 +36,22 @@ int main() {
           bench::scenario(workload::Profile::MedianJob, core::Policy::Shut, 0.60);
       config.custom_workload = params;
       config.powercap.strict_reservation_blocking = strict;
-      core::ScenarioResult r = core::run_scenario(config);
-      table.add_row({strings::format("x%.0f", factor),
-                     strict ? "strict" : "permissive",
-                     strings::format("%.1f%%", 100.0 * r.summary.utilization),
-                     std::to_string(r.summary.launched_jobs),
-                     std::to_string(r.stats.backfill_starts),
-                     strings::format("%.0f", r.summary.mean_wait_seconds)});
+      grid.push_back({factor, strict});
+      cells.push_back(config);
     }
+  }
+  std::vector<core::ScenarioResult> results = core::run_sweep(cells);
+
+  metrics::TextTable table({"overestimate", "blocking", "work (% of max)",
+                            "launched", "backfills", "mean wait (s)"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const core::ScenarioResult& r = results[i];
+    table.add_row({strings::format("x%.0f", grid[i].factor),
+                   grid[i].strict ? "strict" : "permissive",
+                   strings::format("%.1f%%", 100.0 * r.summary.utilization),
+                   std::to_string(r.summary.launched_jobs),
+                   std::to_string(r.stats.backfill_starts),
+                   strings::format("%.0f", r.summary.mean_wait_seconds)});
   }
   std::printf("%s", table.render().c_str());
   std::printf("\nexpected shape: within each blocking mode the backfill rate "

@@ -3,15 +3,30 @@
 // reservation of 1 hour of 40% of total power", plus the §VII-C text
 // comparison at 40%: DVFS ~ MIX ~ 85% of the total possible work while
 // SHUT reaches ~94%, with MIX consuming the least energy.
+//
+// The four scenarios run as one parallel sweep; a final section extends
+// the day to a *multi-window* cap schedule (several windows planned
+// jointly by the incremental offline planner — the §VII day generalized).
 #include "bench_common.h"
+
+#include "core/sweep.h"
 
 int main() {
   using namespace ps;
   bench::print_header("Fig 6 — 24 h workload, MIX policy, 1 h reservation at 40%");
 
-  core::ScenarioConfig config =
-      bench::scenario(workload::Profile::Day24h, core::Policy::Mix, 0.40);
-  core::ScenarioResult mix = core::run_scenario(config);
+  core::SweepEngine engine;
+  std::vector<core::SweepCell> cells = {
+      {"40%/MIX", bench::scenario(workload::Profile::Day24h, core::Policy::Mix, 0.40)},
+      {"40%/SHUT", bench::scenario(workload::Profile::Day24h, core::Policy::Shut, 0.40)},
+      {"40%/DVFS", bench::scenario(workload::Profile::Day24h, core::Policy::Dvfs, 0.40)},
+      {"100%/None", bench::scenario(workload::Profile::Day24h, core::Policy::None, 1.0)},
+  };
+  std::vector<core::ScenarioResult> results = engine.run(cells);
+  const core::ScenarioResult& mix = results[0];
+  const core::ScenarioResult& shut = results[1];
+  const core::ScenarioResult& dvfs = results[2];
+  const core::ScenarioResult& none = results[3];
 
   bench::print_cap_annotation(mix);
   bench::print_section("cores by state (top panel)");
@@ -23,13 +38,6 @@ int main() {
   std::printf("%s\n", mix.summary.describe().c_str());
 
   bench::print_section("§VII-C comparison at 40% over 24 h (work & energy)");
-  core::ScenarioResult shut = core::run_scenario(
-      bench::scenario(workload::Profile::Day24h, core::Policy::Shut, 0.40));
-  core::ScenarioResult dvfs = core::run_scenario(
-      bench::scenario(workload::Profile::Day24h, core::Policy::Dvfs, 0.40));
-  core::ScenarioResult none = core::run_scenario(
-      bench::scenario(workload::Profile::Day24h, core::Policy::None, 1.0));
-
   bench::print_run_summary("100%/None", none);
   bench::print_run_summary("40%/SHUT", shut);
   bench::print_run_summary("40%/DVFS", dvfs);
@@ -69,5 +77,27 @@ int main() {
               e_shut, e_dvfs, e_mix);
   std::printf("utilization right after the window snaps back up (paper: \"system "
               "utilization ... increases directly to nearly 100%%\")\n");
+
+  bench::print_section("extension — the same day under a 3-window cap schedule");
+  core::ScenarioConfig day =
+      bench::scenario(workload::Profile::Day24h, core::Policy::Mix, 1.0);
+  day.cap_windows = {
+      {0.60, sim::hours(2), sim::hours(3), -1},    // overnight grid limit
+      {0.40, sim::hours(11), sim::hours(2), -1},   // midday peak tariff
+      {0.60, sim::hours(19), sim::hours(2), -1},   // evening ramp
+  };
+  core::ScenarioResult sched = core::run_scenario(day);
+  for (const auto& window : sched.windows) {
+    std::printf("window [%s, %s) at %s W\n",
+                strings::human_duration_ms(window.start).c_str(),
+                strings::human_duration_ms(window.end).c_str(),
+                strings::with_commas(static_cast<std::int64_t>(window.watts)).c_str());
+  }
+  std::printf("%zu offline plans (switch-off reservations registered per "
+              "shutdown-bearing window)\n", sched.plans.size());
+  bench::print_run_summary("3-window MIX", sched);
+  std::printf("%s", bench::watts_chart(sched).c_str());
+  std::printf("cap-violation across the whole schedule: %.0f s\n",
+              sched.summary.cap_violation_seconds);
   return 0;
 }

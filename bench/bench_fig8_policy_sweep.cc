@@ -4,18 +4,20 @@
 // interval" — the full {bigjob, medianjob, smalljob} x {40, 60, 80%} x
 // {SHUT, DVFS, MIX} grid plus the 100%/None baseline, normalized per
 // workload to the maximum observed value.
+//
+// The 27 scenario cells are independent; they run through the sweep engine
+// (index-ordered deterministic merge), so the output is byte-identical at
+// any thread count — set PS_SWEEP_THREADS to pin it.
 #include "bench_common.h"
 
-#include <map>
+#include <chrono>
+
+#include "core/sweep.h"
 
 int main() {
   using namespace ps;
   bench::print_header("Fig 8 — normalized energy / launched jobs / work per scenario");
 
-  struct Row {
-    std::string label;
-    core::ScenarioResult result;
-  };
   const std::vector<std::pair<double, core::Policy>> scenarios = {
       {0.40, core::Policy::Mix}, {0.40, core::Policy::Dvfs}, {0.40, core::Policy::Shut},
       {0.60, core::Policy::Mix}, {0.60, core::Policy::Dvfs}, {0.60, core::Policy::Shut},
@@ -25,39 +27,56 @@ int main() {
                                         workload::Profile::MedianJob,
                                         workload::Profile::SmallJob};
 
+  // The whole grid as one flat sweep; cell (p, s) sits at p*|scenarios|+s.
+  std::vector<core::SweepCell> cells;
+  cells.reserve(3 * scenarios.size());
   for (workload::Profile profile : profiles) {
-    std::vector<Row> rows;
-    rows.reserve(scenarios.size());
     for (const auto& [lambda, policy] : scenarios) {
       std::string label = strings::format("%d%%/%s", static_cast<int>(lambda * 100),
                                           core::to_string(policy));
-      rows.push_back(Row{label, core::run_scenario(bench::scenario(profile, policy,
-                                                                   lambda))});
+      cells.push_back(core::SweepCell{label, bench::scenario(profile, policy, lambda)});
     }
+  }
+
+  core::SweepEngine engine;
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<core::ScenarioResult> results = engine.run(cells);
+  auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+  // Timing is machine-dependent: stderr, so stdout stays byte-identical at
+  // any thread count.
+  std::fprintf(stderr, "%zu scenarios swept on %zu threads in %.1f s\n", cells.size(),
+               engine.thread_count(), elapsed.count());
+
+  for (std::size_t p = 0; p < 3; ++p) {
+    workload::Profile profile = profiles[p];
+    const core::SweepCell* row_cells = &cells[p * scenarios.size()];
+    const core::ScenarioResult* rows = &results[p * scenarios.size()];
+
     double max_energy = 0.0, max_jobs = 0.0, max_work = 0.0;
-    for (const Row& row : rows) {
-      max_energy = std::max(max_energy, row.result.summary.energy_joules);
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      max_energy = std::max(max_energy, rows[s].summary.energy_joules);
       max_jobs = std::max(max_jobs,
-                          static_cast<double>(row.result.summary.launched_jobs));
-      max_work = std::max(max_work, row.result.summary.work_core_seconds);
+                          static_cast<double>(rows[s].summary.launched_jobs));
+      max_work = std::max(max_work, rows[s].summary.work_core_seconds);
     }
 
     bench::print_section(std::string(workload::to_string(profile)) +
                          " (each column normalized to its per-workload maximum)");
     metrics::TextTable table({"powercap/policy", "Energy", "Jobs launched", "Work"});
-    for (const Row& row : rows) {
-      const auto& s = row.result.summary;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      const auto& summary = rows[s].summary;
       table.add_row(
-          {row.label, metrics::normalized_bar(s.energy_joules / max_energy),
-           metrics::normalized_bar(static_cast<double>(s.launched_jobs) / max_jobs),
-           metrics::normalized_bar(s.work_core_seconds / max_work)});
+          {row_cells[s].label,
+           metrics::normalized_bar(summary.energy_joules / max_energy),
+           metrics::normalized_bar(static_cast<double>(summary.launched_jobs) / max_jobs),
+           metrics::normalized_bar(summary.work_core_seconds / max_work)});
     }
     std::printf("%s", table.render().c_str());
 
     // Paper shape checks per workload.
-    auto find = [&rows](const std::string& label) -> const core::ScenarioResult& {
-      for (const Row& row : rows) {
-        if (row.label == label) return row.result;
+    auto find = [&](const std::string& label) -> const core::ScenarioResult& {
+      for (std::size_t s = 0; s < scenarios.size(); ++s) {
+        if (row_cells[s].label == label) return rows[s];
       }
       throw std::logic_error("missing row " + label);
     };

@@ -5,19 +5,22 @@
 // keeping about the same energy consumption."
 #include "bench_common.h"
 
+#include "core/sweep.h"
+
 int main() {
   using namespace ps;
   bench::print_header("Ablation — mechanisms deactivated (IDLE) vs real policies");
 
   const double lambda = 0.40;
-  core::ScenarioResult idle = core::run_scenario(
-      bench::scenario(workload::Profile::MedianJob, core::Policy::Idle, lambda));
-  core::ScenarioResult shut = core::run_scenario(
-      bench::scenario(workload::Profile::MedianJob, core::Policy::Shut, lambda));
-  core::ScenarioResult dvfs = core::run_scenario(
-      bench::scenario(workload::Profile::MedianJob, core::Policy::Dvfs, lambda));
-  core::ScenarioResult mix = core::run_scenario(
-      bench::scenario(workload::Profile::MedianJob, core::Policy::Mix, lambda));
+  std::vector<core::ScenarioResult> results = core::run_sweep(
+      {bench::scenario(workload::Profile::MedianJob, core::Policy::Idle, lambda),
+       bench::scenario(workload::Profile::MedianJob, core::Policy::Shut, lambda),
+       bench::scenario(workload::Profile::MedianJob, core::Policy::Dvfs, lambda),
+       bench::scenario(workload::Profile::MedianJob, core::Policy::Mix, lambda)});
+  const core::ScenarioResult& idle = results[0];
+  const core::ScenarioResult& shut = results[1];
+  const core::ScenarioResult& dvfs = results[2];
+  const core::ScenarioResult& mix = results[3];
 
   bench::print_section("medianjob, 1 h window at 40%");
   bench::print_run_summary("40%/IDLE", idle);

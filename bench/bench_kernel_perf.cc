@@ -17,7 +17,9 @@
 
 #include "cluster/curie.h"
 #include "core/experiment.h"
+#include "core/offline.h"
 #include "core/online.h"
+#include "core/sweep.h"
 #include "rjms/controller.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
@@ -349,6 +351,103 @@ void BM_ReservationOverlapQuery(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ReservationOverlapQuery)->Arg(8)->Arg(256)->Arg(4096);
+
+// --- sweep & multi-window kernels ------------------------------------------
+
+// The Fig-8 grid shape at test scale (9 cells, 1 rack) through the sweep
+// engine; Arg = thread count. BENCH_kernel.json then records the wall-clock
+// at threads=1 next to threads=4, making the sweep speedup machine-readable
+// PR to PR (on a 1-vCPU CI box the two coincide — the gate pins /1).
+void BM_SweepFig8Grid(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+  params.name = "sweep-kernel";
+  params.span = sim::minutes(20);
+  params.job_count = 150;
+  params.w_huge = 0.0;
+  const std::vector<std::pair<double, core::Policy>> scenarios = {
+      {0.40, core::Policy::Mix},  {0.40, core::Policy::Dvfs}, {0.40, core::Policy::Shut},
+      {0.60, core::Policy::Mix},  {0.60, core::Policy::Dvfs}, {0.60, core::Policy::Shut},
+      {0.80, core::Policy::Shut}, {0.80, core::Policy::Dvfs}, {1.00, core::Policy::None}};
+  std::vector<core::ScenarioConfig> cells;
+  for (const auto& [lambda, policy] : scenarios) {
+    core::ScenarioConfig config;
+    config.custom_workload = params;
+    config.racks = 1;
+    config.seed = 20150525;
+    config.powercap.policy = policy;
+    config.cap_lambda = lambda;
+    cells.push_back(config);
+  }
+  core::SweepEngine engine(threads);
+  for (auto _ : state) {
+    auto results = engine.run(cells);
+    benchmark::DoNotOptimize(results.front().summary.energy_joules);
+  }
+  state.counters["threads"] = static_cast<double>(engine.thread_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_SweepFig8Grid)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Multi-window offline planning at full Curie scale: a 24 h day of 12
+// windows cycling 3 cap depths (selections of thousands of nodes each).
+// The incremental kernel prices the schedule with one planner — 3 distinct
+// caps planned, 9 reused from the plan cache, selections materialized from
+// the container frontier without a node-id scan + sort. The reference
+// kernel prices every window through the from-scratch path (the
+// pre-multi-window cost model). Reservation registration is identical in
+// both worlds and excluded, so the kernels isolate exactly the planning
+// work plan_windows() made incremental.
+void multi_window_day(std::vector<core::PlanWindow>& windows, double max_watts) {
+  const double lambdas[] = {0.5, 0.4, 0.6};
+  for (int w = 0; w < 12; ++w) {
+    windows.push_back({sim::hours(2 * w), sim::hours(2 * w + 2),
+                       lambdas[w % 3] * max_watts});
+  }
+}
+
+void BM_OfflineMultiWindow(benchmark::State& state) {
+  cluster::Cluster cl = cluster::curie::make_cluster();
+  sim::Simulator sim;
+  rjms::Controller controller(sim, cl, {});
+  core::PowercapConfig config;
+  config.policy = core::Policy::Mix;
+  std::vector<core::PlanWindow> windows;
+  multi_window_day(windows, cl.power_model().max_cluster_watts());
+  for (auto _ : state) {
+    core::OfflinePlanner planner(controller, config);  // caches cold per schedule
+    std::size_t nodes = 0;
+    for (const core::PlanWindow& window : windows) {
+      nodes += planner.compute_plan(window.cap_watts).selection.nodes.size();
+    }
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(windows.size()));
+}
+BENCHMARK(BM_OfflineMultiWindow);
+
+void BM_OfflineMultiWindowReference(benchmark::State& state) {
+  cluster::Cluster cl = cluster::curie::make_cluster();
+  sim::Simulator sim;
+  rjms::Controller controller(sim, cl, {});
+  core::PowercapConfig config;
+  config.policy = core::Policy::Mix;
+  std::vector<core::PlanWindow> windows;
+  multi_window_day(windows, cl.power_model().max_cluster_watts());
+  for (auto _ : state) {
+    core::OfflinePlanner planner(controller, config);
+    std::size_t nodes = 0;
+    for (const core::PlanWindow& window : windows) {
+      nodes += planner.compute_plan_reference(window.cap_watts).selection.nodes.size();
+    }
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(windows.size()));
+}
+BENCHMARK(BM_OfflineMultiWindowReference);
 
 void BM_FullScenarioSmall(benchmark::State& state) {
   for (auto _ : state) {

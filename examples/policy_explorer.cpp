@@ -20,11 +20,17 @@
 //   [model]
 //   degmin = 1.63
 //   mix_floor_ghz = 2.0
+//
+// A second section checks the model against *measured* mini-scenarios: a
+// {policy} x {lambda} grid of deterministic 2-rack replays swept in
+// parallel through the sweep engine (core/sweep.h).
 #include <cstdio>
 #include <stdexcept>
+#include <vector>
 
 #include "cluster/from_config.h"
 #include "core/model.h"
+#include "core/sweep.h"
 #include "core/walltime.h"
 #include "metrics/report.h"
 #include "util/config.h"
@@ -83,5 +89,49 @@ int main(int argc, char** argv) {
   std::printf("%s", table.render().c_str());
   std::printf("\nW counts a DVFS'd node as 1/degmin of a full node (paper §III); "
               "infrastructure draw is budgeted before the node-level model.\n");
+
+  // Measured mini-scenarios: the model's W against what a real replay of a
+  // 2-rack machine achieves, one sweep cell per (policy, lambda).
+  std::printf("\nmeasured 2-rack mini-scenarios (parallel sweep):\n");
+  workload::GeneratorParams mini = workload::params_for(workload::Profile::MedianJob);
+  mini.name = "explorer";
+  mini.span = sim::hours(1);
+  mini.job_count = 600;
+  mini.w_huge = 0.0;
+
+  std::vector<core::SweepCell> cells;
+  for (core::Policy policy : {core::Policy::Shut, core::Policy::Dvfs, core::Policy::Mix}) {
+    for (double lambda : {0.4, 0.6, 0.8}) {
+      core::ScenarioConfig config;
+      config.custom_workload = mini;
+      config.racks = 2;
+      config.seed = 20150525;
+      config.powercap.policy = policy;
+      config.cap_lambda = lambda;
+      cells.push_back({strings::format("%s @ %.0f%%", core::to_string(policy),
+                                       lambda * 100.0),
+                       config});
+    }
+  }
+  core::SweepEngine engine;
+  std::vector<core::ScenarioResult> measured = engine.run(cells);
+
+  metrics::TextTable runs({"policy @ lambda", "work (core-h)", "effective (% max)",
+                           "energy (MJ)", "cap violation (s)"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& s = measured[i].summary;
+    runs.add_row({cells[i].label,
+                  strings::format("%.0f", s.work_core_seconds / 3600.0),
+                  strings::format("%.1f%%",
+                                  100.0 * s.effective_work_core_seconds /
+                                      s.max_possible_work),
+                  strings::format("%.2f", s.energy_joules / 1e6),
+                  strings::format("%.0f", s.cap_violation_seconds)});
+  }
+  std::printf("%s", runs.render().c_str());
+  // Thread count is machine-dependent: stderr keeps stdout byte-identical
+  // at any PS_SWEEP_THREADS value.
+  std::fprintf(stderr, "(%zu cells on %zu threads)\n", cells.size(),
+               engine.thread_count());
   return 0;
 }

@@ -1,18 +1,22 @@
 // Replay a real workload trace (Standard Workload Format) under a powercap.
 //
-//   ./build/examples/replay_swf <trace.swf> [policy] [lambda] [max_jobs]
+//   ./build/replay_swf [trace.swf] [policy] [lambda] [max_jobs]
 //
 // Works with the public Curie trace from the Parallel Workloads Archive
 // (CEA-Curie-2011-2.1-cln.swf) or any other SWF file. Without arguments it
-// writes and replays a small self-generated demo trace, so the example is
-// runnable offline.
+// replays the checked-in mini-slice data/curie_mini.swf (falling back to a
+// self-generated demo trace when run outside the repository), so the
+// example is runnable offline.
+//
+// The replay goes through core::run_scenario (ScenarioConfig::trace_jobs),
+// the same entry point as every bench and test — which is what lets
+// tests/workload_trace_replay_test.cc fence this path with a golden
+// fingerprint like the Fig-8 sweep.
 #include <cstdio>
 #include <fstream>
 
 #include "core/experiment.h"
-#include "core/powercap_manager.h"
 #include "metrics/summary.h"
-#include "metrics/timeseries.h"
 #include "util/strings.h"
 #include "workload/swf.h"
 #include "workload/trace_stats.h"
@@ -30,6 +34,15 @@ ps::core::Policy parse_policy(const std::string& name) {
   throw std::runtime_error("unknown policy: " + name);
 }
 
+/// The checked-in mini-trace, if findable from the usual run directories.
+std::string find_mini_trace() {
+  for (const char* candidate :
+       {"data/curie_mini.swf", "../data/curie_mini.swf", "../../data/curie_mini.swf"}) {
+    if (std::ifstream(candidate).good()) return candidate;
+  }
+  return "";
+}
+
 /// Writes a small synthetic trace so the example runs without external data.
 std::string write_demo_trace() {
   std::string path = "demo_trace.swf";
@@ -45,7 +58,8 @@ std::string write_demo_trace() {
 int main(int argc, char** argv) {
   using namespace ps;
   try {
-    std::string path = argc > 1 ? argv[1] : write_demo_trace();
+    std::string path = argc > 1 ? argv[1] : find_mini_trace();
+    if (path.empty()) path = write_demo_trace();
     core::Policy policy = argc > 2 ? parse_policy(argv[2]) : core::Policy::Mix;
     double lambda = argc > 3 ? std::stod(argv[3]) : 0.5;
     std::int64_t max_jobs = argc > 4 ? std::stoll(argv[4]) : 20000;
@@ -58,46 +72,32 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "trace %s holds no usable jobs\n", path.c_str());
       return 1;
     }
-    // Rebase submit times to t=0.
-    sim::Time base = jobs.front().submit_time;
-    for (auto& job : jobs) job.submit_time -= base;
-    sim::Time horizon = jobs.back().submit_time + sim::hours(1);
+    // Rebase submit times to t=0 (SWF need not be sorted by submit time).
+    sim::Time horizon = workload::swf::rebase_submit_times(jobs) + sim::hours(1);
 
     workload::StatsParams sp;
     sp.span = horizon;
     std::printf("trace %s:\n%s\n\n", path.c_str(),
                 workload::compute_stats(jobs, sp).describe().c_str());
 
-    cluster::Cluster cl = cluster::curie::make_cluster();
-    sim::Simulator sim;
-    rjms::Controller controller(sim, cl, {});
-    core::PowercapConfig powercap;
-    powercap.policy = policy;
-    core::PowercapManager manager(controller, powercap);
-    metrics::Recorder recorder(controller);
+    core::ScenarioConfig config;
+    config.trace_jobs = std::move(jobs);
+    config.racks = cluster::curie::kRacks;
+    config.powercap.policy = policy;
+    // One-hour cap window centered in the replay (the legacy single-window
+    // wiring run_scenario applies when cap_windows stays empty).
+    config.cap_lambda = policy != core::Policy::None ? lambda : 1.0;
 
-    // One-hour cap window in the middle of the replay.
-    if (policy != core::Policy::None) {
-      sim::Time start = (horizon - sim::hours(1)) / 2;
-      manager.add_powercap(start, start + sim::hours(1),
-                           manager.lambda_to_watts(lambda));
+    core::ScenarioResult result = core::run_scenario(config);
+    if (result.cap_watts > 0.0) {
       std::printf("powercap: %.0f%% of max for 1 h at %s (policy %s)\n",
-                  lambda * 100.0, strings::human_duration_ms(start).c_str(),
+                  lambda * 100.0, strings::human_duration_ms(result.cap_start).c_str(),
                   core::to_string(policy));
     }
-
-    for (const auto& job : jobs) {
-      const workload::JobRequest* ptr = &job;
-      sim.schedule_at(job.submit_time, [&controller, ptr] { controller.submit(*ptr); });
-    }
-    sim.run_until(horizon);
-    recorder.sample(sim.now());
-
-    metrics::RunSummary summary = metrics::summarize(recorder, controller, 0, horizon);
-    std::printf("\n%s\n", summary.describe().c_str());
+    std::printf("\n%s\n", result.summary.describe().c_str());
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "replay_swf: %s\nusage: replay_swf <trace.swf> "
+    std::fprintf(stderr, "replay_swf: %s\nusage: replay_swf [trace.swf] "
                          "[none|shut|dvfs|mix|idle|auto] [lambda] [max_jobs]\n",
                  e.what());
     return 1;

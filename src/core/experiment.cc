@@ -18,12 +18,14 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   PowercapManager manager(controller, config.powercap);
   metrics::Recorder recorder(controller);
 
-  // Workload: generate at full-Curie calibration, then scale widths to the
-  // actual machine so a scaled-down run keeps the same shape.
+  // Workload: generate at full-Curie calibration (or take the trace
+  // verbatim), then scale widths to the actual machine so a scaled-down run
+  // keeps the same shape.
   workload::GeneratorParams params = config.custom_workload
                                          ? *config.custom_workload
                                          : workload::params_for(config.profile);
-  std::vector<workload::JobRequest> jobs = workload::generate(params, config.seed);
+  std::vector<workload::JobRequest> jobs =
+      config.trace_jobs ? *config.trace_jobs : workload::generate(params, config.seed);
   double width_scale =
       static_cast<double>(config.racks) / static_cast<double>(cluster::curie::kRacks);
   if (width_scale < 1.0) {
@@ -33,26 +35,81 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
   }
 
-  sim::Duration horizon = config.horizon > 0 ? config.horizon : params.span;
+  sim::Duration horizon = config.horizon;
+  if (horizon <= 0) {
+    if (config.trace_jobs) {
+      // Traces carry their own span: last submission plus a drain hour.
+      // trace_jobs need not be sorted by submit time, so take the max.
+      sim::Time last_submit = 0;
+      for (const workload::JobRequest& job : jobs) {
+        last_submit = std::max(last_submit, job.submit_time);
+      }
+      horizon = last_submit + sim::hours(1);
+    } else {
+      horizon = params.span;
+    }
+  }
 
-  // Cap reservation ("made in the beginning of the workload replay").
+  // Cap reservations ("made in the beginning of the workload replay").
   ScenarioResult result;
   result.max_cluster_watts = cl.power_model().max_cluster_watts();
   result.total_cores = cl.topology().total_cores();
-  if (config.cap_lambda < 1.0 && config.powercap.policy != Policy::None) {
+  if (!config.cap_windows.empty() && config.powercap.policy != Policy::None) {
+    // Multi-window schedule: advance windows are planned jointly in one
+    // incremental planner pass; announce-typed windows register mid-replay.
+    // Policy::None skips the schedule entirely, exactly like the
+    // single-window gate below, so a None baseline is comparable across
+    // both config styles. result.windows is ordered to match the plan
+    // registration order — advance windows (config order) first, then
+    // announce-typed windows by announce time — so windows[i] and plans[i]
+    // always describe the same window.
+    struct Announced {
+      sim::Time announce = 0;
+      ScenarioResult::Window window;
+    };
+    std::vector<PlanWindow> advance;
+    std::vector<Announced> announced;
+    for (const CapWindow& window : config.cap_windows) {
+      sim::Time start = window.start >= 0 ? window.start
+                                          : (horizon - window.duration) / 2;
+      sim::Time end =
+          window.duration > 0 ? start + window.duration : sim::kTimeMax;
+      double watts = manager.lambda_to_watts(window.lambda);
+      if (window.announce >= 0) {
+        // An announcement past the horizon never happens: no reservation,
+        // no plan, no listed window.
+        if (window.announce > horizon) continue;
+        announced.push_back({window.announce, {start, end, watts}});
+      } else {
+        result.windows.push_back({start, end, watts});
+        advance.push_back({start, end, watts});
+      }
+    }
+    manager.add_powercap_schedule(advance);
+    std::stable_sort(announced.begin(), announced.end(),
+                     [](const Announced& a, const Announced& b) {
+                       return a.announce < b.announce;
+                     });
+    for (const Announced& entry : announced) {
+      result.windows.push_back(entry.window);
+      const ScenarioResult::Window& w = entry.window;
+      simulator.schedule_at(entry.announce, [&manager, w] {
+        manager.add_powercap(w.start, w.end, w.watts);
+      });
+    }
+  } else if (config.cap_lambda < 1.0 && config.powercap.policy != Policy::None) {
     sim::Time start = config.cap_start >= 0
                           ? config.cap_start
                           : (horizon - config.cap_duration) / 2;
     sim::Time end = start + config.cap_duration;
     double watts = manager.lambda_to_watts(config.cap_lambda);
     manager.add_powercap(start, end, watts);
-    result.cap_watts = watts;
-    result.cap_start = start;
-    result.cap_end = end;
-    if (!manager.plans().empty()) {
-      result.has_plan = true;
-      result.plan = manager.plans().front();
-    }
+    result.windows.push_back({start, end, watts});
+  }
+  if (!result.windows.empty()) {
+    result.cap_watts = result.windows.front().watts;
+    result.cap_start = result.windows.front().start;
+    result.cap_end = result.windows.front().end;
   }
 
   // Replay: submit events at trace timestamps.
@@ -72,6 +129,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   double drift = cl.watts() - cl.audit_watts();
   PS_CHECK_MSG(drift < 1e-6 && drift > -1e-6, "incremental power accounting drifted");
 
+  result.plans = manager.release_plans();  // manager is about to die: move
+  if (!result.plans.empty()) {
+    result.has_plan = true;
+    result.plan = result.plans.front();
+  }
   result.summary = metrics::summarize(recorder, controller, 0, horizon);
   result.stats = controller.stats();
   result.samples = recorder.samples();

@@ -19,10 +19,32 @@
 
 namespace ps::core {
 
+/// One powercap window of a scenario schedule.
+struct CapWindow {
+  /// Cap as a fraction of worst-case cluster draw.
+  double lambda = 1.0;
+  /// Window start; < 0 centers a `duration` window in the horizon (the
+  /// paper's "one hour in the middle").
+  sim::Time start = 0;
+  /// 0 = open-ended ("set for now, no time limitation").
+  sim::Duration duration = sim::hours(1);
+  /// When >= 0, the cap is only announced to the RJMS at this simulation
+  /// time (the paper's cap "set for now", §IV-B) — no advance planning.
+  /// < 0 (default) announces it at t = 0, before the replay, so the
+  /// offline phase plans the window ahead.
+  sim::Time announce = -1;
+};
+
 struct ScenarioConfig {
   workload::Profile profile = workload::Profile::MedianJob;
   /// When set, overrides `profile` entirely (tests use small custom loads).
   std::optional<workload::GeneratorParams> custom_workload;
+  /// When set, replay these exact jobs (e.g. an SWF trace slice) instead of
+  /// generating a profile. Submit times are absolute simulation times —
+  /// raw traces should be rebased to t=0 first
+  /// (workload::swf::rebase_submit_times). Widths are scaled with `racks`
+  /// like profile jobs; `seed` is unused. See examples/replay_swf.cpp.
+  std::optional<std::vector<workload::JobRequest>> trace_jobs;
   std::uint64_t seed = 42;
 
   /// Cluster scale: number of racks of the Curie shape (5 chassis x 18
@@ -39,6 +61,13 @@ struct ScenarioConfig {
   sim::Time cap_start = -1;
   sim::Duration cap_duration = sim::hours(1);
 
+  /// Multi-window powercap schedule (paper §VII: a 24 h day with several
+  /// cap windows). When non-empty it replaces the single
+  /// cap_lambda/cap_start/cap_duration window above. Advance windows
+  /// (announce < 0) are planned jointly by the offline planner in one
+  /// incremental pass.
+  std::vector<CapWindow> cap_windows;
+
   rjms::ControllerConfig controller{};
 
   /// Simulation horizon; 0 = the profile's span.
@@ -49,11 +78,27 @@ struct ScenarioResult {
   metrics::RunSummary summary;
   rjms::Controller::Stats stats;
   std::vector<metrics::Sample> samples;  ///< full recorded series
-  double cap_watts = 0.0;                ///< 0 when no cap was applied
+  double cap_watts = 0.0;                ///< first window; 0 when no cap
   sim::Time cap_start = 0;
   sim::Time cap_end = 0;
   bool has_plan = false;
-  OfflinePlan plan;  ///< valid when has_plan
+  OfflinePlan plan;  ///< first offline plan; valid when has_plan
+
+  /// Every applied cap window (resolved to absolute watts/times): advance
+  /// windows in config order, then announce-typed windows by announce
+  /// time — the same order plans are made in, so windows[i] pairs with
+  /// plans[i]. Announce-typed windows whose announcement falls past the
+  /// horizon are dropped from both. Empty when no cap was applied.
+  struct Window {
+    sim::Time start = 0;
+    sim::Time end = 0;  ///< sim::kTimeMax when open-ended
+    double watts = 0.0;
+  };
+  std::vector<Window> windows;
+  /// One offline plan per window, index-aligned with `windows` (advance
+  /// windows plan at t = 0; announce-typed ones at their announce time).
+  std::vector<OfflinePlan> plans;
+
   double max_cluster_watts = 0.0;
   std::int64_t total_cores = 0;
 };

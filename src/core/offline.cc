@@ -1,6 +1,7 @@
 #include "core/offline.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "core/walltime.h"
@@ -16,7 +17,6 @@ Selection OfflinePlanner::finalize(std::vector<cluster::NodeId> nodes, std::int3
                                    std::int32_t chassis, std::int32_t singles) const {
   const cluster::PowerModel& pm = controller_.cluster().power_model();
   Selection sel;
-  std::sort(nodes.begin(), nodes.end());
   sel.nodes = std::move(nodes);
   sel.whole_racks = racks;
   sel.whole_chassis = chassis;
@@ -43,7 +43,7 @@ Selection OfflinePlanner::finalize(std::vector<cluster::NodeId> nodes, std::int3
   return sel;
 }
 
-Selection OfflinePlanner::select_for_saving(double need_watts) const {
+OfflinePlanner::GroupCounts OfflinePlanner::counts_for_saving(double need_watts) const {
   const cluster::Topology& topo = controller_.cluster().topology();
   const cluster::PowerModel& pm = controller_.cluster().power_model();
   PS_CHECK_MSG(need_watts >= 0.0, "offline: negative saving requested");
@@ -60,57 +60,115 @@ Selection OfflinePlanner::select_for_saving(double need_watts) const {
   double chassis_threshold =
       static_cast<double>(topo.nodes_per_chassis() - 1) * node_saving;
 
+  // Sequential subtraction, never k*accum: the reference selector walks the
+  // frontier the same way, and the two must round identically.
+  GroupCounts counts;
+  double remaining = need_watts;
+  cluster::RackId next_rack = topo.racks() - 1;
+  while (remaining > rack_threshold && counts.racks < topo.racks()) {
+    remaining -= rack_accum;
+    --next_rack;
+    ++counts.racks;
+  }
+  cluster::ChassisId next_chassis = (next_rack + 1) * topo.chassis_per_rack() - 1;
+  std::int32_t chassis_available = (next_rack + 1) * topo.chassis_per_rack();
+  while (remaining > chassis_threshold && counts.chassis < chassis_available) {
+    remaining -= chassis_accum;
+    --next_chassis;
+    ++counts.chassis;
+  }
+  if (remaining > 0.0 && next_chassis >= 0) {
+    auto count = static_cast<std::int32_t>(std::ceil(remaining / node_saving));
+    counts.singles = std::min(count, topo.nodes_per_chassis());
+  }
+  return counts;
+}
+
+std::vector<cluster::NodeId> OfflinePlanner::top_block(std::int32_t count) const {
+  const cluster::Topology& topo = controller_.cluster().topology();
+  std::vector<cluster::NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(count));
+  for (cluster::NodeId n = topo.total_nodes() - count; n < topo.total_nodes(); ++n) {
+    nodes.push_back(n);
+  }
+  return nodes;
+}
+
+Selection OfflinePlanner::select_for_saving(double need_watts) const {
+  std::uint64_t key = std::bit_cast<std::uint64_t>(need_watts + 0.0);
+  auto it = saving_cache_.find(key);
+  if (it != saving_cache_.end()) {
+    ++stats_.selection_cache_hits;
+    return it->second;
+  }
+  const cluster::Topology& topo = controller_.cluster().topology();
+  GroupCounts counts = counts_for_saving(need_watts);
+  // The rack→chassis→singles frontier always takes the top of the node-id
+  // space, racks first, then the chassis directly below, then the top
+  // singles of the next chassis — one contiguous block. Materialize it
+  // directly (ascending, no sort) instead of re-walking container lists.
+  std::int32_t total =
+      counts.racks * topo.chassis_per_rack() * topo.nodes_per_chassis() +
+      counts.chassis * topo.nodes_per_chassis() + counts.singles;
+  Selection sel =
+      finalize(top_block(total), counts.racks, counts.chassis, counts.singles);
+  saving_cache_.emplace(key, sel);
+  return sel;
+}
+
+Selection OfflinePlanner::select_for_saving_reference(double need_watts) const {
+  const cluster::Topology& topo = controller_.cluster().topology();
+  GroupCounts target = counts_for_saving(need_watts);
+
+  // The original from-scratch path: walk the container lists, collect node
+  // ids, sort. Kept verbatim as the audit half of the fence.
   std::vector<cluster::NodeId> nodes;
   std::int32_t racks_taken = 0;
   std::int32_t chassis_taken = 0;
-  std::int32_t singles_taken = 0;
-  double remaining = need_watts;
 
-  // Whole racks from the top of the machine.
   cluster::RackId next_rack = topo.racks() - 1;
-  while (remaining > rack_threshold && racks_taken < topo.racks()) {
+  while (racks_taken < target.racks) {
     auto rack_nodes = topo.nodes_of_rack(next_rack);
     nodes.insert(nodes.end(), rack_nodes.begin(), rack_nodes.end());
-    remaining -= rack_accum;
     --next_rack;
     ++racks_taken;
   }
-
-  // Whole chassis below the taken racks.
-  cluster::ChassisId next_chassis =
-      (next_rack + 1) * topo.chassis_per_rack() - 1;  // last untaken chassis
-  std::int32_t chassis_available =
-      (next_rack + 1) * topo.chassis_per_rack();
-  while (remaining > chassis_threshold && chassis_taken < chassis_available) {
+  cluster::ChassisId next_chassis = (next_rack + 1) * topo.chassis_per_rack() - 1;
+  while (chassis_taken < target.chassis) {
     auto chassis_nodes = topo.nodes_of_chassis(next_chassis);
     nodes.insert(nodes.end(), chassis_nodes.begin(), chassis_nodes.end());
-    remaining -= chassis_accum;
     --next_chassis;
     ++chassis_taken;
   }
-
-  // Contiguous singles from the top of the next untaken chassis.
-  if (remaining > 0.0 && next_chassis >= 0) {
-    auto count = static_cast<std::int32_t>(std::ceil(remaining / node_saving));
-    count = std::min(count, topo.nodes_per_chassis());
+  if (target.singles > 0) {
     cluster::NodeId first = topo.first_node_of_chassis(next_chassis);
-    for (std::int32_t i = 0; i < count; ++i) {
+    for (std::int32_t i = 0; i < target.singles; ++i) {
       nodes.push_back(first + topo.nodes_per_chassis() - 1 - i);
     }
-    singles_taken = count;
   }
-  return finalize(std::move(nodes), racks_taken, chassis_taken, singles_taken);
+  std::sort(nodes.begin(), nodes.end());
+  return finalize(std::move(nodes), target.racks, target.chassis, target.singles);
 }
 
 Selection OfflinePlanner::select_count(std::int32_t count) const {
   const cluster::Topology& topo = controller_.cluster().topology();
   count = std::clamp(count, 0, topo.total_nodes());
-  std::vector<cluster::NodeId> nodes;
-  nodes.reserve(static_cast<std::size_t>(count));
+  auto it = count_cache_.find(count);
+  if (it != count_cache_.end()) {
+    ++stats_.selection_cache_hits;
+    return it->second;
+  }
+  Selection sel = select_count_reference(count);
+  count_cache_.emplace(count, sel);
+  return sel;
+}
+
+Selection OfflinePlanner::select_count_reference(std::int32_t count) const {
+  const cluster::Topology& topo = controller_.cluster().topology();
+  count = std::clamp(count, 0, topo.total_nodes());
   // Contiguous block from the top of the id space; whole racks/chassis
   // emerge from contiguity. Count group coverage for the savings math.
-  cluster::NodeId first = topo.total_nodes() - count;
-  for (cluster::NodeId n = first; n < topo.total_nodes(); ++n) nodes.push_back(n);
+  std::vector<cluster::NodeId> nodes = top_block(count);
 
   std::int32_t nodes_per_rack = topo.chassis_per_rack() * topo.nodes_per_chassis();
   std::int32_t whole_racks = 0;
@@ -163,6 +221,7 @@ Selection OfflinePlanner::select_scattered_count(std::int32_t count) const {
   // (full_chassis can only be nonzero when nodes_per_chassis layers wrap,
   // in which case singles accounts for the still-incomplete chassis.)
   singles = std::max(singles, 0);
+  std::sort(nodes.begin(), nodes.end());
   return finalize(std::move(nodes), 0, full_chassis, singles);
 }
 
@@ -188,7 +247,7 @@ model::ClusterParams OfflinePlanner::params_with_floor(double floor_ghz) const {
   return params;
 }
 
-OfflinePlan OfflinePlanner::plan_window(sim::Time start, sim::Time end, double cap_watts) {
+OfflinePlan OfflinePlanner::compute_plan_impl(double cap_watts, bool reference) const {
   const cluster::PowerModel& pm = controller_.cluster().power_model();
   OfflinePlan plan;
   plan.cap_watts = cap_watts;
@@ -244,34 +303,99 @@ OfflinePlan OfflinePlanner::plan_window(sim::Time start, sim::Time end, double c
   if (plan.split.mechanism == model::Mechanism::SwitchOffOnly) {
     // Saving-driven: grouping reduces the node count below the model's
     // scattered-equivalent Noff.
-    plan.selection = config_.selection == OfflineSelection::BonusGrouped
-                         ? select_for_saving(plan.required_saving_watts)
-                         : select_scattered_for_saving(plan.required_saving_watts);
+    if (config_.selection == OfflineSelection::BonusGrouped) {
+      plan.selection = reference ? select_for_saving_reference(plan.required_saving_watts)
+                                 : select_for_saving(plan.required_saving_watts);
+    } else {
+      plan.selection = select_scattered_for_saving(plan.required_saving_watts);
+    }
   } else {
     // Both/Infeasible: the model fixes the node count; grouping maximizes
     // the harvested bonus for that count.
     auto count = static_cast<std::int32_t>(std::ceil(plan.split.n_off));
-    plan.selection = config_.selection == OfflineSelection::BonusGrouped
-                         ? select_count(count)
-                         : select_scattered_count(count);
-  }
-
-  if (!plan.selection.nodes.empty()) {
-    // Projection admission guarantees zero violations only if the planned
-    // saving is fully materialized when the window opens, which requires
-    // strict (advance) blocking of the reserved nodes.
-    bool permissive = !config_.strict_reservation_blocking &&
-                      config_.admission != AdmissionMode::Projection;
-    plan.reservation_id = controller_.add_switch_off_reservation(
-        start, end, plan.selection.nodes, plan.selection.saving_vs_idle_watts,
-        permissive);
-    PS_LOG(Info) << "offline plan: " << model::describe(plan.split) << ", switching off "
-                 << plan.selection.nodes.size() << " nodes (" << plan.selection.whole_racks
-                 << " racks, " << plan.selection.whole_chassis << " chassis, "
-                 << plan.selection.singles << " singles), saving "
-                 << plan.selection.saving_vs_busy_watts << " W vs busy";
+    if (config_.selection == OfflineSelection::BonusGrouped) {
+      plan.selection = reference ? select_count_reference(count) : select_count(count);
+    } else {
+      plan.selection = select_scattered_count(count);
+    }
   }
   return plan;
+}
+
+OfflinePlan OfflinePlanner::compute_plan_reference(double cap_watts) const {
+  return compute_plan_impl(cap_watts, /*reference=*/true);
+}
+
+const OfflinePlan& OfflinePlanner::compute_plan(double cap_watts) {
+  std::uint64_t key = std::bit_cast<std::uint64_t>(cap_watts + 0.0);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    ++stats_.plan_cache_hits;
+    return it->second;
+  }
+  return plan_cache_.emplace(key, compute_plan_impl(cap_watts, /*reference=*/false))
+      .first->second;
+}
+
+void OfflinePlanner::audit_plan(const OfflinePlan& plan, double cap_watts) const {
+  ++stats_.audits;
+  OfflinePlan fresh = compute_plan_reference(cap_watts);
+  PS_CHECK_MSG(plan.split.mechanism == fresh.split.mechanism &&
+                   plan.split.n_off == fresh.split.n_off &&
+                   plan.split.n_dvfs == fresh.split.n_dvfs &&
+                   plan.split.work == fresh.split.work,
+               "offline planner audit: split diverged from reference");
+  PS_CHECK_MSG(plan.cap_watts == fresh.cap_watts &&
+                   plan.node_budget_watts == fresh.node_budget_watts &&
+                   plan.required_saving_watts == fresh.required_saving_watts,
+               "offline planner audit: budgets diverged from reference");
+  PS_CHECK_MSG(plan.selection.nodes == fresh.selection.nodes &&
+                   plan.selection.whole_racks == fresh.selection.whole_racks &&
+                   plan.selection.whole_chassis == fresh.selection.whole_chassis &&
+                   plan.selection.singles == fresh.selection.singles &&
+                   plan.selection.saving_vs_busy_watts ==
+                       fresh.selection.saving_vs_busy_watts &&
+                   plan.selection.saving_vs_idle_watts ==
+                       fresh.selection.saving_vs_idle_watts,
+               "offline planner audit: selection diverged from reference");
+}
+
+void OfflinePlanner::register_plan_reservation(OfflinePlan& plan, sim::Time start,
+                                               sim::Time end) {
+  if (plan.selection.nodes.empty()) return;
+  // Projection admission guarantees zero violations only if the planned
+  // saving is fully materialized when the window opens, which requires
+  // strict (advance) blocking of the reserved nodes.
+  bool permissive = !config_.strict_reservation_blocking &&
+                    config_.admission != AdmissionMode::Projection;
+  plan.reservation_id = controller_.add_switch_off_reservation(
+      start, end, plan.selection.nodes, plan.selection.saving_vs_idle_watts,
+      permissive);
+  PS_LOG(Info) << "offline plan: " << model::describe(plan.split) << ", switching off "
+               << plan.selection.nodes.size() << " nodes (" << plan.selection.whole_racks
+               << " racks, " << plan.selection.whole_chassis << " chassis, "
+               << plan.selection.singles << " singles), saving "
+               << plan.selection.saving_vs_busy_watts << " W vs busy";
+}
+
+std::vector<OfflinePlan> OfflinePlanner::plan_windows(
+    const std::vector<PlanWindow>& windows) {
+  std::vector<OfflinePlan> plans;
+  plans.reserve(windows.size());
+  for (const PlanWindow& window : windows) {
+    // One copy out of the cache per window — it becomes the caller-owned
+    // plan carrying this window's reservation id.
+    OfflinePlan plan = compute_plan(window.cap_watts);
+    if (config_.audit_offline_planner) audit_plan(plan, window.cap_watts);
+    register_plan_reservation(plan, window.start, window.end);
+    ++stats_.windows_planned;
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+OfflinePlan OfflinePlanner::plan_window(sim::Time start, sim::Time end, double cap_watts) {
+  return plan_windows({{start, end, cap_watts}}).front();
 }
 
 }  // namespace ps::core

@@ -232,16 +232,54 @@ std::optional<cluster::FreqIndex> OnlineGovernor::compute_admission_freq(
   return std::nullopt;
 }
 
+void OnlineGovernor::refresh_cache_generation(sim::Time now) const {
+  std::uint64_t epoch = controller_.epoch();
+  std::uint64_t version = controller_.reservations().version();
+  if (cache_epoch_ == epoch && cache_book_version_ == version && cache_now_ == now) {
+    return;  // generation unchanged
+  }
+  if (cache_epoch_ == epoch && cache_book_version_ == version && cache_now_ >= 0 &&
+      now > cache_now_ && !verdicts_.empty()) {
+    // Pure time advance. Epoch equality already proves no powercap or
+    // switch-off boundary *event* fired in (cache_now_, now] (boundary
+    // events bump the epoch), but a boundary landing exactly at `now`
+    // whose event has not fired yet in this timestep still changes
+    // cap_at(now)/active_at(now), and a future window start may have
+    // entered a cached span's horizon. Check both against the book.
+    const rjms::ReservationBook& book = controller_.reservations();
+    bool landscape_moved =
+        book.next_end_after(rjms::ReservationKind::Powercap, cache_now_) <= now ||
+        book.next_start_after(rjms::ReservationKind::Powercap, cache_now_) <=
+            now + cache_max_eff_walltime_;
+    if (!landscape_moved && config_.admission == AdmissionMode::Projection) {
+      // Projection additionally reads switch-off active_at(now) in
+      // projected_watts_at; PaperLive window pricing does not depend on
+      // `now`, so only this mode must clear switch-off boundaries too.
+      landscape_moved =
+          book.next_end_after(rjms::ReservationKind::SwitchOff, cache_now_) <= now ||
+          book.next_start_after(rjms::ReservationKind::SwitchOff, cache_now_) <= now;
+    }
+    if (!landscape_moved) {
+      cache_now_ = now;
+      ++cache_stats_.carries;
+      return;
+    }
+  }
+  if (!verdicts_.empty()) ++cache_stats_.invalidations;
+  verdicts_.clear();
+  cache_epoch_ = epoch;
+  cache_book_version_ = version;
+  cache_now_ = now;
+  cache_max_eff_walltime_ = 0;
+}
+
 bool OnlineGovernor::admission_known_rejected(const rjms::Job& job,
                                               std::int32_t width) const {
   if (config_.policy == Policy::None) return false;
-  // Cache-only probe: valid only while the generation the verdicts were
-  // computed under still holds. Never clears or populates the cache.
-  if (cache_epoch_ != controller_.epoch() ||
-      cache_now_ != controller_.simulator().now() ||
-      cache_book_version_ != controller_.reservations().version()) {
-    return false;
-  }
+  // Cache-only probe: never computes a fresh verdict, but does move the
+  // generation forward (carry or clear) so quiescent-timestep rejections
+  // stay probeable.
+  refresh_cache_generation(controller_.simulator().now());
   VerdictKey key{job.request.requested_walltime, width, degmin_for(job)};
   auto it = verdicts_.find(key);
   if (it == verdicts_.end() || it->second.has_value()) return false;
@@ -270,16 +308,10 @@ std::optional<rjms::PowerGovernor::Admission> OnlineGovernor::admit(
   double degmin = degmin_for(job);
   auto node_count = static_cast<double>(nodes.size());
 
-  // Generation check: any resource-state, time or reservation change since
-  // the last verdict invalidates the whole cache (see Controller::epoch).
-  if (cache_epoch_ != controller_.epoch() || cache_now_ != now ||
-      cache_book_version_ != controller_.reservations().version()) {
-    if (!verdicts_.empty()) ++cache_stats_.invalidations;
-    verdicts_.clear();
-    cache_epoch_ = controller_.epoch();
-    cache_now_ = now;
-    cache_book_version_ = controller_.reservations().version();
-  }
+  // Generation check: resource-state or reservation changes invalidate the
+  // whole cache; a pure time advance carries it when no cap boundary is
+  // involved (see refresh_cache_generation).
+  refresh_cache_generation(now);
 
   VerdictKey key{job.request.requested_walltime,
                  static_cast<std::int32_t>(nodes.size()), degmin};
@@ -299,6 +331,11 @@ std::optional<rjms::PowerGovernor::Admission> OnlineGovernor::admit(
     ++cache_stats_.misses;
     verdict = compute_admission_freq(node_count, key.walltime, degmin, now);
     verdicts_.emplace(key, verdict);
+    // The longest span this key's frequency walk considered: the carry
+    // check must keep future window starts out of it.
+    auto max_eff = static_cast<sim::Duration>(std::llround(
+        static_cast<double>(key.walltime) * degradation_.factor(min_freq_, degmin)));
+    cache_max_eff_walltime_ = std::max(cache_max_eff_walltime_, max_eff);
   }
   if (!verdict.has_value()) return std::nullopt;
 

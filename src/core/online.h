@@ -19,6 +19,17 @@
 // each distinct class once; repeats are hash lookups. The cache can be
 // audited against brute-force re-verdicts (PowercapConfig::
 // audit_admission_cache), mirroring Cluster::audit_watts.
+//
+// Generation granularity: when only `now` moved (epoch and book version
+// unchanged — a quiescent timestep where events fired but no resource,
+// reservation or boundary changed), verdicts are *carried* instead of
+// cleared. This is sound because every powercap/switch-off boundary event
+// bumps the controller epoch, so epoch equality pins the active-cap
+// landscape up to `now`; the only remaining time dependence is a future
+// window start entering some cached span's horizon, which the carry check
+// rules out against the book's next-boundary queries (see
+// refresh_cache_generation). Carried verdicts sit under the same
+// audit_admission_cache brute-force fence as ordinary hits.
 #pragma once
 
 #include <map>
@@ -76,6 +87,7 @@ class OnlineGovernor final : public rjms::PowerGovernor, public rjms::Controller
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t invalidations = 0;  ///< generation moved, map cleared
+    std::uint64_t carries = 0;        ///< pure time advances that kept the map
     std::uint64_t audits = 0;         ///< brute-force re-verdicts performed
     std::uint64_t fast_rejects = 0;   ///< selector walks skipped via cached rejection
   };
@@ -127,12 +139,24 @@ class OnlineGovernor final : public rjms::PowerGovernor, public rjms::Controller
                                                            double degmin,
                                                            sim::Time now) const;
 
-  /// Verdicts valid for the current (epoch, now, book version) generation.
-  std::unordered_map<VerdictKey, std::optional<cluster::FreqIndex>, VerdictKeyHash>
+  /// Brings the cache generation up to `now`: no-op when nothing moved,
+  /// carry when only time advanced quiescently (see the class comment),
+  /// full invalidation otherwise. Callable from const probes — the cache
+  /// is mutable state.
+  void refresh_cache_generation(sim::Time now) const;
+
+  /// Verdicts valid for the current (epoch, now, book version) generation,
+  /// where `now` may have been carried forward across quiescent timesteps.
+  mutable std::unordered_map<VerdictKey, std::optional<cluster::FreqIndex>,
+                             VerdictKeyHash>
       verdicts_;
-  std::uint64_t cache_epoch_ = ~0ull;
-  std::uint64_t cache_book_version_ = ~0ull;
-  sim::Time cache_now_ = -1;
+  mutable std::uint64_t cache_epoch_ = ~0ull;
+  mutable std::uint64_t cache_book_version_ = ~0ull;
+  mutable sim::Time cache_now_ = -1;
+  /// Longest effective (degradation-stretched) walltime any cached verdict
+  /// considered — the span horizon the carry check must clear against
+  /// future window starts. Grows monotonically within a generation.
+  mutable sim::Duration cache_max_eff_walltime_ = 0;
   mutable AdmissionCacheStats cache_stats_;  ///< counters move on const probes too
 };
 

@@ -30,20 +30,44 @@ rjms::ReservationId PowercapManager::add_powercap(sim::Time start, sim::Time end
   if (config_.policy == Policy::None) return id;
 
   plans_.push_back(planner_.plan_window(start, end, watts));
+  arm_window_hooks(id, start, end, watts);
+  return id;
+}
 
+void PowercapManager::add_powercap_schedule(const std::vector<PlanWindow>& windows) {
+  // Register every cap reservation before planning: the governor's window
+  // pricing then sees the whole schedule from the first admission on, and
+  // the planner can reuse one plan across same-cap windows.
+  std::vector<rjms::ReservationId> ids;
+  ids.reserve(windows.size());
+  for (const PlanWindow& window : windows) {
+    PS_CHECK_MSG(window.cap_watts > 0.0, "powercap watts must be positive");
+    ids.push_back(
+        controller_.add_powercap_reservation(window.start, window.end, window.cap_watts));
+  }
+  if (config_.policy == Policy::None || windows.empty()) return;
+
+  std::vector<OfflinePlan> plans = planner_.plan_windows(windows);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    plans_.push_back(std::move(plans[i]));
+    arm_window_hooks(ids[i], windows[i].start, windows[i].end, windows[i].cap_watts);
+  }
+}
+
+void PowercapManager::arm_window_hooks(rjms::ReservationId cap_id, sim::Time start,
+                                       sim::Time end, double watts) {
   if (config_.kill_on_overcap) {
     controller_.simulator().schedule_at(start, [this, watts] { enforce_cap(watts); });
   }
   bool scalable = config_.policy == Policy::Dvfs || config_.policy == Policy::Mix ||
                   config_.policy == Policy::Auto;
   if (config_.dynamic_dvfs && scalable) {
-    controller_.simulator().schedule_at(start,
-                                        [this, id] { rescale_down_for_window(id); });
+    controller_.simulator().schedule_at(
+        start, [this, cap_id] { rescale_down_for_window(cap_id); });
     if (end != sim::kTimeMax) {
       controller_.simulator().schedule_at(end, [this] { rescale_up_after_window(); });
     }
   }
-  return id;
 }
 
 void PowercapManager::rescale_down_for_window(rjms::ReservationId cap_id) {

@@ -27,6 +27,13 @@ class PowercapManager {
   /// no effect on scheduling.
   rjms::ReservationId add_powercap(sim::Time start, sim::Time end, double watts);
 
+  /// Multi-window schedule (paper §VII: the 24 h day holds several cap
+  /// windows): registers every powercap reservation first, then plans the
+  /// whole schedule in one incremental OfflinePlanner pass, then arms the
+  /// per-window hooks (kill mode, dynamic DVFS). For a single window this
+  /// is exactly add_powercap.
+  void add_powercap_schedule(const std::vector<PlanWindow>& windows);
+
   /// Cap "set for now" with no time limitation (paper §IV-B).
   rjms::ReservationId add_powercap_now(double watts);
 
@@ -38,8 +45,15 @@ class PowercapManager {
   OnlineGovernor& governor() noexcept { return governor_; }
   OfflinePlanner& planner() noexcept { return planner_; }
   const std::vector<OfflinePlan>& plans() const noexcept { return plans_; }
+  /// Moves the accumulated plans out (selection node vectors can hold
+  /// thousands of ids per window). For end-of-run extraction when the
+  /// manager is about to be destroyed; plans() is empty afterwards.
+  std::vector<OfflinePlan> release_plans() noexcept { return std::move(plans_); }
 
  private:
+  /// Kill-mode / dynamic-DVFS events at one window's boundaries.
+  void arm_window_hooks(rjms::ReservationId cap_id, sim::Time start, sim::Time end,
+                        double watts);
   void enforce_cap(double watts);
   /// dynamic_dvfs extension: slow every running scalable job to the
   /// window's optimal frequency when it opens.

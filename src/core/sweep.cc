@@ -1,0 +1,53 @@
+#include "core/sweep.h"
+
+#include <cstdlib>
+
+#include "util/thread_pool.h"
+
+namespace ps::core {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t threads) {
+  if (threads != 0) return threads;
+  if (const char* env = std::getenv("PS_SWEEP_THREADS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 0;  // ThreadPool defaults to hardware_concurrency
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(std::size_t threads)
+    : pool_(std::make_unique<util::ThreadPool>(resolve_threads(threads))) {}
+
+SweepEngine::~SweepEngine() = default;
+
+std::size_t SweepEngine::thread_count() const noexcept { return pool_->thread_count(); }
+
+std::vector<ScenarioResult> SweepEngine::run(const std::vector<ScenarioConfig>& cells) {
+  // Pre-sized slots: cell i writes results[i] and nothing else, so the
+  // merge order is the index order by construction and no synchronization
+  // beyond the pool's completion barrier is needed.
+  std::vector<ScenarioResult> results(cells.size());
+  util::parallel_for(*pool_, cells.size(),
+                     [&](std::size_t i) { results[i] = run_scenario(cells[i]); });
+  return results;
+}
+
+std::vector<ScenarioResult> SweepEngine::run(const std::vector<SweepCell>& cells) {
+  std::vector<ScenarioResult> results(cells.size());
+  util::parallel_for(*pool_, cells.size(),
+                     [&](std::size_t i) { results[i] = run_scenario(cells[i].config); });
+  return results;
+}
+
+std::vector<ScenarioResult> run_sweep(const std::vector<ScenarioConfig>& cells,
+                                      std::size_t threads) {
+  SweepEngine engine(threads);
+  return engine.run(cells);
+}
+
+}  // namespace ps::core

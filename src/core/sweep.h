@@ -1,0 +1,61 @@
+// Parallel deterministic scenario sweep engine.
+//
+// The paper's headline results are grids of independent scenario cells
+// (Fig 8: {profile} x {lambda} x {policy}; the ablations: config pairs).
+// Each cell is a single-threaded, bit-deterministic run_scenario call; the
+// engine shards cells across util::ThreadPool and merges results into
+// index-ordered slots, so the output of a sweep is byte-identical at
+// threads=1 and threads=N — fenced by the 27-scenario Fig-8 golden
+// fingerprints. Exceptions from a cell propagate to the caller after every
+// other cell finished (the pool's first-error semantics).
+//
+// The pool is owned by the engine and reused across run() calls, so a
+// bench issuing several sweeps pays thread startup once.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ps::util {
+class ThreadPool;
+}
+
+namespace ps::core {
+
+/// A labelled scenario cell of a sweep grid.
+struct SweepCell {
+  std::string label;
+  ScenarioConfig config;
+};
+
+class SweepEngine {
+ public:
+  /// 0 = hardware concurrency, overridable by the PS_SWEEP_THREADS
+  /// environment variable (CI pins it; the determinism fence runs the same
+  /// binary at 1 and N).
+  explicit SweepEngine(std::size_t threads = 0);
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  /// Runs every cell; results[i] is cells[i]'s result, regardless of which
+  /// thread ran it or in which order cells finished.
+  std::vector<ScenarioResult> run(const std::vector<ScenarioConfig>& cells);
+  std::vector<ScenarioResult> run(const std::vector<SweepCell>& cells);
+
+  std::size_t thread_count() const noexcept;
+
+ private:
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+/// One-shot convenience over a temporary engine.
+std::vector<ScenarioResult> run_sweep(const std::vector<ScenarioConfig>& cells,
+                                      std::size_t threads = 0);
+
+}  // namespace ps::core

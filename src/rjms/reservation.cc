@@ -134,6 +134,30 @@ std::vector<const Reservation*> ReservationBook::switchoffs_overlapping(sim::Tim
   return out;
 }
 
+sim::Time ReservationBook::next_start_after(ReservationKind kind, sim::Time t) const {
+  if (indexed_version_ != version_) rebuild_index();
+  const KindIndex& ki = index_[static_cast<std::size_t>(kind)];
+  sim::Time best = sim::kTimeMax;
+  for (std::uint32_t pos : ki.members) {
+    const Reservation& r = reservations_[pos];
+    if (r.start > t && r.start < best) best = r.start;
+  }
+  return best;
+}
+
+sim::Time ReservationBook::next_end_after(ReservationKind kind, sim::Time t) const {
+  if (indexed_version_ != version_) rebuild_index();
+  const KindIndex& ki = index_[static_cast<std::size_t>(kind)];
+  sim::Time best = sim::kTimeMax;
+  for (std::uint32_t pos : ki.members) {
+    const Reservation& r = reservations_[pos];
+    // An open-ended reservation (end == kTimeMax) never contributes an end
+    // boundary.
+    if (r.end != sim::kTimeMax && r.end > t && r.end < best) best = r.end;
+  }
+  return best;
+}
+
 double ReservationBook::cap_at(sim::Time t) const {
   double cap = std::numeric_limits<double>::infinity();
   for_each_overlapping(ReservationKind::Powercap, t, t + 1,

@@ -131,6 +131,14 @@ class ReservationBook {
   /// BlockedSet) detect staleness without observing every call site.
   std::uint64_t version() const noexcept { return version_; }
 
+  /// Earliest start (resp. end) of a reservation of `kind` strictly after
+  /// `t`; sim::kTimeMax when none. O(reservations of that kind) off the
+  /// per-kind member index. Lets time-keyed caches (the governor's
+  /// admission cache) prove that a pure clock advance crossed no boundary
+  /// of that kind and carry their entries instead of clearing.
+  sim::Time next_start_after(ReservationKind kind, sim::Time t) const;
+  sim::Time next_end_after(ReservationKind kind, sim::Time t) const;
+
   /// Effective cap at instant `t`: the minimum watts among active powercap
   /// reservations; +infinity when none.
   double cap_at(sim::Time t) const;

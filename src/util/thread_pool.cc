@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
 
 namespace ps::util {
 
@@ -21,6 +24,8 @@ ThreadPool::~ThreadPool() {
   }
   task_ready_.notify_all();
   for (auto& worker : workers_) worker.join();
+  // A captured error nobody waited for dies with the pool: destructors must
+  // not throw.
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -35,6 +40,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -47,23 +57,59 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --in_flight_;
       if (in_flight_ == 0) idle_.notify_all();
     }
   }
 }
 
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Counter-stealing dispatch: each pool task loops pulling the next
+  // unclaimed index, so slow iterations never pin fast ones behind a static
+  // partition and per-iteration submit overhead is amortized away.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::exception_ptr first_error;
+  };
+  auto shared = std::make_shared<Shared>();
+  std::size_t workers = std::min(count, std::max<std::size_t>(1, pool.thread_count()));
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([shared, count, &body] {
+      for (std::size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+           i < count; i = shared->next.fetch_add(1, std::memory_order_relaxed)) {
+        // Catch per iteration so a failing index never skips the rest (a
+        // worker that aborted its loop would leave indices unrun on a
+        // single-thread pool).
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(shared->mutex);
+          if (!shared->first_error) shared->first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (shared->first_error) std::rethrow_exception(shared->first_error);
+}
+
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                   std::size_t threads) {
   if (count == 0) return;
   ThreadPool pool(threads);
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&body, i] { body(i); });
-  }
-  pool.wait_idle();
+  parallel_for(pool, count, body);
 }
 
 }  // namespace ps::util

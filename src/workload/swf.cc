@@ -1,5 +1,6 @@
 #include "workload/swf.h"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -86,6 +87,18 @@ std::vector<JobRequest> load_file(const std::string& path, const ParseOptions& o
   std::ifstream in(path);
   if (!in) throw std::runtime_error("swf: cannot open " + path);
   return parse(in, options);
+}
+
+sim::Time rebase_submit_times(std::vector<JobRequest>& jobs) {
+  if (jobs.empty()) return 0;
+  sim::Time base = jobs.front().submit_time;
+  sim::Time last = jobs.front().submit_time;
+  for (const JobRequest& job : jobs) {
+    base = std::min(base, job.submit_time);
+    last = std::max(last, job.submit_time);
+  }
+  for (JobRequest& job : jobs) job.submit_time -= base;
+  return last - base;
 }
 
 void write(std::ostream& out, const std::vector<JobRequest>& jobs) {

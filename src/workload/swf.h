@@ -38,6 +38,12 @@ std::vector<JobRequest> parse_string(const std::string& text,
 std::vector<JobRequest> load_file(const std::string& path,
                                   const ParseOptions& options = {});
 
+/// Shifts submit times so the earliest becomes 0 (SWF does not require
+/// submit-time order, so the minimum is taken over all jobs). Returns the
+/// largest rebased submit time — the natural replay-horizon anchor. The
+/// standard prelude between load_file and ScenarioConfig::trace_jobs.
+sim::Time rebase_submit_times(std::vector<JobRequest>& jobs);
+
 /// Writes jobs back out as SWF (fields we do not model are -1).
 void write(std::ostream& out, const std::vector<JobRequest>& jobs);
 

@@ -80,6 +80,54 @@ TEST_F(AdmissionCacheTest, DeepQueuePricesEachClassOnce) {
   EXPECT_EQ(stats.misses + stats.hits + stats.fast_rejects, 120u);
 }
 
+TEST_F(AdmissionCacheTest, CarriesVerdictsAcrossQuiescentTimeAdvance) {
+  // An active open-ended cap just above the idle floor: every class fails
+  // the instantaneous check, nothing ever starts, and the epoch/book stay
+  // put while the clock advances — the regime where the generation used to
+  // clear on every timestep for no reason. Audit mode fences every carried
+  // verdict brute-force.
+  PowercapConfig pc;
+  pc.policy = Policy::Mix;
+  pc.audit_admission_cache = true;
+  OnlineGovernor governor(controller_, pc);
+  controller_.set_governor(&governor);
+  controller_.add_observer(&governor);
+  controller_.add_powercap_reservation(0, sim::kTimeMax, cl_.watts() + 1.0);
+
+  for (int step = 0; step < 10; ++step) {
+    controller_.submit(make_request(step + 1, 32, sim::hours(1), sim::hours(2)));
+    sim_.run_until(sim_.now() + sim::seconds(1));
+  }
+  const auto& stats = governor.admission_cache_stats();
+  EXPECT_EQ(controller_.pending_count(), 10u);
+  // One class, priced exactly once across all ten timesteps; later steps
+  // carried the generation forward instead of clearing it.
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.carries, 8u);
+  EXPECT_GE(stats.hits + stats.fast_rejects, 9u);
+  EXPECT_EQ(stats.invalidations, 0u);
+}
+
+TEST_F(AdmissionCacheTest, FutureWindowInsideHorizonBlocksCarry) {
+  // With an unsatisfiable *future* window inside every span horizon the
+  // carry must refuse (the overlapped-window set is time-dependent), so
+  // each quiescent timestep re-prices the class — the conservative side of
+  // the granularity split.
+  OnlineGovernor governor(controller_, strict_config(/*audit=*/true));
+  controller_.set_governor(&governor);
+  controller_.add_observer(&governor);
+  add_blocking_window(controller_);
+
+  for (int step = 0; step < 5; ++step) {
+    controller_.submit(make_request(step + 1, 32, sim::hours(1), sim::hours(2)));
+    sim_.run_until(sim_.now() + sim::seconds(1));
+  }
+  const auto& stats = governor.admission_cache_stats();
+  EXPECT_EQ(controller_.pending_count(), 5u);
+  EXPECT_EQ(stats.carries, 0u);
+  EXPECT_EQ(stats.misses, 5u);  // one fresh verdict per timestep
+}
+
 TEST_F(AdmissionCacheTest, ResourceChangesInvalidate) {
   OnlineGovernor governor(controller_, strict_config());
   controller_.set_governor(&governor);

@@ -6,7 +6,6 @@
 // PR 2): they must be pure performance changes, never behavioral ones.
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -14,6 +13,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "scenario_fingerprint.h"
 
 namespace ps::core {
 namespace {
@@ -78,61 +78,15 @@ TEST(Determinism, Fig8SweepRepeatsBitIdentically) {
 
 // --- cross-version golden fingerprints ------------------------------------
 //
-// A 64-bit FNV-1a digest over every summary field, controller counter and
-// recorded sample of a scenario. Unlike Fig8SweepRepeatsBitIdentically
-// (which only proves run-to-run determinism within one binary), the
-// checked-in constants below pin the *absolute* behavior: any change to
-// scheduling decisions — however small — flips the digest, so the
-// bit-identical claim is enforced in CI across refactors, not just locally.
+// A 64-bit FNV-1a digest (tests/scenario_fingerprint.h) over every summary
+// field, controller counter and recorded sample of a scenario. Unlike
+// Fig8SweepRepeatsBitIdentically (which only proves run-to-run determinism
+// within one binary), the checked-in constants below pin the *absolute*
+// behavior: any change to scheduling decisions — however small — flips the
+// digest, so the bit-identical claim is enforced in CI across refactors,
+// not just locally.
 
-std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
-  for (int byte = 0; byte < 8; ++byte) {
-    hash ^= (value >> (8 * byte)) & 0xffu;
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
-std::uint64_t fnv1a(std::uint64_t hash, double value) {
-  return fnv1a(hash, std::bit_cast<std::uint64_t>(value));
-}
-
-std::uint64_t fingerprint(const ScenarioResult& result) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  const metrics::RunSummary& s = result.summary;
-  h = fnv1a(h, s.energy_joules);
-  h = fnv1a(h, s.work_core_seconds);
-  h = fnv1a(h, s.effective_work_core_seconds);
-  h = fnv1a(h, s.max_possible_work);
-  h = fnv1a(h, s.launched_jobs);
-  h = fnv1a(h, s.completed_jobs);
-  h = fnv1a(h, s.killed_jobs);
-  h = fnv1a(h, s.submitted_jobs);
-  h = fnv1a(h, s.mean_wait_seconds);
-  h = fnv1a(h, s.utilization);
-  h = fnv1a(h, s.mean_watts);
-  h = fnv1a(h, s.max_watts);
-  h = fnv1a(h, s.cap_violation_seconds);
-  const rjms::Controller::Stats& st = result.stats;
-  h = fnv1a(h, st.submitted);
-  h = fnv1a(h, st.started);
-  h = fnv1a(h, st.completed);
-  h = fnv1a(h, st.killed);
-  h = fnv1a(h, st.rejected);
-  h = fnv1a(h, st.full_passes);
-  h = fnv1a(h, st.backfill_starts);
-  for (const metrics::Sample& sample : result.samples) {
-    h = fnv1a(h, static_cast<std::uint64_t>(sample.t));
-    h = fnv1a(h, sample.watts);
-    h = fnv1a(h, static_cast<std::uint64_t>(sample.idle_nodes));
-    h = fnv1a(h, static_cast<std::uint64_t>(sample.off_nodes));
-    h = fnv1a(h, static_cast<std::uint64_t>(sample.transitioning_nodes));
-    for (std::int32_t busy : sample.busy_by_freq) {
-      h = fnv1a(h, static_cast<std::uint64_t>(busy));
-    }
-  }
-  return h;
-}
+using testing::fingerprint;
 
 ScenarioConfig golden_config(workload::Profile profile, Policy policy, double lambda) {
   ScenarioConfig config = sweep_config(policy, lambda);

@@ -1,0 +1,276 @@
+// Multi-window offline planning: the incremental planner (plan/selection
+// memoization, frontier-materialized grouped selections) must be
+// bit-identical to from-scratch per-window reference planning, while doing
+// measurably less work on repeated caps; multi-window scenarios must wire
+// every window through reservations, hooks and result reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/curie.h"
+#include "core/experiment.h"
+#include "core/offline.h"
+#include "core/powercap_manager.h"
+#include "scenario_fingerprint.h"
+#include "sim/simulator.h"
+
+namespace ps::core {
+namespace {
+
+using testing::fingerprint;
+
+void expect_plans_identical(const OfflinePlan& a, const OfflinePlan& b) {
+  EXPECT_EQ(a.split.mechanism, b.split.mechanism);
+  EXPECT_EQ(a.split.n_off, b.split.n_off);
+  EXPECT_EQ(a.split.n_dvfs, b.split.n_dvfs);
+  EXPECT_EQ(a.split.work, b.split.work);
+  EXPECT_EQ(a.cap_watts, b.cap_watts);
+  EXPECT_EQ(a.node_budget_watts, b.node_budget_watts);
+  EXPECT_EQ(a.required_saving_watts, b.required_saving_watts);
+  EXPECT_EQ(a.selection.nodes, b.selection.nodes);
+  EXPECT_EQ(a.selection.whole_racks, b.selection.whole_racks);
+  EXPECT_EQ(a.selection.whole_chassis, b.selection.whole_chassis);
+  EXPECT_EQ(a.selection.singles, b.selection.singles);
+  EXPECT_EQ(a.selection.saving_vs_busy_watts, b.selection.saving_vs_busy_watts);
+  EXPECT_EQ(a.selection.saving_vs_idle_watts, b.selection.saving_vs_idle_watts);
+}
+
+class MultiWindowTest : public ::testing::Test {
+ protected:
+  MultiWindowTest()
+      : cl_(cluster::curie::make_cluster()), controller_(sim_, cl_, {}) {}
+
+  sim::Simulator sim_;
+  cluster::Cluster cl_;
+  rjms::Controller controller_;
+};
+
+TEST_F(MultiWindowTest, IncrementalMatchesReferenceOnTwelveWindowDay) {
+  PowercapConfig config;
+  config.policy = Policy::Mix;
+  OfflinePlanner planner(controller_, config);
+
+  // A 24 h day of 12 two-hour windows cycling three cap depths — repeated
+  // caps are the regime the plan cache targets.
+  double max_watts = cl_.power_model().max_cluster_watts();
+  std::vector<PlanWindow> windows;
+  const double lambdas[] = {0.8, 0.5, 0.4};
+  for (int w = 0; w < 12; ++w) {
+    windows.push_back({sim::hours(2 * w), sim::hours(2 * w + 2),
+                       lambdas[w % 3] * max_watts});
+  }
+  std::vector<OfflinePlan> plans = planner.plan_windows(windows);
+  ASSERT_EQ(plans.size(), windows.size());
+
+  // Every plan bit-identical to an independent from-scratch reference.
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    OfflinePlan reference = planner.compute_plan_reference(windows[w].cap_watts);
+    expect_plans_identical(plans[w], reference);
+    EXPECT_NE(plans[w].reservation_id, 0) << "window " << w;
+  }
+  // And genuinely incremental: 3 distinct caps priced once, 9 reused.
+  EXPECT_EQ(planner.stats().windows_planned, 12u);
+  EXPECT_EQ(planner.stats().plan_cache_hits, 9u);
+
+  // Each window got its own switch-off reservation over its own span.
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const rjms::Reservation* res =
+        controller_.reservations().find(plans[w].reservation_id);
+    ASSERT_NE(res, nullptr);
+    EXPECT_EQ(res->kind, rjms::ReservationKind::SwitchOff);
+    EXPECT_EQ(res->start, windows[w].start);
+    EXPECT_EQ(res->end, windows[w].end);
+    EXPECT_EQ(res->nodes, plans[w].selection.nodes);
+  }
+}
+
+TEST_F(MultiWindowTest, PlanWindowsMatchesPerWindowPlanning) {
+  PowercapConfig config;
+  config.policy = Policy::Shut;
+  double max_watts = cl_.power_model().max_cluster_watts();
+
+  OfflinePlanner joint(controller_, config);
+  std::vector<PlanWindow> windows;
+  for (int w = 0; w < 8; ++w) {
+    windows.push_back(
+        {sim::hours(3 * w), sim::hours(3 * w + 1), (0.4 + 0.05 * w) * max_watts});
+  }
+  std::vector<OfflinePlan> joint_plans = joint.plan_windows(windows);
+
+  // Fresh controller, one plan_window call per window (the pre-multi-window
+  // code path).
+  sim::Simulator sim2;
+  cluster::Cluster cl2 = cluster::curie::make_cluster();
+  rjms::Controller ctrl2(sim2, cl2, {});
+  OfflinePlanner per_window(ctrl2, config);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    OfflinePlan plan =
+        per_window.plan_window(windows[w].start, windows[w].end, windows[w].cap_watts);
+    expect_plans_identical(joint_plans[w], plan);
+  }
+}
+
+TEST_F(MultiWindowTest, AuditModePassesAndCounts) {
+  PowercapConfig config;
+  config.policy = Policy::Mix;
+  config.audit_offline_planner = true;
+  OfflinePlanner planner(controller_, config);
+  double max_watts = cl_.power_model().max_cluster_watts();
+  std::vector<PlanWindow> windows;
+  for (int w = 0; w < 6; ++w) {
+    windows.push_back({sim::hours(w), sim::hours(w) + sim::minutes(30),
+                       (w % 2 == 0 ? 0.45 : 0.65) * max_watts});
+  }
+  planner.plan_windows(windows);  // PS_CHECK-throws on any divergence
+  EXPECT_EQ(planner.stats().audits, 6u);
+}
+
+TEST_F(MultiWindowTest, FastSelectorsMatchReferenceAcrossNeeds) {
+  PowercapConfig config;
+  config.policy = Policy::Shut;
+  OfflinePlanner planner(controller_, config);
+  for (double need = 0.0; need < 1.8e6; need += 23'456.0) {
+    Selection fast = planner.select_for_saving(need);
+    Selection reference = planner.select_for_saving_reference(need);
+    EXPECT_EQ(fast.nodes, reference.nodes) << "need " << need;
+    EXPECT_EQ(fast.whole_racks, reference.whole_racks) << "need " << need;
+    EXPECT_EQ(fast.whole_chassis, reference.whole_chassis) << "need " << need;
+    EXPECT_EQ(fast.singles, reference.singles) << "need " << need;
+    EXPECT_EQ(fast.saving_vs_busy_watts, reference.saving_vs_busy_watts)
+        << "need " << need;
+    EXPECT_EQ(fast.saving_vs_idle_watts, reference.saving_vs_idle_watts)
+        << "need " << need;
+  }
+  for (std::int32_t count : {0, 1, 17, 18, 19, 89, 90, 91, 512, 5040}) {
+    Selection fast = planner.select_count(count);
+    Selection reference = planner.select_count_reference(count);
+    EXPECT_EQ(fast.nodes, reference.nodes) << "count " << count;
+    EXPECT_EQ(fast.saving_vs_busy_watts, reference.saving_vs_busy_watts)
+        << "count " << count;
+  }
+}
+
+TEST_F(MultiWindowTest, RepeatedNeedsHitTheSelectionCache) {
+  PowercapConfig config;
+  config.policy = Policy::Shut;
+  OfflinePlanner planner(controller_, config);
+  planner.select_for_saving(40'000.0);
+  EXPECT_EQ(planner.stats().selection_cache_hits, 0u);
+  planner.select_for_saving(40'000.0);
+  planner.select_for_saving(40'000.0);
+  EXPECT_EQ(planner.stats().selection_cache_hits, 2u);
+}
+
+TEST(MultiWindowScenario, EndToEndWithAuditsOn) {
+  workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+  params.name = "multiwindow";
+  params.span = sim::hours(4);
+  params.job_count = 500;
+  params.w_huge = 0.0;
+  ScenarioConfig config;
+  config.custom_workload = params;
+  config.racks = 2;
+  config.seed = 20150525;
+  config.powercap.policy = Policy::Mix;
+  config.powercap.audit_offline_planner = true;
+  config.powercap.audit_admission_cache = true;
+  for (int w = 0; w < 8; ++w) {
+    config.cap_windows.push_back(
+        {w % 2 == 0 ? 0.5 : 0.7, sim::minutes(25 * w), sim::minutes(15), -1});
+  }
+  ScenarioResult result = run_scenario(config);
+  EXPECT_GT(result.stats.started, 0u);
+  ASSERT_EQ(result.windows.size(), 8u);
+  EXPECT_EQ(result.plans.size(), 8u);
+  EXPECT_TRUE(result.has_plan);
+  EXPECT_EQ(result.cap_watts, result.windows.front().watts);
+  for (const auto& window : result.windows) EXPECT_GT(window.watts, 0.0);
+
+  // Determinism across repeats, like the Fig-8 fence.
+  ScenarioResult second = run_scenario(config);
+  EXPECT_EQ(fingerprint(result), fingerprint(second));
+}
+
+TEST(MultiWindowScenario, MixedAnnounceAndAdvanceWindowsPairWindowsWithPlans) {
+  workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+  params.name = "mixed";
+  params.span = sim::hours(1);
+  params.job_count = 200;
+  params.w_huge = 0.0;
+  ScenarioConfig config;
+  config.custom_workload = params;
+  config.racks = 1;
+  config.seed = 20150525;
+  config.powercap.policy = Policy::Shut;
+  // Config order: announce-typed first, advance second, plus one announced
+  // past the horizon (must vanish from windows AND plans).
+  config.cap_windows = {
+      {0.50, sim::minutes(30), sim::minutes(10), sim::minutes(30)},
+      {0.70, sim::minutes(10), sim::minutes(10), -1},
+      {0.60, sim::minutes(40), sim::minutes(5), sim::hours(2)},
+  };
+  ScenarioResult result = run_scenario(config);
+  // Advance windows first, then announce-typed by announce time.
+  ASSERT_EQ(result.windows.size(), 2u);
+  ASSERT_EQ(result.plans.size(), 2u);
+  double max_watts = result.max_cluster_watts;
+  EXPECT_DOUBLE_EQ(result.windows[0].watts, 0.70 * max_watts);
+  EXPECT_DOUBLE_EQ(result.windows[1].watts, 0.50 * max_watts);
+  // windows[i] pairs with plans[i].
+  EXPECT_EQ(result.plans[0].cap_watts, result.windows[0].watts);
+  EXPECT_EQ(result.plans[1].cap_watts, result.windows[1].watts);
+  // The legacy first-window fields follow the same ordering.
+  EXPECT_EQ(result.cap_watts, result.windows.front().watts);
+  EXPECT_EQ(result.plan.cap_watts, result.plans.front().cap_watts);
+}
+
+TEST(MultiWindowScenario, PolicyNoneSkipsScheduleLikeLegacyGate) {
+  workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+  params.name = "none-gate";
+  params.span = sim::hours(1);
+  params.job_count = 200;
+  params.w_huge = 0.0;
+  ScenarioConfig single;
+  single.custom_workload = params;
+  single.racks = 1;
+  single.seed = 20150525;
+  single.powercap.policy = Policy::None;
+  single.cap_lambda = 0.5;
+
+  ScenarioConfig multi = single;
+  multi.cap_lambda = 1.0;
+  multi.cap_windows = {{0.5, sim::minutes(10), sim::minutes(20), -1}};
+
+  ScenarioResult a = run_scenario(single);
+  ScenarioResult b = run_scenario(multi);
+  EXPECT_EQ(a.cap_watts, 0.0);
+  EXPECT_EQ(b.cap_watts, 0.0);
+  EXPECT_TRUE(b.windows.empty());
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(MultiWindowScenario, LegacySingleWindowUnchangedByNewPath) {
+  // The single-window config expressed both ways must agree bit-for-bit.
+  workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+  params.name = "legacy";
+  params.span = sim::hours(1);
+  params.job_count = 300;
+  params.w_huge = 0.0;
+  ScenarioConfig legacy;
+  legacy.custom_workload = params;
+  legacy.racks = 2;
+  legacy.seed = 20150525;
+  legacy.powercap.policy = Policy::Shut;
+  legacy.cap_lambda = 0.6;
+
+  ScenarioConfig windows = legacy;
+  windows.cap_lambda = 1.0;
+  sim::Time start = (params.span - sim::hours(1)) / 2;
+  windows.cap_windows = {{0.6, start, sim::hours(1), -1}};
+
+  EXPECT_EQ(fingerprint(run_scenario(legacy)), fingerprint(run_scenario(windows)));
+}
+
+}  // namespace
+}  // namespace ps::core

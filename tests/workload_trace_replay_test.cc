@@ -1,0 +1,98 @@
+// SWF trace replay fenced like Fig-8: the checked-in CEA-Curie mini-slice
+// (data/curie_mini.swf) runs through run_scenario and must reproduce the
+// committed golden fingerprints — single cap window and a multi-window
+// schedule, the latter with both audit modes on so the incremental planner
+// and admission cache are brute-force-checked along the way.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "scenario_fingerprint.h"
+#include "workload/swf.h"
+
+namespace ps::core {
+namespace {
+
+using testing::fingerprint;
+
+std::vector<workload::JobRequest> load_mini_trace() {
+  workload::swf::ParseOptions options;
+  options.skip_zero_runtime = true;
+  std::string path = std::string(PS_SOURCE_DIR) + "/data/curie_mini.swf";
+  std::vector<workload::JobRequest> jobs = workload::swf::load_file(path, options);
+  // The standard prelude examples/replay_swf.cpp also uses.
+  workload::swf::rebase_submit_times(jobs);
+  return jobs;
+}
+
+ScenarioConfig trace_config() {
+  ScenarioConfig config;
+  config.trace_jobs = load_mini_trace();
+  config.racks = 2;  // scaled machine: widths shrink like the profile path
+  config.powercap.policy = Policy::Mix;
+  config.cap_lambda = 0.5;
+  return config;
+}
+
+TEST(TraceReplay, MiniTraceLoads) {
+  std::vector<workload::JobRequest> jobs = load_mini_trace();
+  ASSERT_EQ(jobs.size(), 400u);
+  EXPECT_EQ(jobs.front().submit_time, 0);
+  for (const auto& job : jobs) {
+    EXPECT_GT(job.requested_cores, 0);
+    EXPECT_GT(job.base_runtime, 0);
+    EXPECT_GE(job.requested_walltime, job.base_runtime);
+  }
+}
+
+TEST(TraceReplay, SingleWindowGoldenFingerprint) {
+  ScenarioResult result = run_scenario(trace_config());
+  EXPECT_GT(result.stats.started, 0u);
+  EXPECT_GT(result.cap_watts, 0.0);
+  std::uint64_t digest = fingerprint(result);
+  const std::uint64_t kGolden = 0x7cb9a43f79a4103cull;
+  EXPECT_EQ(digest, kGolden) << "computed 0x" << std::hex << digest;
+  if (digest != kGolden) {
+    std::printf("    trace single-window digest: 0x%llx\n",
+                static_cast<unsigned long long>(digest));
+  }
+}
+
+TEST(TraceReplay, MultiWindowGoldenFingerprintWithAuditsOn) {
+  ScenarioConfig config = trace_config();
+  config.cap_lambda = 1.0;
+  config.cap_windows = {
+      {0.70, sim::minutes(10), sim::minutes(20), -1},
+      {0.50, sim::minutes(40), sim::minutes(20), -1},
+      {0.70, sim::minutes(70), sim::minutes(20), -1},
+  };
+  // Both brute-force fences on: every cache hit re-verdicted, every window
+  // re-planned from scratch and compared.
+  config.powercap.audit_admission_cache = true;
+  config.powercap.audit_offline_planner = true;
+  ScenarioResult result = run_scenario(config);
+  EXPECT_GT(result.stats.started, 0u);
+  ASSERT_EQ(result.windows.size(), 3u);
+  EXPECT_EQ(result.plans.size(), 3u);
+  std::uint64_t digest = fingerprint(result);
+  const std::uint64_t kGolden = 0x747f6e4816903836ull;
+  EXPECT_EQ(digest, kGolden) << "computed 0x" << std::hex << digest;
+  if (digest != kGolden) {
+    std::printf("    trace multi-window digest: 0x%llx\n",
+                static_cast<unsigned long long>(digest));
+  }
+}
+
+TEST(TraceReplay, RepeatsBitIdentically) {
+  ScenarioResult first = run_scenario(trace_config());
+  ScenarioResult second = run_scenario(trace_config());
+  EXPECT_EQ(fingerprint(first), fingerprint(second));
+}
+
+}  // namespace
+}  // namespace ps::core
