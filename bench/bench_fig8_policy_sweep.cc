@@ -7,15 +7,37 @@
 //
 // The 27 scenario cells are independent; they run through the sweep engine
 // (index-ordered deterministic merge), so the output is byte-identical at
-// any thread count — set PS_SWEEP_THREADS to pin it.
+// any thread count — set PS_SWEEP_THREADS to pin it. With `--distributed N`
+// the same grid shards across N worker *processes* instead (dist::
+// run_distributed, fingerprint-verified merge) and must stay byte-identical
+// on stdout — CI diffs the two outputs.
 #include "bench_common.h"
 
 #include <chrono>
+#include <cstring>
 
 #include "core/sweep.h"
+#include "dist/driver.h"
+#include "util/strings.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ps;
+  std::size_t distributed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--distributed") == 0) {
+      // A malformed worker count must fail loudly, not silently fall back
+      // to the in-process path — CI diffs the two modes and a fallback
+      // would make that comparison vacuous.
+      std::optional<std::int64_t> workers =
+          i + 1 < argc ? strings::parse_i64(argv[i + 1]) : std::nullopt;
+      if (!workers || *workers <= 0) {
+        std::fprintf(stderr, "--distributed wants a positive worker count\n");
+        return 2;
+      }
+      distributed = static_cast<std::size_t>(*workers);
+      ++i;
+    }
+  }
   bench::print_header("Fig 8 — normalized energy / launched jobs / work per scenario");
 
   const std::vector<std::pair<double, core::Policy>> scenarios = {
@@ -38,14 +60,31 @@ int main() {
     }
   }
 
-  core::SweepEngine engine;
   auto t0 = std::chrono::steady_clock::now();
-  std::vector<core::ScenarioResult> results = engine.run(cells);
-  auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
-  // Timing is machine-dependent: stderr, so stdout stays byte-identical at
-  // any thread count.
-  std::fprintf(stderr, "%zu scenarios swept on %zu threads in %.1f s\n", cells.size(),
-               engine.thread_count(), elapsed.count());
+  std::vector<core::ScenarioResult> results;
+  if (distributed > 0) {
+    std::vector<core::ScenarioConfig> configs;
+    configs.reserve(cells.size());
+    for (const core::SweepCell& cell : cells) configs.push_back(cell.config);
+    dist::DriverOptions options;
+    options.workers = distributed;
+    dist::DriverReport report = dist::run_distributed(configs, options);
+    results = std::move(report.results);
+    auto elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+    std::fprintf(stderr,
+                 "%zu scenarios driven over %zu workers (%zu shards) in %.1f s\n",
+                 cells.size(), distributed, report.shard_count, elapsed.count());
+  } else {
+    core::SweepEngine engine;
+    results = engine.run(cells);
+    auto elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0);
+    // Timing is machine-dependent: stderr, so stdout stays byte-identical at
+    // any thread count.
+    std::fprintf(stderr, "%zu scenarios swept on %zu threads in %.1f s\n",
+                 cells.size(), engine.thread_count(), elapsed.count());
+  }
 
   for (std::size_t p = 0; p < 3; ++p) {
     workload::Profile profile = profiles[p];

@@ -17,12 +17,15 @@
 
 #include "cluster/curie.h"
 #include "core/experiment.h"
+#include "core/fingerprint.h"
 #include "core/offline.h"
 #include "core/online.h"
 #include "core/sweep.h"
+#include "dist/protocol.h"
 #include "rjms/controller.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
+#include "util/spool.h"
 
 namespace {
 
@@ -448,6 +451,57 @@ void BM_OfflineMultiWindowReference(benchmark::State& state) {
                           static_cast<std::int64_t>(windows.size()));
 }
 BENCHMARK(BM_OfflineMultiWindowReference);
+
+// --- distributed sweep serde/spool kernel -----------------------------------
+
+// The per-cell overhead a distributed sweep pays over an in-process one:
+// serialize a fully-populated cell record (result with samples, plans and
+// a node selection), publish it through the spool's atomic write-rename,
+// claim it back by rename, read and parse it, and re-verify the
+// fingerprint — the worker-side publish plus the driver-side merge for
+// one cell. Publication runs durable=false (no fsync): this kernel is
+// gated in CI, and sync latency on shared runners varies far more than
+// the 10% threshold while being uncorrelated with the CPU-bound
+// calibration kernel.
+void BM_DistSweepSpool(benchmark::State& state) {
+  core::ScenarioConfig config;
+  workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+  params.name = "spool-kernel";
+  params.span = sim::minutes(10);
+  params.job_count = 80;
+  params.w_huge = 0.0;
+  config.custom_workload = params;
+  config.racks = 1;
+  config.seed = 20150525;
+  config.powercap.policy = core::Policy::Mix;
+  config.cap_lambda = 0.5;
+
+  dist::ShardResults results;
+  results.id = 0;
+  dist::CellRecord record;
+  record.index = 7;
+  record.result = core::run_scenario(config);
+  record.fingerprint = core::fingerprint(record.result);
+  results.records.push_back(std::move(record));
+
+  std::string spool = util::make_temp_dir("ps-bench-spool-");
+  std::string published = spool + "/" + dist::results_file_name(0);
+  std::string claimed = published + ".claimed";
+  for (auto _ : state) {
+    util::write_file_atomic(published, dist::serialize_shard_results(results),
+                            /*durable=*/false);
+    if (!util::claim_file(published, claimed)) std::abort();
+    dist::ShardResults parsed = dist::parse_shard_results(util::read_file(claimed));
+    if (core::fingerprint(parsed.records[0].result) != parsed.records[0].fingerprint) {
+      std::abort();
+    }
+    util::remove_file(claimed);
+    benchmark::DoNotOptimize(parsed.records[0].index);
+  }
+  util::remove_tree(spool);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DistSweepSpool);
 
 void BM_FullScenarioSmall(benchmark::State& state) {
   for (auto _ : state) {

@@ -3,7 +3,7 @@
 // per policy, the mechanism split the offline algorithm would choose and
 // the resulting computational load W.
 //
-//   ./build/examples/policy_explorer [cluster.ini]
+//   ./build/examples/policy_explorer [cluster.ini] [--distributed N]
 //
 // INI format (all keys optional; defaults are the Curie values):
 //   [cluster]
@@ -23,8 +23,11 @@
 //
 // A second section checks the model against *measured* mini-scenarios: a
 // {policy} x {lambda} grid of deterministic 2-rack replays swept in
-// parallel through the sweep engine (core/sweep.h).
+// parallel through the sweep engine (core/sweep.h) — or, with
+// `--distributed N`, across N worker processes through the distributed
+// driver (dist/driver.h) with byte-identical stdout.
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -32,13 +35,31 @@
 #include "core/model.h"
 #include "core/sweep.h"
 #include "core/walltime.h"
+#include "dist/driver.h"
 #include "metrics/report.h"
 #include "util/config.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
   using namespace ps;
-  util::Config ini = argc > 1 ? util::Config::load_file(argv[1]) : util::Config::parse("");
+  std::size_t distributed = 0;
+  const char* ini_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--distributed") == 0) {
+      std::optional<std::int64_t> workers =
+          i + 1 < argc ? strings::parse_i64(argv[i + 1]) : std::nullopt;
+      if (!workers || *workers <= 0) {
+        std::fprintf(stderr, "--distributed wants a positive worker count\n");
+        return 2;
+      }
+      distributed = static_cast<std::size_t>(*workers);
+      ++i;
+    } else {
+      ini_path = argv[i];
+    }
+  }
+  util::Config ini =
+      ini_path != nullptr ? util::Config::load_file(ini_path) : util::Config::parse("");
   cluster::PowerModel pm = cluster::power_model_from_config(ini);
   double degmin = ini.get_f64_or("model", "degmin", 1.63);
   double mix_floor = ini.get_f64_or("model", "mix_floor_ghz", 2.0);
@@ -91,7 +112,9 @@ int main(int argc, char** argv) {
               "infrastructure draw is budgeted before the node-level model.\n");
 
   // Measured mini-scenarios: the model's W against what a real replay of a
-  // 2-rack machine achieves, one sweep cell per (policy, lambda).
+  // 2-rack machine achieves, one sweep cell per (policy, lambda). The
+  // section header stays identical in both execution modes so a
+  // distributed run diffs clean against an in-process one.
   std::printf("\nmeasured 2-rack mini-scenarios (parallel sweep):\n");
   workload::GeneratorParams mini = workload::params_for(workload::Profile::MedianJob);
   mini.name = "explorer";
@@ -113,8 +136,25 @@ int main(int argc, char** argv) {
                        config});
     }
   }
-  core::SweepEngine engine;
-  std::vector<core::ScenarioResult> measured = engine.run(cells);
+  std::vector<core::ScenarioResult> measured;
+  if (distributed > 0) {
+    std::vector<core::ScenarioConfig> configs;
+    configs.reserve(cells.size());
+    for (const core::SweepCell& cell : cells) configs.push_back(cell.config);
+    dist::DriverOptions options;
+    options.workers = distributed;
+    dist::DriverReport report = dist::run_distributed(configs, options);
+    measured = std::move(report.results);
+    std::fprintf(stderr, "(%zu cells over %zu worker processes, %zu shards)\n",
+                 cells.size(), distributed, report.shard_count);
+  } else {
+    core::SweepEngine engine;
+    measured = engine.run(cells);
+    // Thread count is machine-dependent: stderr keeps stdout byte-identical
+    // at any PS_SWEEP_THREADS value.
+    std::fprintf(stderr, "(%zu cells on %zu threads)\n", cells.size(),
+                 engine.thread_count());
+  }
 
   metrics::TextTable runs({"policy @ lambda", "work (core-h)", "effective (% max)",
                            "energy (MJ)", "cap violation (s)"});
@@ -129,9 +169,5 @@ int main(int argc, char** argv) {
                   strings::format("%.0f", s.cap_violation_seconds)});
   }
   std::printf("%s", runs.render().c_str());
-  // Thread count is machine-dependent: stderr keeps stdout byte-identical
-  // at any PS_SWEEP_THREADS value.
-  std::fprintf(stderr, "(%zu cells on %zu threads)\n", cells.size(),
-               engine.thread_count());
   return 0;
 }

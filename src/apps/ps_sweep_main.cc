@@ -1,0 +1,128 @@
+// ps-sweep — the distributed sweep binary (worker and driver in one
+// executable, so "distributing" is just running more of the same binary).
+//
+//   ps-sweep worker --spool DIR        claim/run/publish loop over a spool
+//   ps-sweep worker --stdin            cell blocks in, records out
+//   ps-sweep drive --cells FILE        drive a serialized cell grid across
+//       [--workers N] [--shards M]     N local workers; merged records to
+//       [--spool DIR] [--golden FILE]  stdout, summary to stderr
+//       [--manifest-out FILE]
+//
+// See docs/ARCHITECTURE.md ("The dist layer") for the spool protocol and
+// merge invariants; examples/distributed_sweep.cpp for the C++ API.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dist/driver.h"
+#include "dist/protocol.h"
+#include "dist/worker.h"
+#include "util/spool.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace ps;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s worker --spool DIR [--die-after-claim-if FILE]\n"
+               "       %s worker --stdin\n"
+               "       %s drive --cells FILE [--workers N] [--shards M]\n"
+               "          [--spool DIR] [--golden FILE] [--manifest-out FILE]\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+std::string need_value(const std::vector<std::string>& args, std::size_t& i) {
+  if (i + 1 >= args.size()) {
+    throw std::runtime_error("missing value after " + args[i]);
+  }
+  return args[++i];
+}
+
+int worker_main(const std::vector<std::string>& args) {
+  dist::WorkerOptions options;
+  bool from_stdin = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--spool") options.spool_dir = need_value(args, i);
+    else if (args[i] == "--stdin") from_stdin = true;
+    else if (args[i] == "--die-after-claim-if") {
+      options.die_after_claim_marker = need_value(args, i);
+    } else throw std::runtime_error("unknown worker option " + args[i]);
+  }
+  if (from_stdin == !options.spool_dir.empty()) {
+    throw std::runtime_error("worker wants exactly one of --spool DIR or --stdin");
+  }
+  if (from_stdin) return dist::run_worker_stream(std::cin, std::cout);
+  return dist::run_worker_spool(options);
+}
+
+int drive_main(const std::vector<std::string>& args) {
+  dist::DriverOptions options;
+  std::string cells_path;
+  std::string manifest_out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--cells") cells_path = need_value(args, i);
+    else if (args[i] == "--workers") {
+      options.workers = static_cast<std::size_t>(
+          strings::parse_i64(need_value(args, i)).value_or(0));
+    } else if (args[i] == "--shards") {
+      options.shards = static_cast<std::size_t>(
+          strings::parse_i64(need_value(args, i)).value_or(0));
+    } else if (args[i] == "--spool") options.spool_dir = need_value(args, i);
+    else if (args[i] == "--golden") {
+      options.golden = dist::parse_manifest(util::read_file(need_value(args, i)));
+    } else if (args[i] == "--manifest-out") manifest_out = need_value(args, i);
+    else if (args[i] == "--keep-spool") options.keep_spool = true;
+    else throw std::runtime_error("unknown drive option " + args[i]);
+  }
+  if (cells_path.empty()) throw std::runtime_error("drive wants --cells FILE");
+
+  std::vector<core::ScenarioConfig> cells =
+      dist::parse_cell_grid(util::read_file(cells_path));
+  dist::DriverReport report = dist::run_distributed(cells, options);
+
+  dist::Writer w;
+  w.begin_block("sweep_results");
+  w.field_u64("cells", report.results.size());
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    dist::CellRecord record;
+    record.index = i;
+    record.fingerprint = report.fingerprints[i];
+    record.result = std::move(report.results[i]);
+    dist::serialize_cell_record(w, record);
+  }
+  w.end_block("sweep_results");
+  std::fputs(w.str().c_str(), stdout);
+
+  if (!manifest_out.empty()) {
+    util::write_file_atomic(manifest_out,
+                            dist::serialize_manifest(report.fingerprints));
+  }
+  std::fprintf(stderr,
+               "drove %zu cells over %zu shards; %zu workers spawned, "
+               "%zu shards resubmitted%s\n",
+               report.results.size(), report.shard_count, report.workers_spawned,
+               report.resubmitted_shards,
+               options.golden.empty() ? "" : "; golden manifest verified");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    std::string mode = argv[1];
+    if (mode == "worker") return worker_main(args);
+    if (mode == "drive") return drive_main(args);
+    return usage(argv[0]);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ps-sweep: %s\n", error.what());
+    return 1;
+  }
+}

@@ -140,4 +140,25 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   return result;
 }
 
+std::vector<CapWindow> make_daily_cap_windows(sim::Time start, std::int32_t days,
+                                              sim::Duration window_start,
+                                              sim::Duration window_end,
+                                              double fraction) {
+  PS_CHECK_MSG(days >= 0, "daily cap windows: days >= 0");
+  PS_CHECK_MSG(window_start >= 0 && window_end > window_start &&
+                   window_end <= sim::hours(24),
+               "daily cap windows: 0 <= window_start < window_end <= 24h");
+  std::vector<CapWindow> windows;
+  windows.reserve(static_cast<std::size_t>(days));
+  for (std::int32_t day = 0; day < days; ++day) {
+    CapWindow window;
+    window.lambda = fraction;
+    window.start = start + sim::hours(24) * day + window_start;
+    window.duration = window_end - window_start;
+    window.announce = -1;  // advance windows: planned jointly at t = 0
+    windows.push_back(window);
+  }
+  return windows;
+}
+
 }  // namespace ps::core

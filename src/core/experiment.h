@@ -106,4 +106,19 @@ struct ScenarioResult {
 /// Runs one scenario to completion (deterministic).
 ScenarioResult run_scenario(const ScenarioConfig& config);
 
+/// Calendar-style cap schedule (ROADMAP "rolling/periodic cap schedules"):
+/// expands "every day from `window_start` to `window_end` (offsets within
+/// the day) run at `fraction` of worst-case draw" into one advance
+/// CapWindow per day, the first day beginning at absolute time `start`.
+/// Example — every day 11:00–13:00 at 40 % for a week:
+///   config.cap_windows = make_daily_cap_windows(
+///       0, 7, sim::hours(11), sim::hours(13), 0.4);
+/// The windows repeat a single cap depth, so the offline planner prices
+/// one plan and serves the rest from its plan cache. Append the result to
+/// cap_windows to combine several daily patterns.
+std::vector<CapWindow> make_daily_cap_windows(sim::Time start, std::int32_t days,
+                                              sim::Duration window_start,
+                                              sim::Duration window_end,
+                                              double fraction);
+
 }  // namespace ps::core

@@ -242,15 +242,15 @@ void OnlineGovernor::refresh_cache_generation(sim::Time now) const {
       now > cache_now_ && !verdicts_.empty()) {
     // Pure time advance. Epoch equality already proves no powercap or
     // switch-off boundary *event* fired in (cache_now_, now] (boundary
-    // events bump the epoch), but a boundary landing exactly at `now`
+    // events bump the epoch), but a boundary landing at or before `now`
     // whose event has not fired yet in this timestep still changes
-    // cap_at(now)/active_at(now), and a future window start may have
-    // entered a cached span's horizon. Check both against the book.
+    // cap_at(now)/active_at(now) for every key. Check against the book.
     const rjms::ReservationBook& book = controller_.reservations();
+    sim::Time next_start =
+        book.next_start_after(rjms::ReservationKind::Powercap, cache_now_);
     bool landscape_moved =
         book.next_end_after(rjms::ReservationKind::Powercap, cache_now_) <= now ||
-        book.next_start_after(rjms::ReservationKind::Powercap, cache_now_) <=
-            now + cache_max_eff_walltime_;
+        next_start <= now;
     if (!landscape_moved && config_.admission == AdmissionMode::Projection) {
       // Projection additionally reads switch-off active_at(now) in
       // projected_watts_at; PaperLive window pricing does not depend on
@@ -258,6 +258,25 @@ void OnlineGovernor::refresh_cache_generation(sim::Time now) const {
       landscape_moved =
           book.next_end_after(rjms::ReservationKind::SwitchOff, cache_now_) <= now ||
           book.next_start_after(rjms::ReservationKind::SwitchOff, cache_now_) <= now;
+    }
+    if (!landscape_moved && next_start <= now + cache_max_eff_walltime_) {
+      // A strictly-future window start has entered *some* cached span's
+      // horizon. Only keys whose own degradation-stretched span reaches it
+      // now price a different overlapped-window set — evict exactly those
+      // and keep carrying the shorter ones (ROADMAP: short jobs keep
+      // carrying across time advances while long ones re-price).
+      sim::Duration surviving_max = 0;
+      for (auto it = verdicts_.begin(); it != verdicts_.end();) {
+        if (next_start <= now + it->second.max_eff_walltime) {
+          it = verdicts_.erase(it);
+          ++cache_stats_.key_evictions;
+        } else {
+          surviving_max = std::max(surviving_max, it->second.max_eff_walltime);
+          ++it;
+        }
+      }
+      cache_max_eff_walltime_ = surviving_max;
+      if (verdicts_.empty()) landscape_moved = true;  // nothing left to carry
     }
     if (!landscape_moved) {
       cache_now_ = now;
@@ -282,7 +301,7 @@ bool OnlineGovernor::admission_known_rejected(const rjms::Job& job,
   refresh_cache_generation(controller_.simulator().now());
   VerdictKey key{job.request.requested_walltime, width, degmin_for(job)};
   auto it = verdicts_.find(key);
-  if (it == verdicts_.end() || it->second.has_value()) return false;
+  if (it == verdicts_.end() || it->second.freq.has_value()) return false;
   ++cache_stats_.fast_rejects;
   if (config_.audit_admission_cache) {
     ++cache_stats_.audits;
@@ -319,7 +338,7 @@ std::optional<rjms::PowerGovernor::Admission> OnlineGovernor::admit(
   auto it = verdicts_.find(key);
   if (it != verdicts_.end()) {
     ++cache_stats_.hits;
-    verdict = it->second;
+    verdict = it->second.freq;
     if (config_.audit_admission_cache) {
       ++cache_stats_.audits;
       std::optional<cluster::FreqIndex> fresh =
@@ -330,11 +349,11 @@ std::optional<rjms::PowerGovernor::Admission> OnlineGovernor::admit(
   } else {
     ++cache_stats_.misses;
     verdict = compute_admission_freq(node_count, key.walltime, degmin, now);
-    verdicts_.emplace(key, verdict);
-    // The longest span this key's frequency walk considered: the carry
-    // check must keep future window starts out of it.
+    // The longest span this key's frequency walk considered: the per-key
+    // carry check must keep future window starts out of it.
     auto max_eff = static_cast<sim::Duration>(std::llround(
         static_cast<double>(key.walltime) * degradation_.factor(min_freq_, degmin)));
+    verdicts_.emplace(key, CachedVerdict{verdict, max_eff});
     cache_max_eff_walltime_ = std::max(cache_max_eff_walltime_, max_eff);
   }
   if (!verdict.has_value()) return std::nullopt;

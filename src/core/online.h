@@ -27,7 +27,9 @@
 // bumps the controller epoch, so epoch equality pins the active-cap
 // landscape up to `now`; the only remaining time dependence is a future
 // window start entering some cached span's horizon, which the carry check
-// rules out against the book's next-boundary queries (see
+// rules out per key: each cached verdict remembers its own degradation-
+// stretched span, so a future window start entering only the *long* spans
+// evicts exactly those keys while short-job verdicts keep carrying (see
 // refresh_cache_generation). Carried verdicts sit under the same
 // audit_admission_cache brute-force fence as ordinary hits.
 #pragma once
@@ -88,6 +90,8 @@ class OnlineGovernor final : public rjms::PowerGovernor, public rjms::Controller
     std::uint64_t misses = 0;
     std::uint64_t invalidations = 0;  ///< generation moved, map cleared
     std::uint64_t carries = 0;        ///< pure time advances that kept the map
+    std::uint64_t key_evictions = 0;  ///< single keys dropped by a carry whose
+                                      ///< span met an incoming window start
     std::uint64_t audits = 0;         ///< brute-force re-verdicts performed
     std::uint64_t fast_rejects = 0;   ///< selector walks skipped via cached rejection
   };
@@ -145,17 +149,25 @@ class OnlineGovernor final : public rjms::PowerGovernor, public rjms::Controller
   /// is mutable state.
   void refresh_cache_generation(sim::Time now) const;
 
+  /// A cached verdict plus the longest effective (degradation-stretched)
+  /// walltime its frequency walk considered — the key's own span horizon,
+  /// which the carry check clears against future window starts. Tracking
+  /// it per key lets a time advance evict only the keys whose span an
+  /// incoming window start has entered; shorter keys keep carrying.
+  struct CachedVerdict {
+    std::optional<cluster::FreqIndex> freq;
+    sim::Duration max_eff_walltime = 0;
+  };
+
   /// Verdicts valid for the current (epoch, now, book version) generation,
   /// where `now` may have been carried forward across quiescent timesteps.
-  mutable std::unordered_map<VerdictKey, std::optional<cluster::FreqIndex>,
-                             VerdictKeyHash>
-      verdicts_;
+  mutable std::unordered_map<VerdictKey, CachedVerdict, VerdictKeyHash> verdicts_;
   mutable std::uint64_t cache_epoch_ = ~0ull;
   mutable std::uint64_t cache_book_version_ = ~0ull;
   mutable sim::Time cache_now_ = -1;
-  /// Longest effective (degradation-stretched) walltime any cached verdict
-  /// considered — the span horizon the carry check must clear against
-  /// future window starts. Grows monotonically within a generation.
+  /// Max of CachedVerdict::max_eff_walltime over live entries — the cheap
+  /// whole-map screen before the per-key eviction walk. Grows on insert,
+  /// recomputed when a carry evicts keys.
   mutable sim::Duration cache_max_eff_walltime_ = 0;
   mutable AdmissionCacheStats cache_stats_;  ///< counters move on const probes too
 };

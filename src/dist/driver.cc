@@ -1,0 +1,211 @@
+#include "dist/driver.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "core/fingerprint.h"
+#include "util/spool.h"
+#include "util/strings.h"
+#include "util/subprocess.h"
+
+namespace ps::dist {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("dist driver: " + message);
+}
+
+/// Contiguous, near-even partition: shard k holds indices
+/// [k*q + min(k,r), ...) — every shard within one cell of the others.
+std::vector<Shard> partition(const std::vector<core::ScenarioConfig>& cells,
+                             std::size_t shard_count) {
+  std::vector<Shard> shards(shard_count);
+  std::size_t q = cells.size() / shard_count;
+  std::size_t r = cells.size() % shard_count;
+  std::size_t next = 0;
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    shards[k].id = k;
+    std::size_t take = q + (k < r ? 1 : 0);
+    shards[k].cells.reserve(take);
+    for (std::size_t i = 0; i < take; ++i, ++next) {
+      shards[k].cells.push_back({next, cells[next]});
+    }
+  }
+  return shards;
+}
+
+}  // namespace
+
+std::string default_worker_command() {
+  if (const char* env = std::getenv("PS_SWEEP_WORKER_BIN"); env != nullptr && *env) {
+    return env;
+  }
+  char buf[4096];
+  ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len > 0) {
+    std::string self(buf, static_cast<std::size_t>(len));
+    std::size_t slash = self.rfind('/');
+    if (slash != std::string::npos) {
+      std::string sibling = self.substr(0, slash + 1) + "ps-sweep";
+      if (util::path_exists(sibling)) return sibling;
+    }
+  }
+  return "ps-sweep";
+}
+
+DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
+                             const DriverOptions& options) {
+  DriverReport report;
+  if (cells.empty()) return report;
+  if (options.workers == 0) fail("workers must be >= 1");
+  if (!options.golden.empty() && options.golden.size() != cells.size()) {
+    fail(strings::format("golden manifest holds %zu fingerprints for %zu cells",
+                         options.golden.size(), cells.size()));
+  }
+
+  // --- spool setup -----------------------------------------------------------
+  const bool private_spool = options.spool_dir.empty();
+  const std::string spool =
+      private_spool ? util::make_temp_dir("ps-sweep-spool-") : options.spool_dir;
+  const std::string cells_dir = spool_cells_dir(spool);
+  const std::string claimed_dir = spool_claimed_dir(spool);
+  const std::string results_dir = spool_results_dir(spool);
+  util::ensure_dir(cells_dir);
+  util::ensure_dir(claimed_dir);
+  util::ensure_dir(results_dir);
+
+  std::size_t shard_count = options.shards != 0
+                                ? std::min(options.shards, cells.size())
+                                : std::min(cells.size(), options.workers * 2);
+  std::vector<Shard> shards = partition(cells, shard_count);
+  report.shard_count = shard_count;
+  for (const Shard& shard : shards) {
+    util::write_file_atomic(cells_dir + "/" + shard_file_name(shard.id),
+                            serialize_shard(shard));
+  }
+
+  const std::string worker_command =
+      options.worker_command.empty() ? default_worker_command() : options.worker_command;
+
+  // --- run waves until every shard has results -------------------------------
+  std::vector<std::size_t> attempts(shard_count, 0);
+  for (;;) {
+    std::size_t missing = 0;
+    for (std::uint64_t id = 0; id < shard_count; ++id) {
+      if (!util::path_exists(results_dir + "/" + results_file_name(id))) ++missing;
+    }
+    if (missing == 0) break;
+
+    // Account this wave against every still-unfinished shard: each wave
+    // offers every pending shard to a worker, so a shard that crashes its
+    // worker max_attempts times stops the sweep instead of looping.
+    for (std::uint64_t id = 0; id < shard_count; ++id) {
+      if (util::path_exists(results_dir + "/" + results_file_name(id))) continue;
+      if (++attempts[id] > options.max_attempts) {
+        fail(strings::format("shard %llu failed %zu attempts — giving up "
+                             "(spool kept at %s)",
+                             static_cast<unsigned long long>(id),
+                             options.max_attempts, spool.c_str()));
+      }
+    }
+
+    std::vector<std::string> argv = {worker_command, "worker", "--spool", spool};
+    argv.insert(argv.end(), options.worker_args.begin(), options.worker_args.end());
+    std::vector<util::Subprocess> wave;
+    std::size_t count = std::min(options.workers, missing);
+    wave.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      wave.push_back(util::Subprocess::spawn(argv));
+      ++report.workers_spawned;
+    }
+    for (util::Subprocess& worker : wave) {
+      // Worker exit codes are advisory: the ground truth is the spool. A
+      // worker that died mid-shard left a stranded claim handled below; a
+      // worker that exited cleanly needs nothing.
+      (void)worker.wait();
+    }
+
+    // Death detection: every claim still present after its worker exited
+    // is a shard that was taken but never finished. Return it to the
+    // pending pool under its canonical name so the next wave picks it up.
+    // A worker killed *between* publishing results and releasing its claim
+    // already did the work — drop the stale claim instead of recomputing
+    // the shard.
+    for (const std::string& name : util::list_files(claimed_dir)) {
+      std::size_t dot = name.rfind('.');
+      std::string original = name.substr(0, dot);  // strip the ".<pid>" suffix
+      std::string shard_stem = original.substr(0, original.rfind('.'));
+      if (util::path_exists(results_dir + "/" + shard_stem + ".results")) {
+        util::remove_file(claimed_dir + "/" + name);
+        continue;
+      }
+      if (!util::claim_file(claimed_dir + "/" + name, cells_dir + "/" + original)) {
+        fail("could not return stranded claim '" + name + "' to the pool");
+      }
+      ++report.resubmitted_shards;
+    }
+  }
+
+  // --- index-ordered, fingerprint-verified merge -----------------------------
+  std::vector<core::ScenarioResult> results(cells.size());
+  std::vector<std::uint64_t> fingerprints(cells.size(), 0);
+  std::vector<bool> seen(cells.size(), false);
+  for (std::uint64_t id = 0; id < shard_count; ++id) {
+    ShardResults shard_results = parse_shard_results(
+        util::read_file(results_dir + "/" + results_file_name(id)));
+    if (shard_results.id != id) {
+      fail(strings::format("results file for shard %llu carries id %llu",
+                           static_cast<unsigned long long>(id),
+                           static_cast<unsigned long long>(shard_results.id)));
+    }
+    for (CellRecord& record : shard_results.records) {
+      if (record.index >= cells.size()) {
+        fail(strings::format("record index %llu outside the %zu-cell grid",
+                             static_cast<unsigned long long>(record.index),
+                             cells.size()));
+      }
+      if (seen[record.index]) {
+        fail(strings::format("cell %llu reported twice",
+                             static_cast<unsigned long long>(record.index)));
+      }
+      // The merge fence: re-fingerprint the *parsed* result. Any serde
+      // infidelity or worker/driver skew diverges here, loudly.
+      std::uint64_t digest = core::fingerprint(record.result);
+      if (digest != record.fingerprint) {
+        fail(strings::format(
+            "cell %llu fingerprint mismatch: worker %016llx, driver %016llx "
+            "(serde infidelity or version skew)",
+            static_cast<unsigned long long>(record.index),
+            static_cast<unsigned long long>(record.fingerprint),
+            static_cast<unsigned long long>(digest)));
+      }
+      if (!options.golden.empty() && digest != options.golden[record.index]) {
+        fail(strings::format(
+            "cell %llu diverged from the golden manifest: got %016llx, "
+            "expected %016llx",
+            static_cast<unsigned long long>(record.index),
+            static_cast<unsigned long long>(digest),
+            static_cast<unsigned long long>(options.golden[record.index])));
+      }
+      seen[record.index] = true;
+      fingerprints[record.index] = digest;
+      results[record.index] = std::move(record.result);
+    }
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!seen[i]) {
+      fail(strings::format("cell %zu missing after merge", i));
+    }
+  }
+
+  if (private_spool && !options.keep_spool) util::remove_tree(spool);
+  report.results = std::move(results);
+  report.fingerprints = std::move(fingerprints);
+  return report;
+}
+
+}  // namespace ps::dist

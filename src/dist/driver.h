@@ -1,0 +1,79 @@
+// Distributed sweep driver (the `ps-sweep drive` mode and the
+// `--distributed N` path of the grid binaries).
+//
+// The driver is the process-level analogue of core::SweepEngine::run with
+// the identical output contract: results[i] belongs to cells[i], and the
+// merged vector is bit-identical to an in-process sweep of the same grid —
+// fenced end-to-end by per-cell fingerprints (core/fingerprint.h) that the
+// worker computes before serialization and the driver recomputes after
+// parsing, plus an optional golden manifest (e.g. the committed Fig-8
+// digests).
+//
+// Execution model: the grid is partitioned into contiguous shards written
+// to a spool directory; N worker *processes* (the same ps-sweep binary)
+// claim shards by atomic rename and publish result files. Machine
+// distribution is the same protocol with the spool on a shared filesystem
+// and the workers launched remotely — the driver's merge never cares where
+// a record was computed. Worker deaths are detected, not masked: a shard
+// that was claimed but never produced results is returned to the pending
+// pool and resubmitted (bounded by max_attempts per shard), and fresh
+// workers are spawned for the remaining work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/protocol.h"
+
+namespace ps::dist {
+
+struct DriverOptions {
+  /// Local worker processes to launch per wave.
+  std::size_t workers = 2;
+  /// Shard count; 0 = 2x workers (bounded by the cell count) so the claim
+  /// queue stays long enough for work stealing to balance uneven cells.
+  std::size_t shards = 0;
+  /// Spool directory; empty = a private temp dir, removed on success
+  /// (unless keep_spool). A caller-provided spool is never removed.
+  std::string spool_dir;
+  /// Worker executable; empty = the `ps-sweep` binary next to the current
+  /// executable (PS_SWEEP_WORKER_BIN environment override wins).
+  std::string worker_command;
+  /// Extra argv appended to every worker (test hooks).
+  std::vector<std::string> worker_args;
+  /// Attempts per shard (first run + resubmissions) before the driver
+  /// gives up and throws — a deterministic cell failure must not loop.
+  std::size_t max_attempts = 3;
+  bool keep_spool = false;
+  /// Optional golden manifest: index-ordered expected fingerprints for the
+  /// whole grid. Non-empty = every merged cell is verified against it.
+  std::vector<std::uint64_t> golden;
+};
+
+struct DriverReport {
+  /// results[i] belongs to cells[i] — the SweepEngine contract.
+  std::vector<core::ScenarioResult> results;
+  /// Driver-side fingerprints, index-ordered (a manifest for future runs).
+  std::vector<std::uint64_t> fingerprints;
+  std::size_t shard_count = 0;
+  std::size_t workers_spawned = 0;
+  /// Shards that had to be returned to the pool after a worker died or
+  /// failed mid-shard.
+  std::size_t resubmitted_shards = 0;
+};
+
+/// Runs the grid across local worker processes and merges index-ordered.
+/// Throws std::runtime_error on unrecoverable failures: a shard exceeding
+/// max_attempts, a fingerprint mismatch (serde infidelity or worker skew),
+/// or a golden-manifest divergence.
+DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
+                             const DriverOptions& options = {});
+
+/// The default worker command: $PS_SWEEP_WORKER_BIN if set, else the
+/// `ps-sweep` binary in the current executable's directory, else plain
+/// "ps-sweep" (PATH lookup).
+std::string default_worker_command();
+
+}  // namespace ps::dist

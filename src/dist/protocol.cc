@@ -1,0 +1,151 @@
+#include "dist/protocol.h"
+
+#include <cinttypes>
+
+#include "util/strings.h"
+
+namespace ps::dist {
+
+std::string serialize_cell_grid(const std::vector<core::ScenarioConfig>& cells) {
+  Writer w;
+  w.begin_block("cell_grid");
+  w.field_u64("cells", cells.size());
+  for (const core::ScenarioConfig& cell : cells) serialize_scenario_config(w, cell);
+  w.end_block("cell_grid");
+  return w.take();
+}
+
+std::vector<core::ScenarioConfig> parse_cell_grid(std::string_view text) {
+  Reader r(text);
+  r.begin_block("cell_grid");
+  std::uint64_t count = r.field_u64("cells");
+  std::vector<core::ScenarioConfig> cells;
+  cells.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) cells.push_back(parse_scenario_config(r));
+  r.end_block("cell_grid");
+  if (!r.at_end()) r.fail("trailing content after cell_grid");
+  return cells;
+}
+
+std::string serialize_shard(const Shard& shard) {
+  Writer w;
+  w.begin_block("shard");
+  w.field_u64("id", shard.id);
+  w.field_u64("cells", shard.cells.size());
+  for (const IndexedCell& cell : shard.cells) {
+    w.begin_block("cell");
+    w.field_u64("index", cell.index);
+    serialize_scenario_config(w, cell.config);
+    w.end_block("cell");
+  }
+  w.end_block("shard");
+  return w.take();
+}
+
+Shard parse_shard(std::string_view text) {
+  Reader r(text);
+  Shard shard;
+  r.begin_block("shard");
+  shard.id = r.field_u64("id");
+  std::uint64_t count = r.field_u64("cells");
+  shard.cells.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IndexedCell cell;
+    r.begin_block("cell");
+    cell.index = r.field_u64("index");
+    cell.config = parse_scenario_config(r);
+    r.end_block("cell");
+    shard.cells.push_back(std::move(cell));
+  }
+  r.end_block("shard");
+  if (!r.at_end()) r.fail("trailing content after shard");
+  return shard;
+}
+
+void serialize_cell_record(Writer& w, const CellRecord& record) {
+  w.begin_block("cell_record");
+  w.field_u64("index", record.index);
+  w.field("fingerprint", hex64_token(record.fingerprint));
+  serialize_scenario_result(w, record.result);
+  w.end_block("cell_record");
+}
+
+CellRecord parse_cell_record(Reader& r) {
+  CellRecord record;
+  r.begin_block("cell_record");
+  record.index = r.field_u64("index");
+  record.fingerprint = hex64_from_token(r.field_string("fingerprint"), r);
+  record.result = parse_scenario_result(r);
+  r.end_block("cell_record");
+  return record;
+}
+
+std::string serialize_shard_results(const ShardResults& results) {
+  Writer w;
+  w.begin_block("shard_results");
+  w.field_u64("id", results.id);
+  w.field_u64("cells", results.records.size());
+  for (const CellRecord& record : results.records) serialize_cell_record(w, record);
+  w.end_block("shard_results");
+  return w.take();
+}
+
+ShardResults parse_shard_results(std::string_view text) {
+  Reader r(text);
+  ShardResults results;
+  r.begin_block("shard_results");
+  results.id = r.field_u64("id");
+  std::uint64_t count = r.field_u64("cells");
+  results.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    results.records.push_back(parse_cell_record(r));
+  }
+  r.end_block("shard_results");
+  if (!r.at_end()) r.fail("trailing content after shard_results");
+  return results;
+}
+
+std::string serialize_manifest(const std::vector<std::uint64_t>& fingerprints) {
+  Writer w;
+  w.begin_block("manifest");
+  w.field_u64("cells", fingerprints.size());
+  for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+    w.line(strings::format("fp %zu %s", i, hex64_token(fingerprints[i]).c_str()));
+  }
+  w.end_block("manifest");
+  return w.take();
+}
+
+std::vector<std::uint64_t> parse_manifest(std::string_view text) {
+  Reader r(text);
+  r.begin_block("manifest");
+  std::uint64_t count = r.field_u64("cells");
+  std::vector<std::uint64_t> fingerprints(count, 0);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::vector<std::string> tokens = r.field_tokens("fp");
+    if (tokens.size() != 2) r.fail("manifest row wants 'fp <index> <digest>'");
+    auto index = strings::parse_i64(tokens[0]);
+    if (!index || *index < 0 || static_cast<std::uint64_t>(*index) != i) {
+      r.fail("manifest rows must be index-ordered");
+    }
+    fingerprints[i] = hex64_from_token(tokens[1], r);
+  }
+  r.end_block("manifest");
+  if (!r.at_end()) r.fail("trailing content after manifest");
+  return fingerprints;
+}
+
+std::string spool_cells_dir(const std::string& spool) { return spool + "/cells"; }
+std::string spool_claimed_dir(const std::string& spool) { return spool + "/claimed"; }
+std::string spool_results_dir(const std::string& spool) { return spool + "/results"; }
+
+std::string shard_file_name(std::uint64_t shard_id) {
+  // Zero-padded so lexicographic listing order == shard id order.
+  return strings::format("shard-%06" PRIu64 ".shard", shard_id);
+}
+
+std::string results_file_name(std::uint64_t shard_id) {
+  return strings::format("shard-%06" PRIu64 ".results", shard_id);
+}
+
+}  // namespace ps::dist

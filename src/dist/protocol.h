@@ -1,0 +1,83 @@
+// The spool documents exchanged between the distributed-sweep driver and
+// its workers, built from the serde blocks (dist/serde.h):
+//
+//   * **cell grid** — a whole sweep as one document (the driver CLI input):
+//     index-implicit list of scenario_config blocks.
+//   * **shard** — the unit of work a worker claims: a subset of cells, each
+//     carrying its *global* grid index so the merge is index-ordered no
+//     matter how the grid was partitioned.
+//   * **shard results** — what a worker publishes: one (index, fingerprint,
+//     result) record per cell. The fingerprint is computed by the worker
+//     over its in-memory result *before* serialization; the driver
+//     recomputes it after parsing, so any serde infidelity, truncation or
+//     version skew is caught at merge time.
+//   * **manifest** — index-ordered fingerprints only; the golden artifact a
+//     driver can verify a re-run against (e.g. the committed Fig-8 grid).
+//
+// All documents inherit the serde guarantees: versioned blocks, strict
+// field order, deterministic bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/serde.h"
+
+namespace ps::dist {
+
+/// A cell with its position in the full sweep grid.
+struct IndexedCell {
+  std::uint64_t index = 0;
+  core::ScenarioConfig config;
+};
+
+/// One completed cell: the worker's fingerprint over `result` plus the
+/// result itself.
+struct CellRecord {
+  std::uint64_t index = 0;
+  std::uint64_t fingerprint = 0;
+  core::ScenarioResult result;
+};
+
+struct Shard {
+  std::uint64_t id = 0;
+  std::vector<IndexedCell> cells;
+};
+
+struct ShardResults {
+  std::uint64_t id = 0;
+  std::vector<CellRecord> records;
+};
+
+std::string serialize_cell_grid(const std::vector<core::ScenarioConfig>& cells);
+std::vector<core::ScenarioConfig> parse_cell_grid(std::string_view text);
+
+std::string serialize_shard(const Shard& shard);
+Shard parse_shard(std::string_view text);
+
+std::string serialize_shard_results(const ShardResults& results);
+ShardResults parse_shard_results(std::string_view text);
+
+std::string serialize_manifest(const std::vector<std::uint64_t>& fingerprints);
+std::vector<std::uint64_t> parse_manifest(std::string_view text);
+
+/// Block-level record codec, shared by the shard-results document and the
+/// worker's stdin/stdout streaming mode.
+void serialize_cell_record(Writer& w, const CellRecord& record);
+CellRecord parse_cell_record(Reader& r);
+
+// --- spool layout ------------------------------------------------------------
+//
+// <spool>/cells/shard-<id>.shard      pending work, claimable
+// <spool>/claimed/<name>.<pid>        claimed by one worker (atomic rename)
+// <spool>/results/shard-<id>.results  published results (atomic rename)
+
+std::string spool_cells_dir(const std::string& spool);
+std::string spool_claimed_dir(const std::string& spool);
+std::string spool_results_dir(const std::string& spool);
+std::string shard_file_name(std::uint64_t shard_id);
+std::string results_file_name(std::uint64_t shard_id);
+
+}  // namespace ps::dist

@@ -1,0 +1,750 @@
+#include "dist/serde.h"
+
+#include <bit>
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace ps::dist {
+
+namespace {
+
+// --- enum <-> token tables ---------------------------------------------------
+//
+// Enums travel as lowercase tokens, not integers, so a renumbered enum in a
+// skewed binary is a parse error rather than a silently different policy.
+// Tables are local to the serde so the wire format is fixed here, in one
+// place, independent of any to_string used for human-facing reports.
+
+template <typename Enum>
+struct EnumEntry {
+  Enum value;
+  const char* token;
+};
+
+constexpr EnumEntry<workload::Profile> kProfiles[] = {
+    {workload::Profile::MedianJob, "medianjob"},
+    {workload::Profile::SmallJob, "smalljob"},
+    {workload::Profile::BigJob, "bigjob"},
+    {workload::Profile::Day24h, "day24h"},
+};
+
+constexpr EnumEntry<core::Policy> kPolicies[] = {
+    {core::Policy::None, "none"}, {core::Policy::Shut, "shut"},
+    {core::Policy::Dvfs, "dvfs"}, {core::Policy::Mix, "mix"},
+    {core::Policy::Idle, "idle"}, {core::Policy::Auto, "auto"},
+};
+
+constexpr EnumEntry<core::RhoConvention> kRhoConventions[] = {
+    {core::RhoConvention::Published, "published"},
+    {core::RhoConvention::Exact, "exact"},
+};
+
+constexpr EnumEntry<core::OfflineSelection> kOfflineSelections[] = {
+    {core::OfflineSelection::BonusGrouped, "bonus_grouped"},
+    {core::OfflineSelection::Scattered, "scattered"},
+};
+
+constexpr EnumEntry<core::AdmissionMode> kAdmissionModes[] = {
+    {core::AdmissionMode::PaperLive, "paper_live"},
+    {core::AdmissionMode::PaperLiveStrict, "paper_live_strict"},
+    {core::AdmissionMode::Projection, "projection"},
+};
+
+constexpr EnumEntry<rjms::SelectorKind> kSelectorKinds[] = {
+    {rjms::SelectorKind::Packing, "packing"},
+    {rjms::SelectorKind::Linear, "linear"},
+    {rjms::SelectorKind::Spread, "spread"},
+};
+
+constexpr EnumEntry<core::model::Mechanism> kMechanisms[] = {
+    {core::model::Mechanism::None, "none"},
+    {core::model::Mechanism::SwitchOffOnly, "switch_off_only"},
+    {core::model::Mechanism::DvfsOnly, "dvfs_only"},
+    {core::model::Mechanism::Both, "both"},
+    {core::model::Mechanism::Infeasible, "infeasible"},
+};
+
+template <typename Enum, std::size_t N>
+const char* enum_token(const EnumEntry<Enum> (&table)[N], Enum value) {
+  for (const EnumEntry<Enum>& entry : table) {
+    if (entry.value == value) return entry.token;
+  }
+  throw SerdeError("serde: enum value outside the wire table");
+}
+
+template <typename Enum, std::size_t N>
+Enum enum_value(const EnumEntry<Enum> (&table)[N], std::string_view token,
+                const Reader& reader) {
+  for (const EnumEntry<Enum>& entry : table) {
+    if (entry.token == token) return entry.value;
+  }
+  reader.fail("unknown enum token '" + std::string(token) + "'");
+}
+
+// --- scalar token codecs -----------------------------------------------------
+
+std::string f64_token(double value) {
+  // IEEE-754 bit pattern: the only text encoding that round-trips every
+  // double (including -0.0, denormals, NaN payloads) bit-exactly.
+  return hex64_token(std::bit_cast<std::uint64_t>(value));
+}
+
+double f64_from_token(std::string_view token, const Reader& reader) {
+  return std::bit_cast<double>(hex64_from_token(token, reader));
+}
+
+std::int64_t i64_from_token(std::string_view token, const Reader& reader) {
+  auto parsed = strings::parse_i64(token);
+  if (!parsed) reader.fail("malformed integer '" + std::string(token) + "'");
+  return *parsed;
+}
+
+std::uint64_t u64_from_token(std::string_view token, const Reader& reader) {
+  // Full uint64 range (seeds are arbitrary 64-bit values): strict decimal
+  // parse, no sign, no trailing garbage.
+  std::uint64_t value = 0;
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc() || ptr != end || token.empty()) {
+    reader.fail("malformed unsigned integer '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string hex64_token(std::uint64_t value) {
+  return strings::format("%016" PRIx64, value);
+}
+
+std::uint64_t hex64_from_token(std::string_view token, const Reader& reader) {
+  if (token.size() != 16) reader.fail("malformed hex64 (want 16 hex digits)");
+  std::uint64_t bits = 0;
+  for (char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else reader.fail("malformed hex64 (want 16 lowercase hex digits)");
+    bits = bits << 4 | static_cast<std::uint64_t>(digit);
+  }
+  return bits;
+}
+
+// --- Writer ------------------------------------------------------------------
+
+void Writer::begin_block(std::string_view type) {
+  out_ += "begin ";
+  out_ += type;
+  out_ += strings::format(" v%d\n", kSerdeVersion);
+}
+
+void Writer::end_block(std::string_view type) {
+  out_ += "end ";
+  out_ += type;
+  out_ += '\n';
+}
+
+void Writer::field(std::string_view key, std::string_view token) {
+  out_ += key;
+  out_ += ' ';
+  out_ += token;
+  out_ += '\n';
+}
+
+void Writer::field_u64(std::string_view key, std::uint64_t value) {
+  field(key, strings::format("%" PRIu64, value));
+}
+
+void Writer::field_i64(std::string_view key, std::int64_t value) {
+  field(key, strings::format("%" PRId64, value));
+}
+
+void Writer::field_f64(std::string_view key, double value) {
+  field(key, f64_token(value));
+}
+
+void Writer::field_bool(std::string_view key, bool value) {
+  field(key, value ? "1" : "0");
+}
+
+void Writer::field_string(std::string_view key, std::string_view value) {
+  if (value.find('\n') != std::string_view::npos) {
+    throw SerdeError("serde: string field contains a newline");
+  }
+  field(key, value);
+}
+
+void Writer::line(std::string_view text) {
+  out_ += text;
+  out_ += '\n';
+}
+
+// --- Reader ------------------------------------------------------------------
+
+Reader::Reader(std::string_view text) : text_(text) {}
+
+std::string_view Reader::peek_line() {
+  if (has_peek_) return peeked_;
+  if (pos_ >= text_.size()) fail("unexpected end of document");
+  std::size_t eol = text_.find('\n', pos_);
+  if (eol == std::string_view::npos) eol = text_.size();
+  peeked_ = text_.substr(pos_, eol - pos_);
+  pos_ = eol < text_.size() ? eol + 1 : eol;
+  ++line_number_;
+  has_peek_ = true;
+  return peeked_;
+}
+
+std::string_view Reader::next_line() {
+  std::string_view line = peek_line();
+  has_peek_ = false;
+  return line;
+}
+
+void Reader::fail(const std::string& message) const {
+  throw SerdeError(strings::format("serde: line %zu: %s", line_number_,
+                                   message.c_str()));
+}
+
+std::string_view Reader::take_field(std::string_view key) {
+  std::string_view line = next_line();
+  if (line.size() < key.size() || line.substr(0, key.size()) != key ||
+      (line.size() > key.size() && line[key.size()] != ' ')) {
+    fail("expected field '" + std::string(key) + "', found '" +
+         std::string(line.substr(0, 40)) + "'");
+  }
+  return line.size() > key.size() ? line.substr(key.size() + 1) : std::string_view{};
+}
+
+void Reader::begin_block(std::string_view type) {
+  std::vector<std::string> tokens = strings::split_ws(next_line());
+  if (tokens.size() != 3 || tokens[0] != "begin" || tokens[1] != type) {
+    fail("expected 'begin " + std::string(type) + " v" +
+         std::to_string(kSerdeVersion) + "'");
+  }
+  if (tokens[2] != "v" + std::to_string(kSerdeVersion)) {
+    fail("version skew: block '" + std::string(type) + "' is " + tokens[2] +
+         ", this binary speaks v" + std::to_string(kSerdeVersion));
+  }
+}
+
+void Reader::end_block(std::string_view type) {
+  std::vector<std::string> tokens = strings::split_ws(next_line());
+  if (tokens.size() != 2 || tokens[0] != "end" || tokens[1] != type) {
+    fail("expected 'end " + std::string(type) +
+         "' (unknown or out-of-order field?)");
+  }
+}
+
+bool Reader::peek_block(std::string_view type) {
+  if (pos_ >= text_.size() && !has_peek_) return false;
+  std::vector<std::string> tokens = strings::split_ws(peek_line());
+  return tokens.size() == 3 && tokens[0] == "begin" && tokens[1] == type;
+}
+
+bool Reader::peek_end(std::string_view type) {
+  if (pos_ >= text_.size() && !has_peek_) return false;
+  std::vector<std::string> tokens = strings::split_ws(peek_line());
+  return tokens.size() == 2 && tokens[0] == "end" && tokens[1] == type;
+}
+
+std::uint64_t Reader::field_u64(std::string_view key) {
+  return u64_from_token(take_field(key), *this);
+}
+
+std::int64_t Reader::field_i64(std::string_view key) {
+  return i64_from_token(take_field(key), *this);
+}
+
+double Reader::field_f64(std::string_view key) {
+  return f64_from_token(take_field(key), *this);
+}
+
+bool Reader::field_bool(std::string_view key) {
+  std::string_view token = take_field(key);
+  if (token == "1") return true;
+  if (token == "0") return false;
+  fail("malformed bool (want 0 or 1)");
+}
+
+std::string Reader::field_string(std::string_view key) {
+  return std::string(take_field(key));
+}
+
+std::vector<std::string> Reader::field_tokens(std::string_view key) {
+  return strings::split_ws(take_field(key));
+}
+
+bool Reader::at_end() {
+  if (has_peek_) return false;
+  // Skip a trailing run of blank lines (files often end with one newline).
+  while (pos_ < text_.size()) {
+    std::size_t eol = text_.find('\n', pos_);
+    if (eol == std::string_view::npos) eol = text_.size();
+    if (!strings::trim(text_.substr(pos_, eol - pos_)).empty()) return false;
+    pos_ = eol < text_.size() ? eol + 1 : eol;
+    ++line_number_;
+  }
+  return true;
+}
+
+// --- block serializers -------------------------------------------------------
+
+namespace {
+
+void serialize_generator_params(Writer& w, const workload::GeneratorParams& p) {
+  w.begin_block("generator_params");
+  w.field_string("name", p.name);
+  w.field_i64("span", p.span);
+  w.field_u64("job_count", p.job_count);
+  w.field_f64("backlog_fraction", p.backlog_fraction);
+  w.field_f64("w_tiny", p.w_tiny);
+  w.field_f64("w_medium", p.w_medium);
+  w.field_f64("w_large", p.w_large);
+  w.field_f64("w_huge", p.w_huge);
+  w.field_f64("overestimate_median", p.overestimate_median);
+  w.field_f64("overestimate_sigma", p.overestimate_sigma);
+  w.field_i64("max_walltime", p.max_walltime);
+  w.field_i64("user_count", p.user_count);
+  w.field_bool("heterogeneous_apps", p.heterogeneous_apps);
+  w.end_block("generator_params");
+}
+
+workload::GeneratorParams parse_generator_params(Reader& r) {
+  workload::GeneratorParams p;
+  r.begin_block("generator_params");
+  p.name = r.field_string("name");
+  p.span = r.field_i64("span");
+  p.job_count = static_cast<std::size_t>(r.field_u64("job_count"));
+  p.backlog_fraction = r.field_f64("backlog_fraction");
+  p.w_tiny = r.field_f64("w_tiny");
+  p.w_medium = r.field_f64("w_medium");
+  p.w_large = r.field_f64("w_large");
+  p.w_huge = r.field_f64("w_huge");
+  p.overestimate_median = r.field_f64("overestimate_median");
+  p.overestimate_sigma = r.field_f64("overestimate_sigma");
+  p.max_walltime = r.field_i64("max_walltime");
+  p.user_count = static_cast<std::int32_t>(r.field_i64("user_count"));
+  p.heterogeneous_apps = r.field_bool("heterogeneous_apps");
+  r.end_block("generator_params");
+  return p;
+}
+
+void serialize_powercap_config(Writer& w, const core::PowercapConfig& p) {
+  w.begin_block("powercap_config");
+  w.field("policy", enum_token(kPolicies, p.policy));
+  w.field_f64("default_degmin", p.default_degmin);
+  w.field_bool("use_app_degmin", p.use_app_degmin);
+  w.field_f64("mix_min_ghz", p.mix_min_ghz);
+  w.field("rho", enum_token(kRhoConventions, p.rho));
+  w.field("selection", enum_token(kOfflineSelections, p.selection));
+  w.field("admission", enum_token(kAdmissionModes, p.admission));
+  w.field_bool("offline_enabled", p.offline_enabled);
+  w.field_bool("strict_reservation_blocking", p.strict_reservation_blocking);
+  w.field_bool("kill_on_overcap", p.kill_on_overcap);
+  w.field_bool("audit_admission_cache", p.audit_admission_cache);
+  w.field_bool("audit_offline_planner", p.audit_offline_planner);
+  w.field_bool("dynamic_dvfs", p.dynamic_dvfs);
+  w.end_block("powercap_config");
+}
+
+core::PowercapConfig parse_powercap_config(Reader& r) {
+  core::PowercapConfig p;
+  r.begin_block("powercap_config");
+  p.policy = enum_value(kPolicies, r.field_string("policy"), r);
+  p.default_degmin = r.field_f64("default_degmin");
+  p.use_app_degmin = r.field_bool("use_app_degmin");
+  p.mix_min_ghz = r.field_f64("mix_min_ghz");
+  p.rho = enum_value(kRhoConventions, r.field_string("rho"), r);
+  p.selection = enum_value(kOfflineSelections, r.field_string("selection"), r);
+  p.admission = enum_value(kAdmissionModes, r.field_string("admission"), r);
+  p.offline_enabled = r.field_bool("offline_enabled");
+  p.strict_reservation_blocking = r.field_bool("strict_reservation_blocking");
+  p.kill_on_overcap = r.field_bool("kill_on_overcap");
+  p.audit_admission_cache = r.field_bool("audit_admission_cache");
+  p.audit_offline_planner = r.field_bool("audit_offline_planner");
+  p.dynamic_dvfs = r.field_bool("dynamic_dvfs");
+  r.end_block("powercap_config");
+  return p;
+}
+
+void serialize_controller_config(Writer& w, const rjms::ControllerConfig& c) {
+  w.begin_block("controller_config");
+  w.field_f64("priority_age", c.priority.age);
+  w.field_f64("priority_size", c.priority.size);
+  w.field_f64("priority_fair_share", c.priority.fair_share);
+  w.field_i64("priority_age_saturation", c.priority.age_saturation);
+  w.field_u64("backfill_depth", c.backfill_depth);
+  w.field("selector", enum_token(kSelectorKinds, c.selector));
+  w.field_bool("fairshare_enabled", c.fairshare_enabled);
+  w.field_i64("fairshare_half_life", c.fairshare_half_life);
+  w.field_i64("shutdown_delay", c.shutdown_delay);
+  w.field_i64("boot_delay", c.boot_delay);
+  w.end_block("controller_config");
+}
+
+rjms::ControllerConfig parse_controller_config(Reader& r) {
+  rjms::ControllerConfig c;
+  r.begin_block("controller_config");
+  c.priority.age = r.field_f64("priority_age");
+  c.priority.size = r.field_f64("priority_size");
+  c.priority.fair_share = r.field_f64("priority_fair_share");
+  c.priority.age_saturation = r.field_i64("priority_age_saturation");
+  c.backfill_depth = static_cast<std::size_t>(r.field_u64("backfill_depth"));
+  c.selector = enum_value(kSelectorKinds, r.field_string("selector"), r);
+  c.fairshare_enabled = r.field_bool("fairshare_enabled");
+  c.fairshare_half_life = r.field_i64("fairshare_half_life");
+  c.shutdown_delay = r.field_i64("shutdown_delay");
+  c.boot_delay = r.field_i64("boot_delay");
+  r.end_block("controller_config");
+  return c;
+}
+
+void serialize_jobs(Writer& w, const std::vector<workload::JobRequest>& jobs) {
+  w.field_u64("jobs", jobs.size());
+  for (const workload::JobRequest& job : jobs) {
+    // The app name rides as a bare token; "-" marks the empty default.
+    if (job.app.find_first_of(" \t\n") != std::string::npos || job.app == "-") {
+      throw SerdeError("serde: job app name not token-safe: '" + job.app + "'");
+    }
+    w.line(strings::format(
+        "job %" PRId64 " %" PRId64 " %" PRId32 " %" PRId64 " %" PRId64
+        " %" PRId64 " %s",
+        job.id, job.submit_time, job.user, job.requested_cores,
+        job.requested_walltime, job.base_runtime,
+        job.app.empty() ? "-" : job.app.c_str()));
+  }
+}
+
+std::vector<workload::JobRequest> parse_jobs(Reader& r) {
+  std::uint64_t count = r.field_u64("jobs");
+  std::vector<workload::JobRequest> jobs;
+  jobs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::vector<std::string> t = r.field_tokens("job");
+    if (t.size() != 7) r.fail("job row wants 7 tokens");
+    workload::JobRequest job;
+    job.id = i64_from_token(t[0], r);
+    job.submit_time = i64_from_token(t[1], r);
+    job.user = static_cast<std::int32_t>(i64_from_token(t[2], r));
+    job.requested_cores = i64_from_token(t[3], r);
+    job.requested_walltime = i64_from_token(t[4], r);
+    job.base_runtime = i64_from_token(t[5], r);
+    if (t[6] != "-") job.app = t[6];
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void serialize_selection(Writer& w, const core::Selection& s) {
+  w.begin_block("selection");
+  // Node ids as ascending run-length spans `start+len` — grouped selections
+  // are top contiguous blocks by construction, so this is typically one
+  // token for thousands of nodes.
+  std::string runs = strings::format("nodes %zu", s.nodes.size());
+  std::size_t i = 0;
+  while (i < s.nodes.size()) {
+    std::size_t j = i + 1;
+    while (j < s.nodes.size() && s.nodes[j] == s.nodes[j - 1] + 1) ++j;
+    runs += strings::format(" %" PRId32 "+%zu", s.nodes[i], j - i);
+    i = j;
+  }
+  w.line(runs);
+  w.field_i64("whole_racks", s.whole_racks);
+  w.field_i64("whole_chassis", s.whole_chassis);
+  w.field_i64("singles", s.singles);
+  w.field_f64("saving_vs_busy_watts", s.saving_vs_busy_watts);
+  w.field_f64("saving_vs_idle_watts", s.saving_vs_idle_watts);
+  w.end_block("selection");
+}
+
+core::Selection parse_selection(Reader& r) {
+  core::Selection s;
+  r.begin_block("selection");
+  std::vector<std::string> tokens = r.field_tokens("nodes");
+  if (tokens.empty()) r.fail("nodes row wants a count");
+  std::uint64_t count = u64_from_token(tokens[0], r);
+  s.nodes.reserve(count);
+  for (std::size_t t = 1; t < tokens.size(); ++t) {
+    std::size_t plus = tokens[t].find('+');
+    if (plus == std::string::npos) r.fail("node run wants start+len");
+    auto start = i64_from_token(std::string_view(tokens[t]).substr(0, plus), r);
+    auto len = u64_from_token(std::string_view(tokens[t]).substr(plus + 1), r);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      s.nodes.push_back(static_cast<cluster::NodeId>(start + static_cast<std::int64_t>(k)));
+    }
+  }
+  if (s.nodes.size() != count) r.fail("node run lengths disagree with count");
+  s.whole_racks = static_cast<std::int32_t>(r.field_i64("whole_racks"));
+  s.whole_chassis = static_cast<std::int32_t>(r.field_i64("whole_chassis"));
+  s.singles = static_cast<std::int32_t>(r.field_i64("singles"));
+  s.saving_vs_busy_watts = r.field_f64("saving_vs_busy_watts");
+  s.saving_vs_idle_watts = r.field_f64("saving_vs_idle_watts");
+  r.end_block("selection");
+  return s;
+}
+
+void serialize_plan(Writer& w, const core::OfflinePlan& p) {
+  w.begin_block("offline_plan");
+  w.field("mechanism", enum_token(kMechanisms, p.split.mechanism));
+  w.field_f64("n_off", p.split.n_off);
+  w.field_f64("n_dvfs", p.split.n_dvfs);
+  w.field_f64("work", p.split.work);
+  serialize_selection(w, p.selection);
+  w.field_f64("cap_watts", p.cap_watts);
+  w.field_f64("node_budget_watts", p.node_budget_watts);
+  w.field_f64("required_saving_watts", p.required_saving_watts);
+  w.field_i64("reservation_id", p.reservation_id);
+  w.end_block("offline_plan");
+}
+
+core::OfflinePlan parse_plan(Reader& r) {
+  core::OfflinePlan p;
+  r.begin_block("offline_plan");
+  p.split.mechanism = enum_value(kMechanisms, r.field_string("mechanism"), r);
+  p.split.n_off = r.field_f64("n_off");
+  p.split.n_dvfs = r.field_f64("n_dvfs");
+  p.split.work = r.field_f64("work");
+  p.selection = parse_selection(r);
+  p.cap_watts = r.field_f64("cap_watts");
+  p.node_budget_watts = r.field_f64("node_budget_watts");
+  p.required_saving_watts = r.field_f64("required_saving_watts");
+  p.reservation_id = r.field_i64("reservation_id");
+  r.end_block("offline_plan");
+  return p;
+}
+
+}  // namespace
+
+void serialize_scenario_config(Writer& w, const core::ScenarioConfig& config) {
+  w.begin_block("scenario_config");
+  w.field("profile", enum_token(kProfiles, config.profile));
+  w.field_bool("has_custom_workload", config.custom_workload.has_value());
+  if (config.custom_workload) serialize_generator_params(w, *config.custom_workload);
+  w.field_bool("has_trace_jobs", config.trace_jobs.has_value());
+  if (config.trace_jobs) serialize_jobs(w, *config.trace_jobs);
+  w.field_u64("seed", config.seed);
+  w.field_i64("racks", config.racks);
+  serialize_powercap_config(w, config.powercap);
+  w.field_f64("cap_lambda", config.cap_lambda);
+  w.field_i64("cap_start", config.cap_start);
+  w.field_i64("cap_duration", config.cap_duration);
+  w.field_u64("cap_windows", config.cap_windows.size());
+  for (const core::CapWindow& window : config.cap_windows) {
+    w.line(strings::format("window %s %" PRId64 " %" PRId64 " %" PRId64,
+                           f64_token(window.lambda).c_str(), window.start,
+                           window.duration, window.announce));
+  }
+  serialize_controller_config(w, config.controller);
+  w.field_i64("horizon", config.horizon);
+  w.end_block("scenario_config");
+}
+
+core::ScenarioConfig parse_scenario_config(Reader& r) {
+  core::ScenarioConfig config;
+  r.begin_block("scenario_config");
+  config.profile = enum_value(kProfiles, r.field_string("profile"), r);
+  if (r.field_bool("has_custom_workload")) {
+    config.custom_workload = parse_generator_params(r);
+  }
+  if (r.field_bool("has_trace_jobs")) config.trace_jobs = parse_jobs(r);
+  config.seed = r.field_u64("seed");
+  config.racks = static_cast<std::int32_t>(r.field_i64("racks"));
+  config.powercap = parse_powercap_config(r);
+  config.cap_lambda = r.field_f64("cap_lambda");
+  config.cap_start = r.field_i64("cap_start");
+  config.cap_duration = r.field_i64("cap_duration");
+  std::uint64_t windows = r.field_u64("cap_windows");
+  config.cap_windows.reserve(windows);
+  for (std::uint64_t i = 0; i < windows; ++i) {
+    std::vector<std::string> t = r.field_tokens("window");
+    if (t.size() != 4) r.fail("cap window row wants 4 tokens");
+    core::CapWindow window;
+    window.lambda = f64_from_token(t[0], r);
+    window.start = i64_from_token(t[1], r);
+    window.duration = i64_from_token(t[2], r);
+    window.announce = i64_from_token(t[3], r);
+    config.cap_windows.push_back(window);
+  }
+  config.controller = parse_controller_config(r);
+  config.horizon = r.field_i64("horizon");
+  r.end_block("scenario_config");
+  return config;
+}
+
+void serialize_scenario_result(Writer& w, const core::ScenarioResult& result) {
+  w.begin_block("scenario_result");
+  const metrics::RunSummary& s = result.summary;
+  w.begin_block("run_summary");
+  w.field_i64("from", s.from);
+  w.field_i64("to", s.to);
+  w.field_f64("energy_joules", s.energy_joules);
+  w.field_f64("work_core_seconds", s.work_core_seconds);
+  w.field_f64("effective_work_core_seconds", s.effective_work_core_seconds);
+  w.field_f64("max_possible_work", s.max_possible_work);
+  w.field_u64("launched_jobs", s.launched_jobs);
+  w.field_u64("completed_jobs", s.completed_jobs);
+  w.field_u64("killed_jobs", s.killed_jobs);
+  w.field_u64("submitted_jobs", s.submitted_jobs);
+  w.field_f64("mean_wait_seconds", s.mean_wait_seconds);
+  w.field_f64("utilization", s.utilization);
+  w.field_f64("mean_watts", s.mean_watts);
+  w.field_f64("max_watts", s.max_watts);
+  w.field_f64("cap_violation_seconds", s.cap_violation_seconds);
+  w.end_block("run_summary");
+  const rjms::Controller::Stats& st = result.stats;
+  w.begin_block("controller_stats");
+  w.field_u64("submitted", st.submitted);
+  w.field_u64("started", st.started);
+  w.field_u64("completed", st.completed);
+  w.field_u64("killed", st.killed);
+  w.field_u64("rejected", st.rejected);
+  w.field_u64("full_passes", st.full_passes);
+  w.field_u64("backfill_starts", st.backfill_starts);
+  w.field_u64("quick_attempts", st.quick_attempts);
+  w.field_u64("submit_batches", st.submit_batches);
+  w.field_u64("selector_fast_fails", st.selector_fast_fails);
+  w.field_u64("admission_fast_fails", st.admission_fast_fails);
+  w.end_block("controller_stats");
+  w.field_u64("samples", result.samples.size());
+  for (const metrics::Sample& sample : result.samples) {
+    std::string row = strings::format(
+        "sample %" PRId64 " %s %" PRId32 " %" PRId32 " %" PRId32 " %zu",
+        sample.t, f64_token(sample.watts).c_str(), sample.idle_nodes,
+        sample.off_nodes, sample.transitioning_nodes, sample.busy_by_freq.size());
+    for (std::int32_t busy : sample.busy_by_freq) {
+      row += strings::format(" %" PRId32, busy);
+    }
+    w.line(row);
+  }
+  w.field_f64("cap_watts", result.cap_watts);
+  w.field_i64("cap_start", result.cap_start);
+  w.field_i64("cap_end", result.cap_end);
+  w.field_bool("has_plan", result.has_plan);
+  serialize_plan(w, result.plan);
+  w.field_u64("windows", result.windows.size());
+  for (const core::ScenarioResult::Window& window : result.windows) {
+    w.line(strings::format("window %" PRId64 " %" PRId64 " %s", window.start,
+                           window.end, f64_token(window.watts).c_str()));
+  }
+  w.field_u64("plans", result.plans.size());
+  for (const core::OfflinePlan& plan : result.plans) serialize_plan(w, plan);
+  w.field_f64("max_cluster_watts", result.max_cluster_watts);
+  w.field_i64("total_cores", result.total_cores);
+  w.end_block("scenario_result");
+}
+
+core::ScenarioResult parse_scenario_result(Reader& r) {
+  core::ScenarioResult result;
+  r.begin_block("scenario_result");
+  metrics::RunSummary& s = result.summary;
+  r.begin_block("run_summary");
+  s.from = r.field_i64("from");
+  s.to = r.field_i64("to");
+  s.energy_joules = r.field_f64("energy_joules");
+  s.work_core_seconds = r.field_f64("work_core_seconds");
+  s.effective_work_core_seconds = r.field_f64("effective_work_core_seconds");
+  s.max_possible_work = r.field_f64("max_possible_work");
+  s.launched_jobs = r.field_u64("launched_jobs");
+  s.completed_jobs = r.field_u64("completed_jobs");
+  s.killed_jobs = r.field_u64("killed_jobs");
+  s.submitted_jobs = r.field_u64("submitted_jobs");
+  s.mean_wait_seconds = r.field_f64("mean_wait_seconds");
+  s.utilization = r.field_f64("utilization");
+  s.mean_watts = r.field_f64("mean_watts");
+  s.max_watts = r.field_f64("max_watts");
+  s.cap_violation_seconds = r.field_f64("cap_violation_seconds");
+  r.end_block("run_summary");
+  rjms::Controller::Stats& st = result.stats;
+  r.begin_block("controller_stats");
+  st.submitted = r.field_u64("submitted");
+  st.started = r.field_u64("started");
+  st.completed = r.field_u64("completed");
+  st.killed = r.field_u64("killed");
+  st.rejected = r.field_u64("rejected");
+  st.full_passes = r.field_u64("full_passes");
+  st.backfill_starts = r.field_u64("backfill_starts");
+  st.quick_attempts = r.field_u64("quick_attempts");
+  st.submit_batches = r.field_u64("submit_batches");
+  st.selector_fast_fails = r.field_u64("selector_fast_fails");
+  st.admission_fast_fails = r.field_u64("admission_fast_fails");
+  r.end_block("controller_stats");
+  std::uint64_t samples = r.field_u64("samples");
+  result.samples.reserve(samples);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    std::vector<std::string> t = r.field_tokens("sample");
+    if (t.size() < 6) r.fail("sample row wants >= 6 tokens");
+    metrics::Sample sample;
+    sample.t = i64_from_token(t[0], r);
+    sample.watts = f64_from_token(t[1], r);
+    sample.idle_nodes = static_cast<std::int32_t>(i64_from_token(t[2], r));
+    sample.off_nodes = static_cast<std::int32_t>(i64_from_token(t[3], r));
+    sample.transitioning_nodes = static_cast<std::int32_t>(i64_from_token(t[4], r));
+    std::uint64_t freqs = u64_from_token(t[5], r);
+    if (t.size() != 6 + freqs) r.fail("sample busy_by_freq length mismatch");
+    sample.busy_by_freq.reserve(freqs);
+    for (std::uint64_t f = 0; f < freqs; ++f) {
+      sample.busy_by_freq.push_back(
+          static_cast<std::int32_t>(i64_from_token(t[6 + f], r)));
+    }
+    result.samples.push_back(std::move(sample));
+  }
+  result.cap_watts = r.field_f64("cap_watts");
+  result.cap_start = r.field_i64("cap_start");
+  result.cap_end = r.field_i64("cap_end");
+  result.has_plan = r.field_bool("has_plan");
+  result.plan = parse_plan(r);
+  std::uint64_t windows = r.field_u64("windows");
+  result.windows.reserve(windows);
+  for (std::uint64_t i = 0; i < windows; ++i) {
+    std::vector<std::string> t = r.field_tokens("window");
+    if (t.size() != 3) r.fail("result window row wants 3 tokens");
+    core::ScenarioResult::Window window;
+    window.start = i64_from_token(t[0], r);
+    window.end = i64_from_token(t[1], r);
+    window.watts = f64_from_token(t[2], r);
+    result.windows.push_back(window);
+  }
+  std::uint64_t plans = r.field_u64("plans");
+  result.plans.reserve(plans);
+  for (std::uint64_t i = 0; i < plans; ++i) result.plans.push_back(parse_plan(r));
+  result.max_cluster_watts = r.field_f64("max_cluster_watts");
+  result.total_cores = r.field_i64("total_cores");
+  r.end_block("scenario_result");
+  return result;
+}
+
+// --- whole-document wrappers -------------------------------------------------
+
+std::string serialize(const core::ScenarioConfig& config) {
+  Writer w;
+  serialize_scenario_config(w, config);
+  return w.take();
+}
+
+std::string serialize(const core::ScenarioResult& result) {
+  Writer w;
+  serialize_scenario_result(w, result);
+  return w.take();
+}
+
+core::ScenarioConfig parse_scenario_config(std::string_view text) {
+  Reader r(text);
+  core::ScenarioConfig config = parse_scenario_config(r);
+  if (!r.at_end()) r.fail("trailing content after scenario_config");
+  return config;
+}
+
+core::ScenarioResult parse_scenario_result(std::string_view text) {
+  Reader r(text);
+  core::ScenarioResult result = parse_scenario_result(r);
+  if (!r.at_end()) r.fail("trailing content after scenario_result");
+  return result;
+}
+
+}  // namespace ps::dist

@@ -1,0 +1,145 @@
+// Versioned, deterministic text serialization of scenario cells — the wire
+// format of the distributed sweep subsystem (see docs/ARCHITECTURE.md,
+// "The dist layer").
+//
+// Design constraints, in order:
+//   * **Bit-exact round-trips.** A parsed ScenarioResult must be
+//     bit-identical to the one the worker computed, or the index-ordered
+//     merge loses its byte-identity guarantee. Doubles are therefore
+//     written as their IEEE-754 bit pattern in hex, never as decimal.
+//   * **Deterministic output.** serialize() of equal values produces equal
+//     bytes: every field is emitted, in a fixed order, with no timestamps,
+//     hostnames or map-order dependence. Spool files can be diffed and
+//     golden-fingerprinted.
+//   * **Loud failure on skew.** Every block carries a format version
+//     (`begin <type> v<N>`), and the parser demands the exact field
+//     sequence the serializer emits — an unknown, missing, reordered or
+//     duplicated field is a SerdeError with a line number, never a silent
+//     default. A driver and worker built from different revisions cannot
+//     exchange half-understood cells.
+//
+// The grammar is line-oriented:
+//
+//   begin scenario_config v1
+//   profile medianjob
+//   custom_workload 1
+//   begin generator_params v1
+//   ...
+//   end generator_params
+//   ...
+//   end scenario_config
+//
+// Scalars are space-separated tokens; strings occupy the rest of the line
+// (leading/trailing whitespace significant — they are emitted verbatim).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ps::dist {
+
+/// Parse/format failure: carries the 1-based line number and what was
+/// expected vs found. Thrown on any version or field skew.
+class SerdeError : public std::runtime_error {
+ public:
+  explicit SerdeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Format version stamped on every block this revision emits. Bump when a
+/// field is added, removed or reordered; parsers reject any other version.
+inline constexpr int kSerdeVersion = 1;
+
+// --- whole-document helpers -------------------------------------------------
+
+class Reader;
+
+/// 16-lowercase-hex-digit encoding of a uint64 — the wire form of both
+/// IEEE-754 double bit patterns and fingerprints (one strict codec, so the
+/// two can never drift apart).
+std::string hex64_token(std::uint64_t value);
+std::uint64_t hex64_from_token(std::string_view token, const Reader& reader);
+
+std::string serialize(const core::ScenarioConfig& config);
+std::string serialize(const core::ScenarioResult& result);
+
+core::ScenarioConfig parse_scenario_config(std::string_view text);
+core::ScenarioResult parse_scenario_result(std::string_view text);
+
+// --- streaming writer/reader (for composite documents: shards, records) -----
+
+/// Appends lines to an output string. Purely mechanical; the field order
+/// discipline lives in the serialize_* functions.
+class Writer {
+ public:
+  void begin_block(std::string_view type);
+  void end_block(std::string_view type);
+  /// `key <token> <token>...` — tokens must not contain whitespace.
+  void field(std::string_view key, std::string_view token);
+  void field_u64(std::string_view key, std::uint64_t value);
+  void field_i64(std::string_view key, std::int64_t value);
+  /// IEEE-754 bit pattern in hex (bit-exact round-trip).
+  void field_f64(std::string_view key, double value);
+  void field_bool(std::string_view key, bool value);
+  /// `key <rest of line>` — value may contain spaces (strings).
+  void field_string(std::string_view key, std::string_view value);
+  /// Raw line (used for per-row list payloads assembled by the caller).
+  void line(std::string_view text);
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() noexcept { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Strict sequential reader over a serialized document. Every accessor
+/// names the field it expects; mismatches throw SerdeError with the line
+/// number. at_end() must be true when a top-level parse finishes.
+class Reader {
+ public:
+  explicit Reader(std::string_view text);
+
+  void begin_block(std::string_view type);  ///< checks type and version
+  void end_block(std::string_view type);
+  /// True iff the next line is `begin <type> v*` (lookahead; consumes nothing).
+  bool peek_block(std::string_view type);
+  /// True iff the next line is `end <type>` (lookahead; consumes nothing).
+  bool peek_end(std::string_view type);
+
+  std::uint64_t field_u64(std::string_view key);
+  std::int64_t field_i64(std::string_view key);
+  double field_f64(std::string_view key);
+  bool field_bool(std::string_view key);
+  std::string field_string(std::string_view key);
+  /// Whole payload of `key ...` as raw tokens (for per-row list payloads).
+  std::vector<std::string> field_tokens(std::string_view key);
+
+  bool at_end();
+
+  [[noreturn]] void fail(const std::string& message) const;
+
+ private:
+  std::string_view next_line();      ///< consumes; throws at EOF
+  std::string_view peek_line();      ///< lookahead without consuming
+  std::string_view take_field(std::string_view key);  ///< payload after key
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_number_ = 0;
+  bool has_peek_ = false;
+  std::string_view peeked_;
+};
+
+// --- block-level serializers (composable into shard/record documents) --------
+
+void serialize_scenario_config(Writer& w, const core::ScenarioConfig& config);
+void serialize_scenario_result(Writer& w, const core::ScenarioResult& result);
+core::ScenarioConfig parse_scenario_config(Reader& r);
+core::ScenarioResult parse_scenario_result(Reader& r);
+
+}  // namespace ps::dist

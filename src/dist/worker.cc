@@ -1,0 +1,86 @@
+#include "dist/worker.h"
+
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "core/fingerprint.h"
+#include "util/spool.h"
+
+namespace ps::dist {
+
+ShardResults run_shard(const Shard& shard) {
+  ShardResults results;
+  results.id = shard.id;
+  results.records.reserve(shard.cells.size());
+  for (const IndexedCell& cell : shard.cells) {
+    CellRecord record;
+    record.index = cell.index;
+    record.result = core::run_scenario(cell.config);
+    record.fingerprint = core::fingerprint(record.result);
+    results.records.push_back(std::move(record));
+  }
+  return results;
+}
+
+int run_worker_spool(const WorkerOptions& options) {
+  const std::string cells_dir = spool_cells_dir(options.spool_dir);
+  const std::string claimed_dir = spool_claimed_dir(options.spool_dir);
+  const std::string results_dir = spool_results_dir(options.spool_dir);
+  util::ensure_dir(claimed_dir);
+  util::ensure_dir(results_dir);
+  const std::string pid_suffix = "." + std::to_string(::getpid());
+
+  for (;;) {
+    bool claimed_one = false;
+    for (const std::string& name : util::list_files(cells_dir, ".shard")) {
+      std::string claim_path = claimed_dir + "/" + name + pid_suffix;
+      if (!util::claim_file(cells_dir + "/" + name, claim_path)) {
+        continue;  // another worker won this shard; try the next
+      }
+      claimed_one = true;
+      if (!options.die_after_claim_marker.empty() &&
+          util::path_exists(options.die_after_claim_marker)) {
+        // Emulated mid-shard kill: consume the marker so only one worker
+        // dies, then vanish without publishing or returning the claim.
+        util::remove_file(options.die_after_claim_marker);
+        ::_exit(137);  // the exit code a real SIGKILL would produce
+      }
+      Shard shard = parse_shard(util::read_file(claim_path));
+      ShardResults results = run_shard(shard);
+      util::write_file_atomic(results_dir + "/" + results_file_name(shard.id),
+                              serialize_shard_results(results));
+      util::remove_file(claim_path);
+      break;  // re-list: claiming order stays fair across workers
+    }
+    if (!claimed_one) return 0;  // nothing pending — done
+  }
+}
+
+int run_worker_stream(std::istream& in, std::ostream& out) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  Reader r(text);
+  Writer w;
+  while (!r.at_end()) {
+    IndexedCell cell;
+    r.begin_block("cell");
+    cell.index = r.field_u64("index");
+    cell.config = parse_scenario_config(r);
+    r.end_block("cell");
+
+    CellRecord record;
+    record.index = cell.index;
+    record.result = core::run_scenario(cell.config);
+    record.fingerprint = core::fingerprint(record.result);
+    serialize_cell_record(w, record);
+  }
+  out << w.str();
+  out.flush();
+  return out.good() ? 0 : 1;
+}
+
+}  // namespace ps::dist

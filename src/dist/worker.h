@@ -1,0 +1,48 @@
+// Distributed sweep worker (the `ps-sweep worker` mode).
+//
+// A worker is a stateless cell executor: it takes serialized scenario
+// cells, runs each through the exact same single-threaded, bit-
+// deterministic core::run_scenario the in-process SweepEngine uses, and
+// emits one (index, fingerprint, result) record per cell. Two transports:
+//
+//   * **spool mode** — loop over a spool directory (util/spool.h): claim a
+//     shard file by atomic rename, run it, publish the results file
+//     atomically, repeat until no pending shards remain. Several workers
+//     on the same spool never duplicate work (rename wins once); a worker
+//     that dies mid-shard leaves its claim stranded for the driver to
+//     detect and resubmit.
+//   * **stdin mode** — read a stream of cell blocks from stdin, write
+//     cell_record blocks to stdout. No filesystem, no driver; useful for
+//     piping a cell into a remote shell.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "dist/protocol.h"
+
+namespace ps::dist {
+
+struct WorkerOptions {
+  std::string spool_dir;
+  /// Test hook (driver resubmission fence): when the named file exists at
+  /// the moment a shard is claimed, the worker deletes it and dies
+  /// immediately — by design without publishing results and without
+  /// returning the claim — emulating a mid-shard SIGKILL. Empty = off.
+  std::string die_after_claim_marker;
+};
+
+/// Runs every cell of a shard; records are in shard order.
+ShardResults run_shard(const Shard& shard);
+
+/// Spool loop; returns a process exit code (0 = clean, including "nothing
+/// left to claim"). Throws only on programming errors; operational
+/// failures (unparseable shard, I/O) propagate as exceptions to the CLI,
+/// which exits nonzero — the driver then resubmits the stranded claim.
+int run_worker_spool(const WorkerOptions& options);
+
+/// stdin/stdout streaming mode: cells in, records out. Returns an exit code.
+int run_worker_stream(std::istream& in, std::ostream& out);
+
+}  // namespace ps::dist

@@ -1,0 +1,112 @@
+#include "util/spool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace ps::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("spool: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+void ensure_dir(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw std::runtime_error("spool: mkdir '" + path + "': " + ec.message());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("open", path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) fail("read", path);
+  return out.str();
+}
+
+void write_file_atomic(const std::string& path, const std::string& content,
+                       bool durable) {
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("open", tmp);
+  std::size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("write", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // Durability before visibility: a published file must never be empty or
+  // truncated after a crash, or the driver would merge garbage.
+  if ((durable && ::fsync(fd) < 0) || ::close(fd) < 0) fail("fsync", tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) fail("rename", tmp);
+}
+
+std::vector<std::string> list_files(const std::string& dir, const std::string& suffix) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (suffix.empty() || (name.size() >= suffix.size() &&
+                           name.compare(name.size() - suffix.size(), suffix.size(),
+                                        suffix) == 0)) {
+      names.push_back(std::move(name));
+    }
+  }
+  if (ec) throw std::runtime_error("spool: list '" + dir + "': " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool claim_file(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) == 0) return true;
+  if (errno == ENOENT) return false;  // lost the race — somebody claimed it
+  fail("claim", from);
+}
+
+bool path_exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+void remove_file(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+void remove_tree(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+}
+
+std::string make_temp_dir(const std::string& prefix) {
+  std::string tmpl = (fs::temp_directory_path() / (prefix + "XXXXXX")).string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) fail("mkdtemp", tmpl);
+  return std::string(buf.data());
+}
+
+}  // namespace ps::util

@@ -1,0 +1,61 @@
+// Spool-directory primitives for the distributed sweep (src/dist/): atomic
+// publication and atomic claiming of work files on a filesystem shared by
+// every worker — a local directory for same-machine fleets, NFS or similar
+// for multi-machine ones.
+//
+// The protocol needs exactly two filesystem guarantees, both POSIX:
+//   * rename(2) within one directory tree is atomic — a file either fully
+//     appears under its final name or not at all (write_file_atomic), and
+//     exactly one renamer wins when several race for the same source
+//     (claim_file).
+//   * readdir never shows a half-written file published via
+//     write-temp-then-rename.
+// Everything above that (shard layout, record formats, resubmission) lives
+// in dist::Driver / dist::worker_main.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ps::util {
+
+/// mkdir -p. Throws std::runtime_error on failure (EEXIST is success).
+void ensure_dir(const std::string& path);
+
+/// Reads a whole file. Throws std::runtime_error when unreadable.
+std::string read_file(const std::string& path);
+
+/// Publishes `content` at `path` atomically: writes `path.tmp.<pid>`,
+/// fsyncs, renames. Readers listing the directory never observe a partial
+/// file. Throws std::runtime_error on I/O failure. `durable = false` skips
+/// the fsync — atomicity for live readers is kept, crash durability is
+/// not; only for benchmarks and other throwaway data whose timing must not
+/// ride the disk's sync latency.
+void write_file_atomic(const std::string& path, const std::string& content,
+                       bool durable = true);
+
+/// Names (not paths) of regular files in `dir` ending with `suffix`,
+/// sorted — deterministic iteration for every worker. Missing directory is
+/// an error; an empty one returns {}.
+std::vector<std::string> list_files(const std::string& dir,
+                                    const std::string& suffix = "");
+
+/// Atomically claims `from` by renaming it to `to`. Returns false when the
+/// file vanished first (another claimer won — the expected contention
+/// outcome); throws on any other failure.
+bool claim_file(const std::string& from, const std::string& to);
+
+/// True iff the path names an existing file or directory.
+bool path_exists(const std::string& path);
+
+/// Deletes one file; missing is fine.
+void remove_file(const std::string& path);
+
+/// Recursive delete (the driver's end-of-run spool cleanup).
+void remove_tree(const std::string& path);
+
+/// A fresh private directory under $TMPDIR (mkdtemp). Throws on failure.
+std::string make_temp_dir(const std::string& prefix);
+
+}  // namespace ps::util

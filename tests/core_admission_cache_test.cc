@@ -108,6 +108,49 @@ TEST_F(AdmissionCacheTest, CarriesVerdictsAcrossQuiescentTimeAdvance) {
   EXPECT_EQ(stats.invalidations, 0u);
 }
 
+TEST_F(AdmissionCacheTest, ShortKeyCarriesSurviveLongKeyEviction) {
+  // Per-key span tracking (vs the old generation-wide max): a future
+  // window start entering only the *long* class's degradation-stretched
+  // span must evict exactly that key. The short class keeps carrying and
+  // is never re-priced; the long class re-prices every quiescent timestep.
+  // Audit mode brute-force-fences every carried hit along the way.
+  OnlineGovernor governor(controller_, strict_config(/*audit=*/true));
+  controller_.set_governor(&governor);
+  controller_.add_observer(&governor);
+  add_blocking_window(controller_);  // unsatisfiable window at [1h, 2h)
+
+  // Short class: even fully degradation-stretched it ends well before the
+  // 1 h window start. Long class: overlaps it from t=0.
+  rjms::Job short_job;
+  short_job.request = make_request(1, 32, sim::minutes(2), sim::minutes(5));
+  rjms::Job long_job;
+  long_job.request = make_request(2, 32, sim::hours(1), sim::hours(2));
+  std::vector<cluster::NodeId> nodes(2);
+  nodes[0] = 0;
+  nodes[1] = 1;
+
+  auto probe_both = [&] {
+    (void)governor.admit(short_job, nodes);
+    (void)governor.admit(long_job, nodes);
+  };
+  probe_both();
+  const auto& stats = governor.admission_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);  // both classes priced once
+
+  for (int step = 1; step <= 6; ++step) {
+    sim_.run_until(sim_.now() + sim::seconds(1));
+    probe_both();
+  }
+  // The long key's span meets the window start on every advance: one
+  // eviction + one re-price per step. The short key carried throughout —
+  // its 2 + 6 probes cost exactly one miss.
+  EXPECT_EQ(stats.misses, 2u + 6u);
+  EXPECT_EQ(stats.key_evictions, 6u);
+  EXPECT_EQ(stats.carries, 6u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_GE(stats.hits, 6u);  // the short key's carried re-probes
+}
+
 TEST_F(AdmissionCacheTest, FutureWindowInsideHorizonBlocksCarry) {
   // With an unsatisfiable *future* window inside every span horizon the
   // carry must refuse (the overlapped-window set is time-dependent), so

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "fig8_golden.h"
 #include "scenario_fingerprint.h"
 
 namespace ps::core {
@@ -86,62 +87,20 @@ TEST(Determinism, Fig8SweepRepeatsBitIdentically) {
 // digest, so the bit-identical claim is enforced in CI across refactors,
 // not just locally.
 
+using testing::fig8_golden_config;
 using testing::fingerprint;
+using testing::GoldenCase;
+using testing::kFig8GoldenCases;
 
-ScenarioConfig golden_config(workload::Profile profile, Policy policy, double lambda) {
-  ScenarioConfig config = sweep_config(policy, lambda);
-  workload::GeneratorParams params = workload::params_for(profile);
-  params.name = "golden";
-  params.span = sim::hours(1);
-  params.job_count = 600;
-  params.w_huge = 0.0;
-  config.custom_workload = params;
-  return config;
-}
-
-struct GoldenCase {
-  workload::Profile profile;
-  double lambda;
-  Policy policy;
-  std::uint64_t digest;  ///< committed fingerprint (0 = bootstrap: print)
-};
-
-// The full Fig-8 grid at test scale: 3 workloads x (3 caps x policies + the
-// uncapped baseline) = 27 scenarios. Regenerate a constant by running with
-// its entry zeroed: the test prints the computed digest on mismatch.
-const GoldenCase kGoldenCases[] = {
-    {workload::Profile::BigJob, 0.40, Policy::Mix, 0x658e35f774d33d9f},
-    {workload::Profile::BigJob, 0.40, Policy::Dvfs, 0x783186b38f04c462},
-    {workload::Profile::BigJob, 0.40, Policy::Shut, 0x9df360d084004a6b},
-    {workload::Profile::BigJob, 0.60, Policy::Mix, 0xaec610686a03d20},
-    {workload::Profile::BigJob, 0.60, Policy::Dvfs, 0x73abf2f5d2beb8f3},
-    {workload::Profile::BigJob, 0.60, Policy::Shut, 0x4ba0fe83a767ec7c},
-    {workload::Profile::BigJob, 0.80, Policy::Dvfs, 0x4a2a96414d724b64},
-    {workload::Profile::BigJob, 0.80, Policy::Shut, 0xd06c14f5582e2e96},
-    {workload::Profile::BigJob, 1.00, Policy::None, 0x3fc74efe816a9801},
-    {workload::Profile::MedianJob, 0.40, Policy::Mix, 0xe6711314335b4f8b},
-    {workload::Profile::MedianJob, 0.40, Policy::Dvfs, 0xd57c4f3cb6092142},
-    {workload::Profile::MedianJob, 0.40, Policy::Shut, 0x2de387e93e085bc3},
-    {workload::Profile::MedianJob, 0.60, Policy::Mix, 0x42b081a10478e2ad},
-    {workload::Profile::MedianJob, 0.60, Policy::Dvfs, 0x6ba534899ce491f2},
-    {workload::Profile::MedianJob, 0.60, Policy::Shut, 0xec2b0dcda5dca4b4},
-    {workload::Profile::MedianJob, 0.80, Policy::Dvfs, 0xd98377118d70412b},
-    {workload::Profile::MedianJob, 0.80, Policy::Shut, 0xf98f32e178b92003},
-    {workload::Profile::MedianJob, 1.00, Policy::None, 0x688a9ff7c95e2fb6},
-    {workload::Profile::SmallJob, 0.40, Policy::Mix, 0x8cc826dfbcfea0d8},
-    {workload::Profile::SmallJob, 0.40, Policy::Dvfs, 0x13dc10ca52eacc39},
-    {workload::Profile::SmallJob, 0.40, Policy::Shut, 0x5a365c54cadb9430},
-    {workload::Profile::SmallJob, 0.60, Policy::Mix, 0xe35b3154c48fb723},
-    {workload::Profile::SmallJob, 0.60, Policy::Dvfs, 0xc81ee9000d4fd82d},
-    {workload::Profile::SmallJob, 0.60, Policy::Shut, 0xa8f70536614cc098},
-    {workload::Profile::SmallJob, 0.80, Policy::Dvfs, 0x20915ce7c7ff2fd},
-    {workload::Profile::SmallJob, 0.80, Policy::Shut, 0x4bbd90abd41b770a},
-    {workload::Profile::SmallJob, 1.00, Policy::None, 0xb1dbf867f1e8ecb0},
-};
+// The grid and its committed digests live in tests/fig8_golden.h, shared
+// with the distributed-sweep fence (tests/dist_sweep_test.cc): the same 27
+// scenarios must produce the same fingerprints whether run in-process here
+// or across worker processes there.
 
 TEST(Determinism, Fig8GoldenFingerprintsMatchCommittedValues) {
-  for (const GoldenCase& c : kGoldenCases) {
-    ScenarioResult result = run_scenario(golden_config(c.profile, c.policy, c.lambda));
+  for (const GoldenCase& c : kFig8GoldenCases) {
+    ScenarioResult result =
+        run_scenario(fig8_golden_config(c.profile, c.policy, c.lambda));
     std::uint64_t digest = fingerprint(result);
     std::string label = std::string(workload::to_string(c.profile)) + "/" +
                         std::to_string(c.lambda) + "/" + to_string(c.policy);

@@ -1,0 +1,300 @@
+// The dist serde contract: bit-exact round-trips over *every* field of
+// ScenarioConfig and ScenarioResult (including the optional workload
+// blocks, announce-typed cap windows and trace jobs), deterministic bytes,
+// and loud rejection of version skew, unknown fields and malformed rows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "dist/protocol.h"
+#include "dist/serde.h"
+#include "scenario_fingerprint.h"
+
+namespace ps::dist {
+namespace {
+
+/// Every field set away from its default, so a serializer that drops or
+/// reorders anything cannot round-trip this.
+core::ScenarioConfig exhaustive_config() {
+  core::ScenarioConfig config;
+  config.profile = workload::Profile::BigJob;
+
+  workload::GeneratorParams params;
+  params.name = "serde round trip";  // strings may contain spaces
+  params.span = sim::hours(7);
+  params.job_count = 1234;
+  params.backlog_fraction = 0.375;
+  params.w_tiny = 0.5;
+  params.w_medium = 0.25;
+  params.w_large = 0.2;
+  params.w_huge = 0.05;
+  params.overestimate_median = 9999.5;
+  params.overestimate_sigma = 0.75;
+  params.max_walltime = sim::hours(100);
+  params.user_count = 17;
+  params.heterogeneous_apps = true;
+  config.custom_workload = params;
+
+  config.trace_jobs = std::vector<workload::JobRequest>{
+      {1, 0, 3, 512, sim::hours(2), sim::minutes(90), "linpack"},
+      {2, sim::seconds(30), 0, 16, sim::minutes(10), sim::minutes(2), ""},
+      {3, sim::hours(1), 7, 80640, sim::hours(24), sim::hours(20), "stream"},
+  };
+
+  // Above INT64_MAX on purpose: seeds span the full uint64 range and the
+  // parser must not route them through a signed parse.
+  config.seed = 0xdeadbeefcafebabeull;
+  config.racks = 3;
+
+  config.powercap.policy = core::Policy::Auto;
+  config.powercap.default_degmin = 1.5;
+  config.powercap.use_app_degmin = false;
+  config.powercap.mix_min_ghz = 2.2;
+  config.powercap.rho = core::RhoConvention::Exact;
+  config.powercap.selection = core::OfflineSelection::Scattered;
+  config.powercap.admission = core::AdmissionMode::Projection;
+  config.powercap.offline_enabled = false;
+  config.powercap.strict_reservation_blocking = true;
+  config.powercap.kill_on_overcap = true;
+  config.powercap.audit_admission_cache = true;
+  config.powercap.audit_offline_planner = true;
+  config.powercap.dynamic_dvfs = true;
+
+  config.cap_lambda = 0.45;
+  config.cap_start = sim::minutes(30);
+  config.cap_duration = sim::hours(2);
+  // Advance, announce-typed and open-ended windows all represented.
+  config.cap_windows = {
+      {0.4, sim::hours(1), sim::hours(2), -1},
+      {0.6, sim::hours(4), 0, sim::hours(3)},        // open-ended, announced
+      {0.5, -1, sim::minutes(45), sim::minutes(5)},  // centered, announced
+  };
+
+  config.controller.priority.age = 123.0;
+  config.controller.priority.size = 45.5;
+  config.controller.priority.fair_share = 678.0;
+  config.controller.priority.age_saturation = sim::hours(3);
+  config.controller.backfill_depth = 99;
+  config.controller.selector = rjms::SelectorKind::Spread;
+  config.controller.fairshare_enabled = false;
+  config.controller.fairshare_half_life = sim::hours(11);
+  config.controller.shutdown_delay = sim::seconds(20);
+  config.controller.boot_delay = sim::seconds(90);
+
+  config.horizon = sim::hours(9);
+  return config;
+}
+
+void expect_config_equal(const core::ScenarioConfig& a, const core::ScenarioConfig& b) {
+  EXPECT_EQ(a.profile, b.profile);
+  ASSERT_EQ(a.custom_workload.has_value(), b.custom_workload.has_value());
+  if (a.custom_workload) {
+    EXPECT_EQ(a.custom_workload->name, b.custom_workload->name);
+    EXPECT_EQ(a.custom_workload->span, b.custom_workload->span);
+    EXPECT_EQ(a.custom_workload->job_count, b.custom_workload->job_count);
+    EXPECT_EQ(a.custom_workload->backlog_fraction, b.custom_workload->backlog_fraction);
+    EXPECT_EQ(a.custom_workload->w_tiny, b.custom_workload->w_tiny);
+    EXPECT_EQ(a.custom_workload->w_medium, b.custom_workload->w_medium);
+    EXPECT_EQ(a.custom_workload->w_large, b.custom_workload->w_large);
+    EXPECT_EQ(a.custom_workload->w_huge, b.custom_workload->w_huge);
+    EXPECT_EQ(a.custom_workload->overestimate_median,
+              b.custom_workload->overestimate_median);
+    EXPECT_EQ(a.custom_workload->overestimate_sigma,
+              b.custom_workload->overestimate_sigma);
+    EXPECT_EQ(a.custom_workload->max_walltime, b.custom_workload->max_walltime);
+    EXPECT_EQ(a.custom_workload->user_count, b.custom_workload->user_count);
+    EXPECT_EQ(a.custom_workload->heterogeneous_apps,
+              b.custom_workload->heterogeneous_apps);
+  }
+  ASSERT_EQ(a.trace_jobs.has_value(), b.trace_jobs.has_value());
+  if (a.trace_jobs) {
+    ASSERT_EQ(a.trace_jobs->size(), b.trace_jobs->size());
+    for (std::size_t i = 0; i < a.trace_jobs->size(); ++i) {
+      const workload::JobRequest& ja = (*a.trace_jobs)[i];
+      const workload::JobRequest& jb = (*b.trace_jobs)[i];
+      EXPECT_EQ(ja.id, jb.id);
+      EXPECT_EQ(ja.submit_time, jb.submit_time);
+      EXPECT_EQ(ja.user, jb.user);
+      EXPECT_EQ(ja.requested_cores, jb.requested_cores);
+      EXPECT_EQ(ja.requested_walltime, jb.requested_walltime);
+      EXPECT_EQ(ja.base_runtime, jb.base_runtime);
+      EXPECT_EQ(ja.app, jb.app);
+    }
+  }
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.racks, b.racks);
+  EXPECT_EQ(a.powercap.policy, b.powercap.policy);
+  EXPECT_EQ(a.powercap.default_degmin, b.powercap.default_degmin);
+  EXPECT_EQ(a.powercap.use_app_degmin, b.powercap.use_app_degmin);
+  EXPECT_EQ(a.powercap.mix_min_ghz, b.powercap.mix_min_ghz);
+  EXPECT_EQ(a.powercap.rho, b.powercap.rho);
+  EXPECT_EQ(a.powercap.selection, b.powercap.selection);
+  EXPECT_EQ(a.powercap.admission, b.powercap.admission);
+  EXPECT_EQ(a.powercap.offline_enabled, b.powercap.offline_enabled);
+  EXPECT_EQ(a.powercap.strict_reservation_blocking,
+            b.powercap.strict_reservation_blocking);
+  EXPECT_EQ(a.powercap.kill_on_overcap, b.powercap.kill_on_overcap);
+  EXPECT_EQ(a.powercap.audit_admission_cache, b.powercap.audit_admission_cache);
+  EXPECT_EQ(a.powercap.audit_offline_planner, b.powercap.audit_offline_planner);
+  EXPECT_EQ(a.powercap.dynamic_dvfs, b.powercap.dynamic_dvfs);
+  EXPECT_EQ(a.cap_lambda, b.cap_lambda);
+  EXPECT_EQ(a.cap_start, b.cap_start);
+  EXPECT_EQ(a.cap_duration, b.cap_duration);
+  ASSERT_EQ(a.cap_windows.size(), b.cap_windows.size());
+  for (std::size_t i = 0; i < a.cap_windows.size(); ++i) {
+    EXPECT_EQ(a.cap_windows[i].lambda, b.cap_windows[i].lambda);
+    EXPECT_EQ(a.cap_windows[i].start, b.cap_windows[i].start);
+    EXPECT_EQ(a.cap_windows[i].duration, b.cap_windows[i].duration);
+    EXPECT_EQ(a.cap_windows[i].announce, b.cap_windows[i].announce);
+  }
+  EXPECT_EQ(a.controller.priority.age, b.controller.priority.age);
+  EXPECT_EQ(a.controller.priority.size, b.controller.priority.size);
+  EXPECT_EQ(a.controller.priority.fair_share, b.controller.priority.fair_share);
+  EXPECT_EQ(a.controller.priority.age_saturation, b.controller.priority.age_saturation);
+  EXPECT_EQ(a.controller.backfill_depth, b.controller.backfill_depth);
+  EXPECT_EQ(a.controller.selector, b.controller.selector);
+  EXPECT_EQ(a.controller.fairshare_enabled, b.controller.fairshare_enabled);
+  EXPECT_EQ(a.controller.fairshare_half_life, b.controller.fairshare_half_life);
+  EXPECT_EQ(a.controller.shutdown_delay, b.controller.shutdown_delay);
+  EXPECT_EQ(a.controller.boot_delay, b.controller.boot_delay);
+  EXPECT_EQ(a.horizon, b.horizon);
+}
+
+TEST(DistSerde, ScenarioConfigRoundTripsEveryField) {
+  core::ScenarioConfig config = exhaustive_config();
+  std::string text = serialize(config);
+  core::ScenarioConfig parsed = parse_scenario_config(text);
+  expect_config_equal(config, parsed);
+  // Deterministic bytes: re-serializing the parsed config is identical.
+  EXPECT_EQ(text, serialize(parsed));
+}
+
+TEST(DistSerde, DefaultConfigRoundTrips) {
+  core::ScenarioConfig config;
+  core::ScenarioConfig parsed = parse_scenario_config(serialize(config));
+  expect_config_equal(config, parsed);
+}
+
+TEST(DistSerde, ScenarioResultRoundTripsBitExactly) {
+  // A real result (plans, windows, samples and all), not a synthetic one:
+  // a capped multi-window run so windows/plans/selection are populated.
+  core::ScenarioConfig config;
+  workload::GeneratorParams params =
+      workload::params_for(workload::Profile::MedianJob);
+  params.span = sim::minutes(20);
+  params.job_count = 120;
+  params.w_huge = 0.0;
+  config.custom_workload = params;
+  config.racks = 2;
+  config.powercap.policy = core::Policy::Mix;
+  config.cap_windows = {
+      {0.5, sim::minutes(5), sim::minutes(5), -1},
+      {0.7, sim::minutes(12), sim::minutes(4), sim::minutes(2)},
+  };
+  core::ScenarioResult result = core::run_scenario(config);
+  ASSERT_FALSE(result.samples.empty());
+  ASSERT_FALSE(result.plans.empty());
+
+  std::string text = serialize(result);
+  core::ScenarioResult parsed = parse_scenario_result(text);
+
+  // The shared fingerprint covers every summary field, counter and sample
+  // bit — the exact merge fence the driver applies.
+  EXPECT_EQ(core::testing::fingerprint(result), core::testing::fingerprint(parsed));
+  // Fields outside the fingerprint, checked explicitly.
+  EXPECT_EQ(result.cap_watts, parsed.cap_watts);
+  EXPECT_EQ(result.cap_start, parsed.cap_start);
+  EXPECT_EQ(result.cap_end, parsed.cap_end);
+  EXPECT_EQ(result.has_plan, parsed.has_plan);
+  EXPECT_EQ(result.max_cluster_watts, parsed.max_cluster_watts);
+  EXPECT_EQ(result.total_cores, parsed.total_cores);
+  ASSERT_EQ(result.windows.size(), parsed.windows.size());
+  for (std::size_t i = 0; i < result.windows.size(); ++i) {
+    EXPECT_EQ(result.windows[i].start, parsed.windows[i].start);
+    EXPECT_EQ(result.windows[i].end, parsed.windows[i].end);
+    EXPECT_EQ(result.windows[i].watts, parsed.windows[i].watts);
+  }
+  ASSERT_EQ(result.plans.size(), parsed.plans.size());
+  for (std::size_t i = 0; i < result.plans.size(); ++i) {
+    const core::OfflinePlan& pa = result.plans[i];
+    const core::OfflinePlan& pb = parsed.plans[i];
+    EXPECT_EQ(pa.split.mechanism, pb.split.mechanism);
+    EXPECT_EQ(pa.split.n_off, pb.split.n_off);
+    EXPECT_EQ(pa.split.n_dvfs, pb.split.n_dvfs);
+    EXPECT_EQ(pa.split.work, pb.split.work);
+    EXPECT_EQ(pa.selection.nodes, pb.selection.nodes);
+    EXPECT_EQ(pa.selection.whole_racks, pb.selection.whole_racks);
+    EXPECT_EQ(pa.selection.whole_chassis, pb.selection.whole_chassis);
+    EXPECT_EQ(pa.selection.singles, pb.selection.singles);
+    EXPECT_EQ(pa.selection.saving_vs_busy_watts, pb.selection.saving_vs_busy_watts);
+    EXPECT_EQ(pa.selection.saving_vs_idle_watts, pb.selection.saving_vs_idle_watts);
+    EXPECT_EQ(pa.cap_watts, pb.cap_watts);
+    EXPECT_EQ(pa.node_budget_watts, pb.node_budget_watts);
+    EXPECT_EQ(pa.required_saving_watts, pb.required_saving_watts);
+    EXPECT_EQ(pa.reservation_id, pb.reservation_id);
+  }
+  EXPECT_EQ(text, serialize(parsed));
+}
+
+TEST(DistSerde, SpecialDoublesRoundTrip) {
+  core::ScenarioConfig config;
+  config.cap_lambda = -0.0;
+  core::ScenarioConfig parsed = parse_scenario_config(serialize(config));
+  EXPECT_TRUE(std::signbit(parsed.cap_lambda));  // decimal text would lose this
+}
+
+TEST(DistSerde, VersionSkewIsRejected) {
+  std::string text = serialize(core::ScenarioConfig{});
+  std::string skewed = text;
+  skewed.replace(skewed.find(" v1"), 3, " v2");
+  EXPECT_THROW(parse_scenario_config(skewed), SerdeError);
+}
+
+TEST(DistSerde, UnknownFieldIsRejected) {
+  std::string text = serialize(core::ScenarioConfig{});
+  // Inject a plausible-looking field a newer binary might emit.
+  std::size_t pos = text.find("seed ");
+  ASSERT_NE(pos, std::string::npos);
+  std::string extended = text.substr(0, pos) + "shiny_new_knob 7\n" + text.substr(pos);
+  EXPECT_THROW(parse_scenario_config(extended), SerdeError);
+}
+
+TEST(DistSerde, MissingFieldIsRejected) {
+  std::string text = serialize(core::ScenarioConfig{});
+  std::size_t pos = text.find("seed ");
+  std::size_t eol = text.find('\n', pos);
+  std::string truncated = text.substr(0, pos) + text.substr(eol + 1);
+  EXPECT_THROW(parse_scenario_config(truncated), SerdeError);
+}
+
+TEST(DistSerde, TrailingGarbageIsRejected) {
+  std::string text = serialize(core::ScenarioConfig{});
+  EXPECT_THROW(parse_scenario_config(text + "extra junk\n"), SerdeError);
+}
+
+TEST(DistSerde, ProtocolDocumentsRoundTrip) {
+  std::vector<core::ScenarioConfig> grid(3);
+  grid[1].seed = 7;
+  grid[2].cap_lambda = 0.6;
+  std::string grid_text = serialize_cell_grid(grid);
+  std::vector<core::ScenarioConfig> parsed_grid = parse_cell_grid(grid_text);
+  ASSERT_EQ(parsed_grid.size(), 3u);
+  EXPECT_EQ(parsed_grid[1].seed, 7u);
+  EXPECT_EQ(grid_text, serialize_cell_grid(parsed_grid));
+
+  Shard shard;
+  shard.id = 4;
+  shard.cells = {{10, grid[0]}, {11, grid[1]}};
+  Shard parsed_shard = parse_shard(serialize_shard(shard));
+  EXPECT_EQ(parsed_shard.id, 4u);
+  ASSERT_EQ(parsed_shard.cells.size(), 2u);
+  EXPECT_EQ(parsed_shard.cells[0].index, 10u);
+  EXPECT_EQ(parsed_shard.cells[1].index, 11u);
+
+  std::vector<std::uint64_t> manifest = {0x1234, 0xffffffffffffffffull, 0};
+  EXPECT_EQ(parse_manifest(serialize_manifest(manifest)), manifest);
+}
+
+}  // namespace
+}  // namespace ps::dist

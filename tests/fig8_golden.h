@@ -1,0 +1,72 @@
+// The committed Fig-8 golden grid at test scale, shared by the in-process
+// determinism fence (tests/core_determinism_test.cc) and the distributed
+// sweep fence (tests/dist_sweep_test.cc): 3 workloads x (3 caps x policies
+// + the uncapped baseline) = 27 scenarios, each pinned to an absolute
+// FNV-1a digest. Regenerate a constant by zeroing its entry and running
+// core_determinism_test: it prints the computed digest on mismatch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ps::core::testing {
+
+struct GoldenCase {
+  workload::Profile profile;
+  double lambda;
+  Policy policy;
+  std::uint64_t digest;  ///< committed fingerprint (0 = bootstrap: print)
+};
+
+inline constexpr GoldenCase kFig8GoldenCases[] = {
+    {workload::Profile::BigJob, 0.40, Policy::Mix, 0x658e35f774d33d9f},
+    {workload::Profile::BigJob, 0.40, Policy::Dvfs, 0x783186b38f04c462},
+    {workload::Profile::BigJob, 0.40, Policy::Shut, 0x9df360d084004a6b},
+    {workload::Profile::BigJob, 0.60, Policy::Mix, 0xaec610686a03d20},
+    {workload::Profile::BigJob, 0.60, Policy::Dvfs, 0x73abf2f5d2beb8f3},
+    {workload::Profile::BigJob, 0.60, Policy::Shut, 0x4ba0fe83a767ec7c},
+    {workload::Profile::BigJob, 0.80, Policy::Dvfs, 0x4a2a96414d724b64},
+    {workload::Profile::BigJob, 0.80, Policy::Shut, 0xd06c14f5582e2e96},
+    {workload::Profile::BigJob, 1.00, Policy::None, 0x3fc74efe816a9801},
+    {workload::Profile::MedianJob, 0.40, Policy::Mix, 0xe6711314335b4f8b},
+    {workload::Profile::MedianJob, 0.40, Policy::Dvfs, 0xd57c4f3cb6092142},
+    {workload::Profile::MedianJob, 0.40, Policy::Shut, 0x2de387e93e085bc3},
+    {workload::Profile::MedianJob, 0.60, Policy::Mix, 0x42b081a10478e2ad},
+    {workload::Profile::MedianJob, 0.60, Policy::Dvfs, 0x6ba534899ce491f2},
+    {workload::Profile::MedianJob, 0.60, Policy::Shut, 0xec2b0dcda5dca4b4},
+    {workload::Profile::MedianJob, 0.80, Policy::Dvfs, 0xd98377118d70412b},
+    {workload::Profile::MedianJob, 0.80, Policy::Shut, 0xf98f32e178b92003},
+    {workload::Profile::MedianJob, 1.00, Policy::None, 0x688a9ff7c95e2fb6},
+    {workload::Profile::SmallJob, 0.40, Policy::Mix, 0x8cc826dfbcfea0d8},
+    {workload::Profile::SmallJob, 0.40, Policy::Dvfs, 0x13dc10ca52eacc39},
+    {workload::Profile::SmallJob, 0.40, Policy::Shut, 0x5a365c54cadb9430},
+    {workload::Profile::SmallJob, 0.60, Policy::Mix, 0xe35b3154c48fb723},
+    {workload::Profile::SmallJob, 0.60, Policy::Dvfs, 0xc81ee9000d4fd82d},
+    {workload::Profile::SmallJob, 0.60, Policy::Shut, 0xa8f70536614cc098},
+    {workload::Profile::SmallJob, 0.80, Policy::Dvfs, 0x20915ce7c7ff2fd},
+    {workload::Profile::SmallJob, 0.80, Policy::Shut, 0x4bbd90abd41b770a},
+    {workload::Profile::SmallJob, 1.00, Policy::None, 0xb1dbf867f1e8ecb0},
+};
+
+/// The exact scenario wiring the golden digests were generated from: the
+/// Fig-8 grid at test scale — 2 racks, 1 h span, 600 jobs, the cap window
+/// centered in the span like the paper's full runs.
+inline ScenarioConfig fig8_golden_config(workload::Profile profile, Policy policy,
+                                         double lambda) {
+  workload::GeneratorParams params = workload::params_for(profile);
+  params.name = "golden";
+  params.span = sim::hours(1);
+  params.job_count = 600;
+  params.w_huge = 0.0;
+  ScenarioConfig config;
+  config.custom_workload = params;
+  config.racks = 2;
+  config.seed = 20150525;
+  config.powercap.policy = policy;
+  config.cap_lambda = lambda;
+  return config;
+}
+
+}  // namespace ps::core::testing

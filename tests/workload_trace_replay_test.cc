@@ -88,6 +88,54 @@ TEST(TraceReplay, MultiWindowGoldenFingerprintWithAuditsOn) {
   }
 }
 
+TEST(TraceReplay, DailyCapWindowsExpandCalendarPattern) {
+  // "Every day 11:00-13:00 at 40%" for three days, second schedule offset
+  // by a non-midnight epoch start.
+  std::vector<CapWindow> windows =
+      make_daily_cap_windows(0, 3, sim::hours(11), sim::hours(13), 0.4);
+  ASSERT_EQ(windows.size(), 3u);
+  for (std::size_t day = 0; day < 3; ++day) {
+    EXPECT_EQ(windows[day].lambda, 0.4);
+    EXPECT_EQ(windows[day].start,
+              sim::hours(24) * static_cast<std::int64_t>(day) + sim::hours(11));
+    EXPECT_EQ(windows[day].duration, sim::hours(2));
+    EXPECT_LT(windows[day].announce, 0);  // advance: planned jointly at t=0
+  }
+  std::vector<CapWindow> offset =
+      make_daily_cap_windows(sim::hours(6), 2, sim::hours(23), sim::hours(24), 0.7);
+  ASSERT_EQ(offset.size(), 2u);
+  EXPECT_EQ(offset[0].start, sim::hours(29));
+  EXPECT_EQ(offset[1].start, sim::hours(53));
+  EXPECT_EQ(offset[0].duration, sim::hours(1));
+}
+
+TEST(TraceReplay, MultiDayDailyWindowsGoldenFingerprint) {
+  // The calendar generator end-to-end on the checked-in mini-trace: a
+  // 3-day replay under "every day 11:00-13:00 at 40%", audit fences on.
+  // The repeated cap depth means the planner prices one plan and serves
+  // two from the plan cache; the digest pins the whole multi-day replay.
+  ScenarioConfig config = trace_config();
+  config.cap_lambda = 1.0;
+  config.horizon = sim::hours(3 * 24);
+  config.cap_windows =
+      make_daily_cap_windows(0, 3, sim::hours(11), sim::hours(13), 0.4);
+  config.powercap.audit_admission_cache = true;
+  config.powercap.audit_offline_planner = true;
+  ScenarioResult result = run_scenario(config);
+  EXPECT_GT(result.stats.started, 0u);
+  ASSERT_EQ(result.windows.size(), 3u);
+  EXPECT_EQ(result.plans.size(), 3u);
+  EXPECT_EQ(result.windows[0].start, sim::hours(11));
+  EXPECT_EQ(result.windows[2].start, sim::hours(59));
+  std::uint64_t digest = fingerprint(result);
+  const std::uint64_t kGolden = 0xbf88f6f84048c8ccull;
+  EXPECT_EQ(digest, kGolden) << "computed 0x" << std::hex << digest;
+  if (digest != kGolden) {
+    std::printf("    trace multi-day daily-windows digest: 0x%llx\n",
+                static_cast<unsigned long long>(digest));
+  }
+}
+
 TEST(TraceReplay, RepeatsBitIdentically) {
   ScenarioResult first = run_scenario(trace_config());
   ScenarioResult second = run_scenario(trace_config());

@@ -37,6 +37,9 @@ GATED_KERNELS = [
     # the measured sweep speedup PR to PR.
     "BM_SweepFig8Grid/1",
     "BM_OfflineMultiWindow",
+    # Distributed-sweep wire format + spool cycle: serialize/publish/claim/
+    # parse/fingerprint one cell record (the per-cell dist overhead).
+    "BM_DistSweepSpool",
 ]
 
 TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
