@@ -1,6 +1,7 @@
 // Replay a real workload trace (Standard Workload Format) under a powercap.
 //
 //   ./build/replay_swf [trace.swf] [policy] [lambda] [max_jobs]
+//                      [--stream] [--chunk-seconds N] [--racks R]
 //
 // Works with the public Curie trace from the Parallel Workloads Archive
 // (CEA-Curie-2011-2.1-cln.swf) or any other SWF file. Without arguments it
@@ -8,16 +9,26 @@
 // self-generated demo trace when run outside the repository), so the
 // example is runnable offline.
 //
-// The replay goes through core::run_scenario (ScenarioConfig::trace_jobs),
-// the same entry point as every bench and test — which is what lets
-// tests/workload_trace_replay_test.cc fence this path with a golden
-// fingerprint like the Fig-8 sweep.
+// Two ingestion modes, bit-identical by construction:
+//   * default: materialize the trace (load + rebase), the classic path;
+//   * --stream: never materialize — a workload::SwfStreamSource feeds
+//     core::run_scenario in clock-keyed chunks (--chunk-seconds, default
+//     3600), so resident memory is O(chunk) however long the trace is.
+//     Generate a multi-week trace with ./build/make_curie_month and replay
+//     it both ways to see identical summaries at very different peak RSS.
+//
+// Both modes go through core::run_scenario, the same entry point as every
+// bench and test — which is what lets tests/workload_trace_replay_test.cc
+// and tests/core_stream_parity_test.cc fence this path with golden
+// fingerprints like the Fig-8 sweep.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "core/experiment.h"
 #include "metrics/summary.h"
 #include "util/strings.h"
+#include "workload/job_source.h"
 #include "workload/swf.h"
 #include "workload/trace_stats.h"
 
@@ -58,37 +69,76 @@ std::string write_demo_trace() {
 int main(int argc, char** argv) {
   using namespace ps;
   try {
-    std::string path = argc > 1 ? argv[1] : find_mini_trace();
+    bool stream = false;
+    sim::Duration chunk = 0;  // 0 = run_scenario's default stream chunk
+    std::int32_t racks = cluster::curie::kRacks;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto value = [&](const char* flag) {
+        if (i + 1 >= argc) throw std::runtime_error(std::string(flag) + " wants a value");
+        return std::string(argv[++i]);
+      };
+      if (arg == "--stream") stream = true;
+      else if (arg == "--chunk-seconds") chunk = sim::seconds(std::stoll(value("--chunk-seconds")));
+      else if (arg == "--racks") racks = static_cast<std::int32_t>(std::stol(value("--racks")));
+      else if (arg.rfind("--", 0) == 0) throw std::runtime_error("unknown flag " + arg);
+      else positional.push_back(arg);
+    }
+    std::string path = positional.size() > 0 ? positional[0] : find_mini_trace();
     if (path.empty()) path = write_demo_trace();
-    core::Policy policy = argc > 2 ? parse_policy(argv[2]) : core::Policy::Mix;
-    double lambda = argc > 3 ? std::stod(argv[3]) : 0.5;
-    std::int64_t max_jobs = argc > 4 ? std::stoll(argv[4]) : 20000;
+    core::Policy policy =
+        positional.size() > 1 ? parse_policy(positional[1]) : core::Policy::Mix;
+    double lambda = positional.size() > 2 ? std::stod(positional[2]) : 0.5;
+    std::int64_t max_jobs = positional.size() > 3 ? std::stoll(positional[3]) : 20000;
 
     workload::swf::ParseOptions options;
     options.skip_zero_runtime = true;
     options.max_jobs = max_jobs;
-    std::vector<workload::JobRequest> jobs = workload::swf::load_file(path, options);
-    if (jobs.empty()) {
-      std::fprintf(stderr, "trace %s holds no usable jobs\n", path.c_str());
-      return 1;
-    }
-    // Rebase submit times to t=0 (SWF need not be sorted by submit time).
-    sim::Time horizon = workload::swf::rebase_submit_times(jobs) + sim::hours(1);
-
-    workload::StatsParams sp;
-    sp.span = horizon;
-    std::printf("trace %s:\n%s\n\n", path.c_str(),
-                workload::compute_stats(jobs, sp).describe().c_str());
 
     core::ScenarioConfig config;
-    config.trace_jobs = std::move(jobs);
-    config.racks = cluster::curie::kRacks;
+    config.racks = racks;
     config.powercap.policy = policy;
     // One-hour cap window centered in the replay (the legacy single-window
     // wiring run_scenario applies when cap_windows stays empty).
     config.cap_lambda = policy != core::Policy::None ? lambda : 1.0;
 
+    if (stream) {
+      // O(chunk) memory: the trace is never materialized. The horizon comes
+      // from the source's MaxSubmitTime header (or a one-pass pre-scan).
+      workload::SwfStreamSource::Options stream_options;
+      stream_options.parse = options;
+      config.job_source =
+          std::make_shared<workload::SwfStreamSource>(path, stream_options);
+      config.submit_chunk = chunk;
+      std::printf("trace %s: streaming (chunk %s; full stats need "
+                  "materializing — omitted)\n\n",
+                  path.c_str(),
+                  strings::human_duration_ms(
+                      chunk > 0 ? chunk : core::kDefaultStreamChunk)
+                      .c_str());
+    } else {
+      std::vector<workload::JobRequest> jobs = workload::swf::load_file(path, options);
+      if (jobs.empty()) {
+        std::fprintf(stderr, "trace %s holds no usable jobs\n", path.c_str());
+        return 1;
+      }
+      // Rebase submit times to t=0 (SWF need not be sorted by submit time).
+      sim::Time horizon = workload::swf::rebase_submit_times(jobs) + sim::hours(1);
+      workload::StatsParams sp;
+      sp.span = horizon;
+      std::printf("trace %s:\n%s\n\n", path.c_str(),
+                  workload::compute_stats(jobs, sp).describe().c_str());
+      config.trace_jobs = std::move(jobs);
+    }
+
     core::ScenarioResult result = core::run_scenario(config);
+    if (stream && result.stats.submitted == 0) {
+      // Match the materialized mode's loud failure on an empty/filtered-out
+      // trace (which it detects before replaying; a stream only knows after).
+      std::fprintf(stderr, "trace %s holds no usable jobs\n", path.c_str());
+      return 1;
+    }
     if (result.cap_watts > 0.0) {
       std::printf("powercap: %.0f%% of max for 1 h at %s (policy %s)\n",
                   lambda * 100.0, strings::human_duration_ms(result.cap_start).c_str(),
@@ -98,7 +148,8 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "replay_swf: %s\nusage: replay_swf [trace.swf] "
-                         "[none|shut|dvfs|mix|idle|auto] [lambda] [max_jobs]\n",
+                         "[none|shut|dvfs|mix|idle|auto] [lambda] [max_jobs] "
+                         "[--stream] [--chunk-seconds N] [--racks R]\n",
                  e.what());
     return 1;
   }

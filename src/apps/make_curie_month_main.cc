@@ -1,0 +1,68 @@
+// Deterministically synthesizes the multi-week "curie_month" SWF trace —
+// the scale fixture of the streaming replay pipeline (50k jobs over 4 weeks
+// by default; CI regenerates it on demand instead of checking megabytes of
+// trace into the repository).
+//
+//   ./build/make_curie_month [out.swf] [--jobs N] [--days D] [--seed S]
+//
+// The job stream comes from workload::ChunkedSyntheticSource with
+// workload::curie_month_params, so the output is a pure function of
+// (jobs, days, seed): the golden fingerprint in
+// tests/workload_curie_month_test.cc pins the replay of the default file.
+// The written file carries the "; MaxSubmitTime:" header, which lets
+// SwfStreamSource bound a replay horizon without a pre-scan pass.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "util/strings.h"
+#include "workload/job_source.h"
+#include "workload/swf.h"
+#include "workload/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace ps;
+  try {
+    std::string out_path = "curie_month.swf";
+    std::int64_t jobs = 50000;
+    std::int32_t days = 28;
+    std::uint64_t seed = 20111001;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto value = [&](const char* flag) {
+        if (i + 1 >= argc) throw std::runtime_error(std::string(flag) + " wants a value");
+        return std::string(argv[++i]);
+      };
+      if (arg == "--jobs") jobs = std::stoll(value("--jobs"));
+      else if (arg == "--days") days = static_cast<std::int32_t>(std::stol(value("--days")));
+      else if (arg == "--seed") seed = std::stoull(value("--seed"));
+      else if (arg.rfind("--", 0) == 0) throw std::runtime_error("unknown flag " + arg);
+      else out_path = arg;
+    }
+    if (jobs <= 0 || days <= 0) throw std::runtime_error("--jobs/--days must be positive");
+
+    workload::GeneratorParams params =
+        workload::curie_month_params(days, static_cast<std::size_t>(jobs));
+    workload::ChunkedSyntheticSource source(params, seed);
+    std::vector<workload::JobRequest> trace = workload::materialize(source);
+
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot open " + out_path + " for writing");
+    workload::swf::write(out, trace);
+    out.close();
+
+    sim::Time last = trace.empty() ? 0 : trace.back().submit_time;
+    std::printf("%s: %zu jobs over %s (days %d, seed %llu)\n", out_path.c_str(),
+                trace.size(), strings::human_duration_ms(last).c_str(), days,
+                static_cast<unsigned long long>(seed));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "make_curie_month: %s\nusage: make_curie_month [out.swf] "
+                 "[--jobs N] [--days D] [--seed S]\n",
+                 e.what());
+    return 1;
+  }
+}

@@ -9,41 +9,139 @@
 
 namespace ps::core {
 
+namespace {
+
+/// The replay submission engine: pulls job chunks off a JobSource as the
+/// event clock reaches them and drains each submit-time group through the
+/// controller's batched-admission path. One recurring event on
+/// EventBand::kSubmit does all of it — no per-job event, no per-job
+/// std::function (the wake lambda captures a single pointer, which lives
+/// in the function's small-buffer storage), no per-job allocation.
+///
+/// Why this is bit-identical to the old preloaded-event replay: the total
+/// event order is (time, band, seq). Everything wired before the clock
+/// runs is kSetup, everything the run schedules is kNormal, and the pump
+/// is kSubmit — so at every timestamp submissions fire after the setup
+/// wiring and before any runtime event, exactly where the preloaded
+/// submission events (whose seqs sat between the two populations) used to
+/// fire; within a timestamp the pump submits in (submit time, source
+/// order), the preloaded order. See docs/ARCHITECTURE.md.
+class SubmissionPump {
+ public:
+  SubmissionPump(sim::Simulator& simulator, rjms::Controller& controller,
+                 workload::JobSource& source, sim::Time horizon,
+                 sim::Duration chunk, double width_scale)
+      : simulator_(simulator), controller_(controller), source_(source),
+        horizon_(horizon), chunk_(chunk), width_scale_(width_scale) {}
+
+  /// Pulls the first chunk and schedules the first wake. Call during setup
+  /// (the simulator must still be on the kSetup default band).
+  void prime() {
+    refill();
+    schedule_next();
+  }
+
+  /// True once every job due by the horizon was submitted and the source
+  /// reported no more beyond it. After a replay whose horizon came from
+  /// last_submit_hint(), anything else means the hint under-reported (a
+  /// stale MaxSubmitTime header) and jobs were silently dropped.
+  bool fully_drained() const noexcept {
+    return cursor_ >= buffer_.size() && !more_;
+  }
+
+ private:
+  void refill() {
+    buffer_.clear();  // capacity retained: steady-state refills allocate
+    cursor_ = 0;      // nothing once the largest chunk has been seen
+    while (buffer_.empty() && more_ && chunk_end_ < horizon_) {
+      chunk_end_ = chunk_ <= 0 ? horizon_
+                               : std::min<sim::Time>(
+                                     horizon_, chunk_end_ < 0 ? chunk_ : chunk_end_ + chunk_);
+      more_ = source_.next_chunk(chunk_end_, buffer_);
+    }
+    // Chunks may be locally unsorted; replay order is (submit time, source
+    // order) — stable sort restores exactly the preloaded order.
+    std::stable_sort(buffer_.begin(), buffer_.end(),
+                     [](const workload::JobRequest& a, const workload::JobRequest& b) {
+                       return a.submit_time < b.submit_time;
+                     });
+    if (width_scale_ < 1.0) {
+      for (workload::JobRequest& job : buffer_) {
+        job.requested_cores = std::max<std::int64_t>(
+            1, std::llround(static_cast<double>(job.requested_cores) * width_scale_));
+      }
+    }
+  }
+
+  void schedule_next() {
+    if (cursor_ >= buffer_.size()) return;  // refill found nothing: done
+    simulator_.schedule_at_band(buffer_[cursor_].submit_time,
+                                sim::EventBand::kSubmit, [this] { wake(); });
+  }
+
+  void wake() {
+    const sim::Time now = simulator_.now();
+    while (cursor_ < buffer_.size() && buffer_[cursor_].submit_time <= now) {
+      controller_.submit(buffer_[cursor_]);
+      ++cursor_;
+    }
+    if (cursor_ >= buffer_.size()) refill();
+    schedule_next();
+  }
+
+  sim::Simulator& simulator_;
+  rjms::Controller& controller_;
+  workload::JobSource& source_;
+  const sim::Time horizon_;
+  const sim::Duration chunk_;  // <= 0: one pull straight to the horizon
+  const double width_scale_;
+
+  std::vector<workload::JobRequest> buffer_;
+  std::size_t cursor_ = 0;
+  sim::Time chunk_end_ = -1;  // horizon of the chunk currently buffered
+  bool more_ = true;
+};
+
+}  // namespace
+
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   PS_CHECK_MSG(config.racks >= 1, "scenario: racks >= 1");
 
   cluster::Cluster cl = cluster::curie::make_scaled_cluster(config.racks);
-  sim::Simulator simulator;
+  sim::Simulator simulator;  // default band: kSetup, until the replay starts
   rjms::Controller controller(simulator, cl, config.controller);
   PowercapManager manager(controller, config.powercap);
   metrics::Recorder recorder(controller);
 
-  // Workload: generate at full-Curie calibration (or take the trace
-  // verbatim), then scale widths to the actual machine so a scaled-down run
-  // keeps the same shape.
+  // Workload: every shape streams through a JobSource. In-memory workloads
+  // (trace_jobs, generated profiles) wrap in a VectorJobSource — generated
+  // at full-Curie calibration; the pump scales widths chunk by chunk so a
+  // scaled-down run keeps the same shape.
   workload::GeneratorParams params = config.custom_workload
                                          ? *config.custom_workload
                                          : workload::params_for(config.profile);
-  std::vector<workload::JobRequest> jobs =
-      config.trace_jobs ? *config.trace_jobs : workload::generate(params, config.seed);
+  std::shared_ptr<workload::JobSource> source = config.job_source;
+  if (!source) {
+    std::vector<workload::JobRequest> jobs =
+        config.trace_jobs ? *config.trace_jobs : workload::generate(params, config.seed);
+    source = std::make_shared<workload::VectorJobSource>(std::move(jobs));
+  }
+  source->rewind();
   double width_scale =
       static_cast<double>(config.racks) / static_cast<double>(cluster::curie::kRacks);
-  if (width_scale < 1.0) {
-    for (workload::JobRequest& job : jobs) {
-      job.requested_cores = std::max<std::int64_t>(
-          1, std::llround(static_cast<double>(job.requested_cores) * width_scale));
-    }
-  }
 
   sim::Duration horizon = config.horizon;
+  bool horizon_from_hint = false;
   if (horizon <= 0) {
-    if (config.trace_jobs) {
+    if (config.trace_jobs || config.job_source) {
+      horizon_from_hint = true;
       // Traces carry their own span: last submission plus a drain hour.
-      // trace_jobs need not be sorted by submit time, so take the max.
-      sim::Time last_submit = 0;
-      for (const workload::JobRequest& job : jobs) {
-        last_submit = std::max(last_submit, job.submit_time);
-      }
+      // The source bounds it without materializing the trace (SWF header
+      // or a one-pass pre-scan; vectors answer from their sorted tail).
+      sim::Time last_submit = source->last_submit_hint();
+      PS_CHECK_MSG(last_submit >= 0,
+                   "scenario: job source cannot bound the replay horizon; "
+                   "set config.horizon explicitly");
       horizon = last_submit + sim::hours(1);
     } else {
       horizon = params.span;
@@ -112,16 +210,27 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     result.cap_end = result.windows.front().end;
   }
 
-  // Replay: submit events at trace timestamps.
-  auto shared_jobs = std::make_shared<std::vector<workload::JobRequest>>(std::move(jobs));
-  for (const workload::JobRequest& job : *shared_jobs) {
-    if (job.submit_time > horizon) continue;
-    const workload::JobRequest* ptr = &job;
-    simulator.schedule_at(job.submit_time,
-                          [&controller, ptr, shared_jobs] { controller.submit(*ptr); });
-  }
+  // Replay: the pump submits at trace timestamps, pulling chunks as the
+  // clock reaches them (jobs past the horizon are never pulled at all).
+  sim::Duration chunk = config.submit_chunk > 0
+                            ? config.submit_chunk
+                            : (config.job_source ? kDefaultStreamChunk : 0);
+  SubmissionPump pump(simulator, controller, *source, horizon, chunk, width_scale);
+  pump.prime();
 
+  // From here every scheduled event is a runtime event: it must sort after
+  // the pump at equal timestamps, exactly like events scheduled mid-run
+  // sorted after the preloaded submissions.
+  simulator.set_default_band(sim::EventBand::kNormal);
   simulator.run_until(horizon);
+  if (horizon_from_hint) {
+    // An explicit config.horizon may truncate a trace on purpose; a
+    // hint-derived one may not — leftover jobs mean the hint lied (e.g. a
+    // stale MaxSubmitTime header) and the replay silently lost work.
+    PS_CHECK_MSG(pump.fully_drained(),
+                 "job source outlived its last_submit_hint — stale or "
+                 "under-reporting MaxSubmitTime header?");
+  }
   recorder.sample(horizon);
 
   // Consistency audit: the incremental power accounting must agree with a

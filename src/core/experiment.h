@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "metrics/summary.h"
 #include "metrics/timeseries.h"
 #include "rjms/controller.h"
+#include "workload/job_source.h"
 #include "workload/synthetic.h"
 
 namespace ps::core {
@@ -45,6 +47,20 @@ struct ScenarioConfig {
   /// (workload::swf::rebase_submit_times). Widths are scaled with `racks`
   /// like profile jobs; `seed` is unused. See examples/replay_swf.cpp.
   std::optional<std::vector<workload::JobRequest>> trace_jobs;
+  /// When set, the workload streams from this source instead of
+  /// trace_jobs/profile — the O(chunk)-memory path for traces too large to
+  /// materialize (workload::SwfStreamSource, ChunkedSyntheticSource).
+  /// run_scenario rewinds it first, so a config can run repeatedly; but a
+  /// source is stateful — never share one object between concurrently
+  /// running scenarios (give each parallel sweep cell its own).
+  /// Not serializable (dist sweeps must ship trace_jobs or a profile).
+  std::shared_ptr<workload::JobSource> job_source;
+  /// Streamed-submission chunk: the pump pulls the next chunk when the
+  /// event clock reaches the current chunk's horizon, keeping resident jobs
+  /// O(chunk). 0 (default) = materialize in one pull when no job_source is
+  /// set, or kDefaultStreamChunk when one is. Any positive value also
+  /// streams vector/profile workloads chunked (parity testing).
+  sim::Duration submit_chunk = 0;
   std::uint64_t seed = 42;
 
   /// Cluster scale: number of racks of the Curie shape (5 chassis x 18
@@ -103,7 +119,14 @@ struct ScenarioResult {
   std::int64_t total_cores = 0;
 };
 
-/// Runs one scenario to completion (deterministic).
+/// Chunk applied when a job_source is set and submit_chunk is 0.
+inline constexpr sim::Duration kDefaultStreamChunk = sim::hours(1);
+
+/// Runs one scenario to completion (deterministic). Streamed and
+/// materialized replays of the same workload are bit-identical: submissions
+/// always go through the chunked pump, whose event band reproduces the
+/// preloaded submission order exactly (docs/ARCHITECTURE.md, "Streaming
+/// replay").
 ScenarioResult run_scenario(const ScenarioConfig& config);
 
 /// Calendar-style cap schedule (ROADMAP "rolling/periodic cap schedules"):

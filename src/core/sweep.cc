@@ -1,12 +1,30 @@
 #include "core/sweep.h"
 
 #include <cstdlib>
+#include <unordered_set>
 
+#include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace ps::core {
 
 namespace {
+
+/// A JobSource is stateful (a file cursor, a generation window): two cells
+/// streaming from the same object would race. Sequential reuse is fine
+/// (run_scenario rewinds); sharing across parallel cells is a silent data
+/// race, so the sweep rejects it up front.
+template <typename Cells, typename GetConfig>
+void check_sources_unshared(const Cells& cells, GetConfig&& config_of) {
+  std::unordered_set<const workload::JobSource*> seen;
+  for (const auto& cell : cells) {
+    const ScenarioConfig& config = config_of(cell);
+    if (!config.job_source) continue;
+    PS_CHECK_MSG(seen.insert(config.job_source.get()).second,
+                 "sweep cells share one JobSource object — give each cell "
+                 "its own (sources are stateful; parallel cells would race)");
+  }
+}
 
 std::size_t resolve_threads(std::size_t threads) {
   if (threads != 0) return threads;
@@ -28,6 +46,9 @@ SweepEngine::~SweepEngine() = default;
 std::size_t SweepEngine::thread_count() const noexcept { return pool_->thread_count(); }
 
 std::vector<ScenarioResult> SweepEngine::run(const std::vector<ScenarioConfig>& cells) {
+  check_sources_unshared(cells, [](const ScenarioConfig& c) -> const ScenarioConfig& {
+    return c;
+  });
   // Pre-sized slots: cell i writes results[i] and nothing else, so the
   // merge order is the index order by construction and no synchronization
   // beyond the pool's completion barrier is needed.
@@ -38,6 +59,9 @@ std::vector<ScenarioResult> SweepEngine::run(const std::vector<ScenarioConfig>& 
 }
 
 std::vector<ScenarioResult> SweepEngine::run(const std::vector<SweepCell>& cells) {
+  check_sources_unshared(cells, [](const SweepCell& c) -> const ScenarioConfig& {
+    return c.config;
+  });
   std::vector<ScenarioResult> results(cells.size());
   util::parallel_for(*pool_, cells.size(),
                      [&](std::size_t i) { results[i] = run_scenario(cells[i].config); });

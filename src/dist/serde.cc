@@ -522,6 +522,12 @@ core::OfflinePlan parse_plan(Reader& r) {
 }  // namespace
 
 void serialize_scenario_config(Writer& w, const core::ScenarioConfig& config) {
+  if (config.job_source) {
+    // A live stream has no value representation; distributed cells ship
+    // trace_jobs or a generator profile. Refusing beats silently sending a
+    // config that would replay a *different* (absent) workload remotely.
+    throw SerdeError("serde: scenario_config with a live job_source is not serializable");
+  }
   w.begin_block("scenario_config");
   w.field("profile", enum_token(kProfiles, config.profile));
   w.field_bool("has_custom_workload", config.custom_workload.has_value());
@@ -542,6 +548,7 @@ void serialize_scenario_config(Writer& w, const core::ScenarioConfig& config) {
   }
   serialize_controller_config(w, config.controller);
   w.field_i64("horizon", config.horizon);
+  w.field_i64("submit_chunk", config.submit_chunk);
   w.end_block("scenario_config");
 }
 
@@ -573,6 +580,7 @@ core::ScenarioConfig parse_scenario_config(Reader& r) {
   }
   config.controller = parse_controller_config(r);
   config.horizon = r.field_i64("horizon");
+  config.submit_chunk = r.field_i64("submit_chunk");
   r.end_block("scenario_config");
   return config;
 }

@@ -52,7 +52,8 @@ class SerdeError : public std::runtime_error {
 
 /// Format version stamped on every block this revision emits. Bump when a
 /// field is added, removed or reordered; parsers reject any other version.
-inline constexpr int kSerdeVersion = 1;
+/// v2: scenario_config grew submit_chunk (streamed-submission chunk).
+inline constexpr int kSerdeVersion = 2;
 
 // --- whole-document helpers -------------------------------------------------
 

@@ -38,6 +38,23 @@ using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
+/// Tie-break lane for equal-time events: the total order is
+/// (time, band, insertion seq). Bands exist for one reason — the streaming
+/// workload pump (core/experiment.cc). A materialized replay preloads every
+/// submission before the clock starts, so at any timestamp the preloaded
+/// submissions fire after the rest of the setup wiring and before anything
+/// the run itself schedules (their insertion seqs sit between the two).
+/// A streaming pump reschedules itself *during* the run, so its seq alone
+/// would sort it after runtime events — the band restores the preloaded
+/// position structurally: Setup < Submit < Normal. Code that never mixes
+/// bands (every standalone queue/simulator user) sees plain FIFO
+/// tie-breaking, bit-identical to the pre-band order.
+enum class EventBand : std::uint8_t {
+  kSetup = 0,   ///< pre-run wiring (reservations, cap announcements)
+  kSubmit = 1,  ///< the replay submission pump
+  kNormal = 2,  ///< everything scheduled while the clock runs
+};
+
 /// Priority queue of (time, callback) with:
 ///  * deterministic ordering — equal-time events fire in insertion order;
 ///  * O(log n) lazy cancellation — cancelled entries are skipped on pop.
@@ -45,8 +62,8 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Enqueues `callback` at `time`; returns a handle for cancel().
-  EventId push(Time time, Callback callback) {
+  /// Enqueues `callback` at `time` in `band`; returns a handle for cancel().
+  EventId push(Time time, EventBand band, Callback callback) {
     PS_CHECK_MSG(callback != nullptr, "event callback must not be null");
     std::uint32_t slot;
     if (!free_slots_.empty()) {
@@ -62,16 +79,28 @@ class EventQueue {
     Slot& s = slot_ref(slot);
     s.callback = std::move(callback);
     s.live = true;
-    std::uint64_t key = (next_seq_++ << kSlotBits) | slot;
+    PS_CHECK_MSG(next_seq_ < (std::uint64_t{1} << kSeqBits), "event seq exhausted");
+    std::uint64_t key = (static_cast<std::uint64_t>(band) << kBandShift) |
+                        (next_seq_++ << kSlotBits) | slot;
     s.last_key = key;
 
     std::uint64_t utime = bias(time);
+    // Keys grow monotonically while every push uses one band; a lower-band
+    // push (the streaming pump rescheduling among runtime events) breaks
+    // that, and sort_staging falls back from the stable-by-time radix path
+    // to a full-key comparison sort for the affected flush.
+    if (!staging_.empty() && key < staging_.back().key) staging_keys_ascending_ = false;
     staging_.push_back(Entry{utime, key});
     staging_or_ |= utime;
     staging_and_ &= utime;
     ++live_count_;
     // The id is the key plus one so that id 0 is never issued.
     return key + 1;
+  }
+
+  /// Band-less convenience overload (standalone queue users): kNormal.
+  EventId push(Time time, Callback callback) {
+    return push(time, EventBand::kNormal, std::move(callback));
   }
 
   /// Cancels a pending event. Returns false if the event already fired,
@@ -135,6 +164,7 @@ class EventQueue {
     staging_.clear();
     staging_or_ = 0;
     staging_and_ = ~std::uint64_t{0};
+    staging_keys_ascending_ = true;
     run_.clear();
     run_head_ = 0;
     heap_.clear();
@@ -154,11 +184,12 @@ class EventQueue {
     std::uint64_t last_key = 0;  // key of the event occupying the slot
     bool live = false;
   };
-  // 16 bytes: sign-biased time + (seq << kSlotBits | slot). The time is
-  // stored biased (sign bit flipped) so it orders correctly as unsigned —
-  // which is what the radix sort digests. The seq sits in the key's high
-  // bits so key comparison breaks time ties FIFO; the slot in the low bits
-  // never affects the order because the seq is unique.
+  // 16 bytes: sign-biased time + (band << kBandShift | seq << kSlotBits |
+  // slot). The time is stored biased (sign bit flipped) so it orders
+  // correctly as unsigned — which is what the radix sort digests. The band
+  // occupies the key's top bits (band-major tie-break), the seq below it so
+  // key comparison breaks same-band time ties FIFO; the slot in the low
+  // bits never affects the order because the seq is unique.
   struct Entry {
     std::uint64_t utime;  // bias(time)
     std::uint64_t key;
@@ -173,6 +204,8 @@ class EventQueue {
 
   static constexpr std::size_t kArity = 4;
   static constexpr unsigned kSlotBits = 24;  // up to 16.7M concurrent events
+  static constexpr unsigned kBandShift = 62; // 2 band bits atop the key
+  static constexpr unsigned kSeqBits = kBandShift - kSlotBits;
   static constexpr unsigned kChunkBits = 12;
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
 
@@ -275,17 +308,27 @@ class EventQueue {
     staging_.clear();
     staging_or_ = 0;
     staging_and_ = ~std::uint64_t{0};
+    staging_keys_ascending_ = true;
   }
 
   /// Sorts staging into queue order. Staging is appended in insertion
-  /// order, so its seq values are already ascending: a STABLE sort by
-  /// biased time alone yields exactly the (time, seq) total order. That
+  /// order, so (within one band) its keys are already ascending: a STABLE
+  /// sort by biased time alone yields exactly the (time, band, seq) total
+  /// order. That
   /// enables a stable LSD radix sort over only the bytes of utime that
   /// actually vary across the batch (tracked with running or/and masks at
   /// push time) — typically 2-4 passes instead of an O(n log n) comparison
   /// sort whose data-dependent branches mispredict on random times.
   void sort_staging() {
     const std::size_t n = staging_.size();
+    if (!staging_keys_ascending_) {
+      // Mixed bands in this batch (a streaming-pump push landed among
+      // runtime pushes): insertion order is not key order, so sort by the
+      // full (time, key) relation. Rare — at most one pump event per flush.
+      std::sort(staging_.begin(), staging_.end(),
+                [](const Entry& a, const Entry& b) { return before(a, b); });
+      return;
+    }
     std::uint64_t varying = staging_or_ ^ staging_and_;
     if (varying == 0) return;  // all times equal: already in queue order
     int passes = 0;
@@ -374,6 +417,7 @@ class EventQueue {
   mutable std::vector<Entry> staging_;  // unsorted recent pushes
   mutable std::uint64_t staging_or_ = 0;              // OR of staged utimes
   mutable std::uint64_t staging_and_ = ~std::uint64_t{0};  // AND of staged utimes
+  mutable bool staging_keys_ascending_ = true;  // false once bands mix in a batch
   mutable std::vector<Entry> run_;      // sorted ascending; consumed from run_head_
   mutable std::size_t run_head_ = 0;
   mutable std::vector<Entry> heap_;     // 4-ary min-heap over (time, seq)

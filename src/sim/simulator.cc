@@ -7,12 +7,17 @@
 namespace ps::sim {
 
 EventId Simulator::schedule_at(Time at, EventQueue::Callback callback) {
-  return queue_.push(std::max(at, now_), std::move(callback));
+  return queue_.push(std::max(at, now_), default_band_, std::move(callback));
 }
 
 EventId Simulator::schedule_in(Duration delay, EventQueue::Callback callback) {
   PS_CHECK_MSG(delay >= 0, "negative event delay");
-  return queue_.push(now_ + delay, std::move(callback));
+  return queue_.push(now_ + delay, default_band_, std::move(callback));
+}
+
+EventId Simulator::schedule_at_band(Time at, EventBand band,
+                                    EventQueue::Callback callback) {
+  return queue_.push(std::max(at, now_), band, std::move(callback));
 }
 
 std::uint64_t Simulator::run() {

@@ -20,11 +20,24 @@ class Simulator {
   Time now() const noexcept { return now_; }
 
   /// Schedules `callback` at absolute time `at` (clamped to now — events may
-  /// not be scheduled in the past). Returns a cancellation handle.
+  /// not be scheduled in the past) in the current default band. Returns a
+  /// cancellation handle.
   EventId schedule_at(Time at, EventQueue::Callback callback);
 
   /// Schedules `callback` after `delay` (>= 0) from now.
   EventId schedule_in(Duration delay, EventQueue::Callback callback);
+
+  /// Schedules `callback` at `at` in an explicit band (the streaming
+  /// workload pump pins EventBand::kSubmit; see EventBand).
+  EventId schedule_at_band(Time at, EventBand band, EventQueue::Callback callback);
+
+  /// Band every plain schedule_at/schedule_in call lands in. Starts at
+  /// kSetup; a replay driver that streams submissions switches it to
+  /// kNormal just before running the clock so runtime-scheduled events sort
+  /// after the pump at equal timestamps. Harnesses that never switch keep a
+  /// constant band, which is plain FIFO — the pre-band order.
+  void set_default_band(EventBand band) noexcept { default_band_ = band; }
+  EventBand default_band() const noexcept { return default_band_; }
 
   /// Cancels a pending event; false if already fired/cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -55,6 +68,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t fired_ = 0;
   bool stop_requested_ = false;
+  EventBand default_band_ = EventBand::kSetup;
 };
 
 }  // namespace ps::sim

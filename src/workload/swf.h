@@ -10,10 +10,17 @@
 //   1 job number, 2 submit [s], 4 run time [s], 5 allocated processors,
 //   8 requested processors, 9 requested time [s], 11 status, 12 user id.
 // Missing values (-1) fall back sensibly (requested := allocated, runtime 0).
+//
+// Parsing is allocation-free per line: fields are tokenized in place over a
+// string_view and decoded with std::from_chars (no per-field std::string,
+// no std::stoll). Both the batch parse() below and the streaming
+// SwfStreamSource (job_source.h) share the same line parser, so a trace
+// parses identically whether it is materialized or streamed.
 #pragma once
 
-#include <iosfwd>
+#include <istream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "workload/job_request.h"
@@ -25,6 +32,43 @@ struct ParseOptions {
   bool skip_failed_status = false;  ///< drop status 0 (failed) / 5 (cancelled)
   std::int64_t max_jobs = 0;        ///< 0 = unlimited
 };
+
+/// One decoded SWF data line, before ParseOptions filtering.
+struct Record {
+  JobRequest job;
+  std::int64_t status = 1;  ///< SWF field 11 (-1 when absent)
+};
+
+/// Decodes one line. Returns false for comment (';') and blank lines.
+/// Malformed lines throw std::runtime_error naming `line_number`; a value
+/// that overflows int64 reports "out of range" (also with the line), it is
+/// never silently truncated.
+bool parse_line(std::string_view line, std::size_t line_number, Record& out);
+
+/// True when `record` passes the ParseOptions filters.
+bool keep_record(const Record& record, const ParseOptions& options);
+
+/// Streams every record that passes `options` to `fn`, stopping after
+/// max_jobs kept records — the single definition of the filter/truncation
+/// semantics, shared by parse() and SwfStreamSource's pre-scan so the two
+/// can never disagree about which jobs a trace contains. A template (not
+/// std::function): the callback must inline — parse() is a gated kernel
+/// and an opaque call per line costs ~30 % on it.
+template <typename Fn>
+void for_each_record(std::istream& in, const ParseOptions& options, Fn&& fn) {
+  std::string line;
+  std::size_t line_number = 0;
+  std::int64_t kept = 0;
+  Record record;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!parse_line(line, line_number, record)) continue;
+    if (!keep_record(record, options)) continue;
+    fn(record);
+    ++kept;
+    if (options.max_jobs > 0 && kept >= options.max_jobs) break;
+  }
+}
 
 /// Parses SWF text. Comment/header lines start with ';'. Malformed data
 /// lines throw std::runtime_error with the line number.
@@ -44,7 +88,14 @@ std::vector<JobRequest> load_file(const std::string& path,
 /// standard prelude between load_file and ScenarioConfig::trace_jobs.
 sim::Time rebase_submit_times(std::vector<JobRequest>& jobs);
 
-/// Writes jobs back out as SWF (fields we do not model are -1).
+/// Header comment carrying the trace's largest submit time in seconds
+/// ("; MaxSubmitTime: <s>"). write() emits it so SwfStreamSource can bound
+/// a replay horizon without a pre-scan; foreign traces without it fall back
+/// to a one-pass scan (see JobSource::last_submit_hint).
+inline constexpr std::string_view kMaxSubmitHeader = "MaxSubmitTime:";
+
+/// Writes jobs back out as SWF (fields we do not model are -1), prefixed
+/// with a MaxSubmitTime header.
 void write(std::ostream& out, const std::vector<JobRequest>& jobs);
 
 }  // namespace ps::workload::swf

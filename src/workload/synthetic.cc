@@ -5,57 +5,16 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "workload/synthetic_mixture.h"
 
 namespace ps::workload {
 
 namespace {
 
-/// Log-uniform integer draw in [lo, hi] — sizes and runtimes span orders of
-/// magnitude, so uniform-in-log keeps small values the common case.
-std::int64_t log_uniform(util::Rng& rng, std::int64_t lo, std::int64_t hi) {
-  PS_CHECK(lo > 0 && hi >= lo);
-  double x = rng.uniform(std::log(static_cast<double>(lo)),
-                         std::log(static_cast<double>(hi) + 1.0));
-  auto v = static_cast<std::int64_t>(std::exp(x));
-  return std::clamp(v, lo, hi);
-}
-
-enum class SizeClass { Tiny, Medium, Large, Huge };
-
-struct Drawn {
-  std::int64_t cores;
-  sim::Duration runtime;
-};
-
-Drawn draw_job(util::Rng& rng, SizeClass klass) {
-  // Runtimes skew short across all classes: at any instant most running
-  // node-seconds belong to jobs of minutes, so carried-over power decays
-  // quickly when a cap window opens — the dynamics the paper's Fig 6/7
-  // replays of the real Curie trace exhibit.
-  switch (klass) {
-    case SizeClass::Tiny:
-      // < 512 cores and < 2 min — the paper's dominant class (69 %).
-      // Runtimes from 1 s: even at x12 000 over-estimation the shortest
-      // jobs' walltimes end before a cap window hours away, which is what
-      // lets some jobs keep full frequency while a window approaches
-      // (the gradual ramp of the paper's Fig 6).
-      return {log_uniform(rng, 1, 511), sim::seconds(log_uniform(rng, 1, 115))};
-    case SizeClass::Medium:
-      return {log_uniform(rng, 64, 2048), sim::seconds(log_uniform(rng, 120, 1800))};
-    case SizeClass::Large:
-      return {log_uniform(rng, 2048, 16384), sim::seconds(log_uniform(rng, 300, 2700))};
-    case SizeClass::Huge:
-      // Qualifies as "more than the whole cluster for one hour" in
-      // core-seconds (min draw: 4 032 * 72 000 = 290.3 M). Huge in
-      // duration rather than width, like production long-runners: a few
-      // hundred nodes held for the better part of a day.
-      return {rng.uniform_int(4032, 8000),
-              sim::seconds(rng.uniform_int(72000, 86400))};
-  }
-  return {1, sim::seconds(1)};
-}
-
-const char* kAppMix[] = {"linpack", "STREAM", "IMB", "GROMACS"};
+using mixture::Drawn;
+using mixture::SizeClass;
+using mixture::draw_job;
+using mixture::kAppMix;
 
 }  // namespace
 
@@ -98,6 +57,22 @@ GeneratorParams params_for(Profile profile) {
   return params;
 }
 
+GeneratorParams curie_month_params(std::int32_t days, std::size_t job_count) {
+  PS_CHECK_MSG(days > 0, "curie_month: days must be > 0");
+  GeneratorParams params;
+  params.name = "curie_month";
+  params.span = sim::hours(24) * days;
+  params.job_count = job_count;
+  // A small t=0 backlog keeps the first streamed chunk the largest one (the
+  // worst case for O(chunk) claims) without tipping the month into overload.
+  params.backlog_fraction = 0.02;
+  params.w_tiny = 0.72;
+  params.w_medium = 0.238;
+  params.w_large = 0.06;
+  params.w_huge = 0.002;
+  return params;
+}
+
 std::vector<JobRequest> generate(const GeneratorParams& params, std::uint64_t seed) {
   PS_CHECK_MSG(params.job_count > 0, "generator: job_count must be > 0");
   PS_CHECK_MSG(params.span > 0, "generator: span must be > 0");
@@ -107,12 +82,7 @@ std::vector<JobRequest> generate(const GeneratorParams& params, std::uint64_t se
 
   const std::vector<double> weights{params.w_tiny, params.w_medium, params.w_large,
                                     params.w_huge};
-  // Zipf-ish user popularity: user k has weight 1/(k+1).
-  std::vector<double> user_weights;
-  user_weights.reserve(static_cast<std::size_t>(params.user_count));
-  for (std::int32_t u = 0; u < params.user_count; ++u) {
-    user_weights.push_back(1.0 / static_cast<double>(u + 1));
-  }
+  std::vector<double> user_weights = mixture::zipf_user_weights(params.user_count);
 
   auto backlog =
       static_cast<std::size_t>(params.backlog_fraction * static_cast<double>(params.job_count));

@@ -64,6 +64,15 @@ struct GeneratorParams {
 /// The calibrated parameters of each paper interval.
 GeneratorParams params_for(Profile profile);
 
+/// A multi-week Curie-like interval for streaming-replay scale work (the
+/// synthesized curie_month trace, tools `make_curie_month`). Unlike the 5 h
+/// overload intervals, the mixture targets a *bounded* queue (~40 % of
+/// full-Curie capacity over the span), so a month replays without the
+/// pending queue growing with the trace — the regime where O(chunk)
+/// streaming matters. Deterministic for fixed (days, job_count).
+GeneratorParams curie_month_params(std::int32_t days = 28,
+                                   std::size_t job_count = 50000);
+
 /// Deterministic generation: same (params, seed) -> identical trace.
 /// Jobs are sorted by submit time and numbered 1..N.
 std::vector<JobRequest> generate(const GeneratorParams& params, std::uint64_t seed);

@@ -1,0 +1,77 @@
+// Size-class mixture shared by the batch generator (synthetic.cc) and the
+// chunked streaming source (job_source.cc). Both draw jobs from the same
+// four calibrated classes; only the *order* of draws differs (generate()
+// fixed its sequence before streaming existed and the Fig-8 goldens pin
+// it, so the streaming source defines its own, window-local sequence).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ps::workload::mixture {
+
+/// The measured application models jobs are tagged with when
+/// GeneratorParams::heterogeneous_apps is on (see src/apps/).
+inline constexpr const char* kAppMix[] = {"linpack", "STREAM", "IMB", "GROMACS"};
+
+/// Zipf-ish user popularity: user k has weight 1/(k+1).
+inline std::vector<double> zipf_user_weights(std::int32_t user_count) {
+  std::vector<double> weights;
+  weights.reserve(static_cast<std::size_t>(user_count));
+  for (std::int32_t u = 0; u < user_count; ++u) {
+    weights.push_back(1.0 / static_cast<double>(u + 1));
+  }
+  return weights;
+}
+
+/// Log-uniform integer draw in [lo, hi] — sizes and runtimes span orders of
+/// magnitude, so uniform-in-log keeps small values the common case.
+inline std::int64_t log_uniform(util::Rng& rng, std::int64_t lo, std::int64_t hi) {
+  PS_CHECK(lo > 0 && hi >= lo);
+  double x = rng.uniform(std::log(static_cast<double>(lo)),
+                         std::log(static_cast<double>(hi) + 1.0));
+  auto v = static_cast<std::int64_t>(std::exp(x));
+  return std::clamp(v, lo, hi);
+}
+
+enum class SizeClass { Tiny, Medium, Large, Huge };
+
+struct Drawn {
+  std::int64_t cores;
+  sim::Duration runtime;
+};
+
+inline Drawn draw_job(util::Rng& rng, SizeClass klass) {
+  // Runtimes skew short across all classes: at any instant most running
+  // node-seconds belong to jobs of minutes, so carried-over power decays
+  // quickly when a cap window opens — the dynamics the paper's Fig 6/7
+  // replays of the real Curie trace exhibit.
+  switch (klass) {
+    case SizeClass::Tiny:
+      // < 512 cores and < 2 min — the paper's dominant class (69 %).
+      // Runtimes from 1 s: even at x12 000 over-estimation the shortest
+      // jobs' walltimes end before a cap window hours away, which is what
+      // lets some jobs keep full frequency while a window approaches
+      // (the gradual ramp of the paper's Fig 6).
+      return {log_uniform(rng, 1, 511), sim::seconds(log_uniform(rng, 1, 115))};
+    case SizeClass::Medium:
+      return {log_uniform(rng, 64, 2048), sim::seconds(log_uniform(rng, 120, 1800))};
+    case SizeClass::Large:
+      return {log_uniform(rng, 2048, 16384), sim::seconds(log_uniform(rng, 300, 2700))};
+    case SizeClass::Huge:
+      // Qualifies as "more than the whole cluster for one hour" in
+      // core-seconds (min draw: 4 032 * 72 000 = 290.3 M). Huge in
+      // duration rather than width, like production long-runners: a few
+      // hundred nodes held for the better part of a day.
+      return {rng.uniform_int(4032, 8000),
+              sim::seconds(rng.uniform_int(72000, 86400))};
+  }
+  return {1, sim::seconds(1)};
+}
+
+}  // namespace ps::workload::mixture

@@ -1,0 +1,230 @@
+// Streamed vs materialized replay parity, fenced by absolute digests: the
+// 27-cell Fig-8 golden grid and the SWF trace goldens must reproduce the
+// *committed* fingerprints when replayed through chunked streaming — the
+// submission pump plus the O(chunk) JobSource path may not move a single
+// scheduling decision. Chunk-boundary edge cases (a job exactly at the
+// refill horizon, empty chunk windows, locally unsorted chunks) are fenced
+// with a purpose-built source.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "fig8_golden.h"
+#include "scenario_fingerprint.h"
+#include "util/check.h"
+#include "workload/job_source.h"
+#include "workload/swf.h"
+
+namespace ps::core {
+namespace {
+
+using testing::fig8_golden_config;
+using testing::fingerprint;
+using testing::kFig8GoldenCases;
+
+std::string mini_trace_path() {
+  return std::string(PS_SOURCE_DIR) + "/data/curie_mini.swf";
+}
+
+std::shared_ptr<workload::SwfStreamSource> mini_trace_source() {
+  workload::SwfStreamSource::Options options;
+  options.parse.skip_zero_runtime = true;
+  return std::make_shared<workload::SwfStreamSource>(mini_trace_path(), options);
+}
+
+ScenarioConfig streamed_trace_config() {
+  ScenarioConfig config;
+  config.job_source = mini_trace_source();
+  config.submit_chunk = sim::minutes(10);
+  config.racks = 2;
+  config.powercap.policy = Policy::Mix;
+  config.cap_lambda = 0.5;
+  return config;
+}
+
+TEST(StreamParity, Fig8GridStreamedMatchesCommittedGoldens) {
+  // The full 27-cell grid, submissions chunked at an odd 7-minute window so
+  // refill horizons land between, on and around submit times.
+  for (const auto& kase : kFig8GoldenCases) {
+    ScenarioConfig config = fig8_golden_config(kase.profile, kase.policy, kase.lambda);
+    config.submit_chunk = sim::minutes(7);
+    std::uint64_t digest = fingerprint(run_scenario(config));
+    EXPECT_EQ(digest, kase.digest)
+        << workload::to_string(kase.profile) << " lambda " << kase.lambda
+        << " policy " << to_string(kase.policy) << ": streamed digest 0x"
+        << std::hex << digest << " != committed golden";
+  }
+}
+
+TEST(StreamParity, MiniTraceStreamedFromFileMatchesCommittedGolden) {
+  // The SWF file streamed line by line (never materialized) must land on
+  // the same golden as tests/workload_trace_replay_test.cc's batch load.
+  ScenarioResult result = run_scenario(streamed_trace_config());
+  EXPECT_GT(result.stats.started, 0u);
+  std::uint64_t digest = fingerprint(result);
+  const std::uint64_t kGolden = 0x7cb9a43f79a4103cull;
+  EXPECT_EQ(digest, kGolden) << "computed 0x" << std::hex << digest;
+}
+
+TEST(StreamParity, MiniTraceStreamedMultiWindowWithAuditsOn) {
+  ScenarioConfig config = streamed_trace_config();
+  config.cap_lambda = 1.0;
+  config.cap_windows = {
+      {0.70, sim::minutes(10), sim::minutes(20), -1},
+      {0.50, sim::minutes(40), sim::minutes(20), -1},
+      {0.70, sim::minutes(70), sim::minutes(20), -1},
+  };
+  config.powercap.audit_admission_cache = true;
+  config.powercap.audit_offline_planner = true;
+  ScenarioResult result = run_scenario(config);
+  ASSERT_EQ(result.windows.size(), 3u);
+  std::uint64_t digest = fingerprint(result);
+  const std::uint64_t kGolden = 0x747f6e4816903836ull;
+  EXPECT_EQ(digest, kGolden) << "computed 0x" << std::hex << digest;
+}
+
+TEST(StreamParity, MiniTraceStreamedDailyWindowsGolden) {
+  // The 3-day calendar-window golden, streamed with an hour chunk.
+  ScenarioConfig config = streamed_trace_config();
+  config.submit_chunk = sim::hours(1);
+  config.cap_lambda = 1.0;
+  config.horizon = sim::hours(3 * 24);
+  config.cap_windows =
+      make_daily_cap_windows(0, 3, sim::hours(11), sim::hours(13), 0.4);
+  config.powercap.audit_admission_cache = true;
+  config.powercap.audit_offline_planner = true;
+  ScenarioResult result = run_scenario(config);
+  std::uint64_t digest = fingerprint(result);
+  const std::uint64_t kGolden = 0xbf88f6f84048c8ccull;
+  EXPECT_EQ(digest, kGolden) << "computed 0x" << std::hex << digest;
+}
+
+// --- chunk-boundary edge cases ----------------------------------------------
+
+/// A source with adversarial chunk behavior: jobs exactly at refill
+/// horizons, an hours-long empty stretch (empty chunks), and local
+/// disorder inside a chunk window.
+std::vector<workload::JobRequest> edge_case_jobs() {
+  auto job = [](std::int64_t id, sim::Time submit, std::int64_t cores,
+                sim::Duration runtime) {
+    workload::JobRequest j;
+    j.id = id;
+    j.submit_time = submit;
+    j.requested_cores = cores;
+    j.base_runtime = runtime;
+    j.requested_walltime = runtime * 12;
+    j.user = static_cast<std::int32_t>(id % 5);
+    return j;
+  };
+  return {
+      job(1, 0, 64, sim::minutes(5)),
+      // Exactly at the first 10-minute refill horizon.
+      job(2, sim::minutes(10), 128, sim::minutes(8)),
+      // Local disorder within (10, 20]: 19 before 12, same-time pair split
+      // across file order.
+      job(3, sim::minutes(19), 256, sim::minutes(3)),
+      job(4, sim::minutes(12), 64, sim::minutes(30)),
+      job(5, sim::minutes(19), 32, sim::minutes(2)),
+      // Hours of silence: many empty chunks before the next submission.
+      job(6, sim::hours(3), 512, sim::minutes(20)),
+      job(7, sim::hours(3) + 1, 64, sim::minutes(4)),
+  };
+}
+
+/// Wraps a vector but refuses to sort it: chunks come out in *file order*
+/// (locally unsorted), which the pump must restore to submit-time order.
+class UnsortedChunkSource final : public workload::JobSource {
+ public:
+  explicit UnsortedChunkSource(std::vector<workload::JobRequest> jobs)
+      : jobs_(std::move(jobs)) {}
+
+  bool next_chunk(sim::Time until, std::vector<workload::JobRequest>& out) override {
+    // Emit in original order every remaining job due by `until` — legal per
+    // the contract as long as none sits at or below a previous `until`.
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (!emitted_[i] && jobs_[i].submit_time <= until) {
+        out.push_back(jobs_[i]);
+        emitted_[i] = true;
+        ++emitted_count_;
+      }
+    }
+    return emitted_count_ < jobs_.size();
+  }
+  sim::Time last_submit_hint() override {
+    sim::Time last = 0;
+    for (const auto& job : jobs_) last = std::max(last, job.submit_time);
+    return last;
+  }
+  void rewind() override {
+    emitted_.assign(jobs_.size(), false);
+    emitted_count_ = 0;
+  }
+
+ private:
+  std::vector<workload::JobRequest> jobs_;
+  std::vector<bool> emitted_ = std::vector<bool>(jobs_.size(), false);
+  std::size_t emitted_count_ = 0;
+};
+
+TEST(StreamParity, ChunkBoundaryEdgeCasesMatchMaterialized) {
+  ScenarioConfig materialized;
+  materialized.trace_jobs = edge_case_jobs();
+  materialized.racks = 1;
+  materialized.powercap.policy = Policy::Mix;
+  materialized.cap_lambda = 0.5;
+  std::uint64_t reference = fingerprint(run_scenario(materialized));
+
+  for (sim::Duration chunk : {sim::minutes(10), sim::minutes(19), sim::hours(3),
+                              sim::seconds(1)}) {
+    ScenarioConfig streamed;
+    streamed.job_source =
+        std::make_shared<UnsortedChunkSource>(edge_case_jobs());
+    streamed.submit_chunk = chunk;
+    streamed.racks = 1;
+    streamed.powercap.policy = Policy::Mix;
+    streamed.cap_lambda = 0.5;
+    ScenarioResult result = run_scenario(streamed);
+    EXPECT_EQ(result.stats.submitted, 7u);
+    EXPECT_EQ(fingerprint(result), reference)
+        << "chunk " << chunk << " diverged from the materialized replay";
+  }
+}
+
+TEST(StreamParity, StaleHeaderHintFailsLoudly) {
+  // A MaxSubmitTime header above the first job but below the last would
+  // give the streamed replay a horizon that silently drops the tail; the
+  // pump detects the undrained source after the run and throws.
+  std::string path = ::testing::TempDir() + "stale_header.swf";
+  {
+    std::ofstream out(path);
+    out << "; MaxSubmitTime: 100\n"
+           "1 0 -1 60 8 -1 -1 8 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+           "2 100 -1 60 8 -1 -1 8 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+           "3 50000 -1 60 8 -1 -1 8 60 -1 1 1 -1 -1 -1 -1 -1 -1\n";
+  }
+  ScenarioConfig config;
+  config.job_source = std::make_shared<workload::SwfStreamSource>(path);
+  config.racks = 1;
+  EXPECT_THROW(run_scenario(config), CheckError);
+  // An explicit horizon is a deliberate truncation and stays legal.
+  config.horizon = sim::hours(1);
+  EXPECT_NO_THROW(run_scenario(config));
+  std::remove(path.c_str());
+}
+
+TEST(StreamParity, StreamedConfigRunsRepeatedly) {
+  // run_scenario rewinds the source, so the same config replays twice with
+  // identical results (sequential reuse; concurrent sharing stays illegal).
+  ScenarioConfig config = streamed_trace_config();
+  std::uint64_t first = fingerprint(run_scenario(config));
+  std::uint64_t second = fingerprint(run_scenario(config));
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace ps::core

@@ -90,5 +90,22 @@ TEST(SweepEngine, CellFailurePropagatesAfterOthersFinish) {
   EXPECT_THROW(run_sweep(cells, 2), CheckError);
 }
 
+TEST(SweepEngine, SharedJobSourceAcrossCellsIsRejected) {
+  // A JobSource is stateful: parallel cells streaming one object would
+  // race. The natural mistake — copying a streaming config per grid cell —
+  // must fail up front, not corrupt results.
+  auto source = std::make_shared<workload::VectorJobSource>(
+      std::vector<workload::JobRequest>{});
+  std::vector<ScenarioConfig> cells = {small_cell(Policy::Shut, 0.6),
+                                       small_cell(Policy::Mix, 0.6)};
+  for (ScenarioConfig& cell : cells) cell.job_source = source;
+  EXPECT_THROW(run_sweep(cells, 2), CheckError);
+
+  // Distinct source objects (even over the same data) are fine.
+  cells[0].job_source = std::make_shared<workload::VectorJobSource>(
+      std::vector<workload::JobRequest>{});
+  EXPECT_NO_THROW(run_sweep(cells, 2));
+}
+
 }  // namespace
 }  // namespace ps::core

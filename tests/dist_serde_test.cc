@@ -83,6 +83,7 @@ core::ScenarioConfig exhaustive_config() {
   config.controller.boot_delay = sim::seconds(90);
 
   config.horizon = sim::hours(9);
+  config.submit_chunk = sim::minutes(45);
   return config;
 }
 
@@ -159,6 +160,7 @@ void expect_config_equal(const core::ScenarioConfig& a, const core::ScenarioConf
   EXPECT_EQ(a.controller.shutdown_delay, b.controller.shutdown_delay);
   EXPECT_EQ(a.controller.boot_delay, b.controller.boot_delay);
   EXPECT_EQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.submit_chunk, b.submit_chunk);
 }
 
 TEST(DistSerde, ScenarioConfigRoundTripsEveryField) {
@@ -246,9 +248,20 @@ TEST(DistSerde, SpecialDoublesRoundTrip) {
 
 TEST(DistSerde, VersionSkewIsRejected) {
   std::string text = serialize(core::ScenarioConfig{});
+  std::string current = " v" + std::to_string(kSerdeVersion);
+  std::string next = " v" + std::to_string(kSerdeVersion + 1);
   std::string skewed = text;
-  skewed.replace(skewed.find(" v1"), 3, " v2");
+  skewed.replace(skewed.find(current), current.size(), next);
   EXPECT_THROW(parse_scenario_config(skewed), SerdeError);
+}
+
+TEST(DistSerde, LiveJobSourceIsRejected) {
+  // A streaming source has no value representation; serializing must fail
+  // loudly rather than ship a config that replays a different workload.
+  core::ScenarioConfig config;
+  config.job_source = std::make_shared<workload::VectorJobSource>(
+      std::vector<workload::JobRequest>{});
+  EXPECT_THROW(serialize(config), SerdeError);
 }
 
 TEST(DistSerde, UnknownFieldIsRejected) {

@@ -58,6 +58,30 @@ TEST(Swf, MalformedLineThrowsWithLineNumber) {
                std::runtime_error);
 }
 
+TEST(Swf, OverflowReportsFieldAndLineInsteadOfTruncating) {
+  // An int64-overflowing submit time must be an error naming field and
+  // line — the old path silently routed it through a double.
+  const char* line2_overflow =
+      "1 10 -1 60 8 -1 -1 8 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+      "2 99999999999999999999 -1 60 8 -1 -1 8 60 -1 1 1 -1 -1 -1 -1 -1 -1\n";
+  try {
+    (void)parse_string(line2_overflow);
+    FAIL() << "overflow accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("field 2 out of range"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  // Exponent-form beyond int64 range is equally rejected, and so is NaN
+  // (which would otherwise slip past both range bounds into a UB cast).
+  EXPECT_THROW(
+      (void)parse_string("1 1e200 -1 60 8 -1 -1 8 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_string("1 nan -1 60 8 -1 -1 8 60 -1 1 1 -1 -1 -1 -1 -1 -1\n"),
+      std::runtime_error);
+}
+
 TEST(Swf, FractionalTimesAccepted) {
   auto jobs = parse_string(
       "1 10.5 -1 120.9 8 -1 -1 8 600 -1 1 1 -1 -1 -1 -1 -1 -1\n");

@@ -40,6 +40,12 @@ GATED_KERNELS = [
     # Distributed-sweep wire format + spool cycle: serialize/publish/claim/
     # parse/fingerprint one cell record (the per-cell dist overhead).
     "BM_DistSweepSpool",
+    # Streaming trace pipeline: the 50k-job curie_month replay streamed off
+    # the SWF file in O(chunk) memory (the materialized twin rides ungated
+    # next to it in BENCH_kernel.json for comparison), and the from_chars
+    # SWF line parser on the same 50k-line buffer.
+    "BM_TraceReplayStream/iterations:3",
+    "BM_SwfParse",
 ]
 
 TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
