@@ -517,12 +517,12 @@ void BM_DistSweepSpool(benchmark::State& state) {
   results.records.push_back(std::move(record));
 
   std::string spool = util::make_temp_dir("ps-bench-spool-");
-  std::string published = spool + "/" + dist::results_file_name(0);
+  std::string published = spool + "/" + dist::results_file_name(0, 1);
   std::string claimed = published + ".claimed";
   for (auto _ : state) {
     util::write_file_atomic(published, dist::serialize_shard_results(results),
                             /*durable=*/false);
-    if (!util::claim_file(published, claimed)) std::abort();
+    if (!util::claim_file(published, claimed, /*durable=*/false)) std::abort();
     dist::ShardResults parsed = dist::parse_shard_results(util::read_file(claimed));
     if (core::fingerprint(parsed.records[0].result) != parsed.records[0].fingerprint) {
       std::abort();
@@ -534,6 +534,48 @@ void BM_DistSweepSpool(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DistSweepSpool);
+
+// The pure CPU cost of the spool integrity layer: seal a shard_results
+// document (FNV-1a over the body + checksum line) and open it back
+// (checksum verify). No filesystem — this isolates the price every spool
+// read/write now pays for torn-write detection, which is why it is gated
+// separately from the I/O-bound BM_DistSweepSpool.
+void BM_SpoolChecksum(benchmark::State& state) {
+  core::ScenarioConfig config;
+  workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+  params.name = "checksum-kernel";
+  params.span = sim::minutes(10);
+  params.job_count = 80;
+  params.w_huge = 0.0;
+  config.custom_workload = params;
+  config.racks = 1;
+  config.seed = 20150525;
+  config.powercap.policy = core::Policy::Mix;
+  config.cap_lambda = 0.5;
+
+  dist::ShardResults results;
+  results.id = 0;
+  dist::CellRecord record;
+  record.index = 7;
+  record.result = core::run_scenario(config);
+  record.fingerprint = core::fingerprint(record.result);
+  results.records.push_back(std::move(record));
+  // serialize_shard_results seals internally; strip the seal to isolate
+  // seal+open as the measured unit over a realistic document body.
+  std::string sealed = dist::serialize_shard_results(results);
+  std::string body(dist::open_document(sealed));
+
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    std::string doc = dist::seal_document(body);
+    sink ^= dist::open_document(doc).size();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_SpoolChecksum);
 
 // --- streaming trace pipeline kernels ----------------------------------------
 //

@@ -2,14 +2,22 @@
 // executable, so "distributing" is just running more of the same binary).
 //
 //   ps-sweep worker --spool DIR        claim/run/publish loop over a spool
+//       [--heartbeat-ms N]             lease renewal period
+//       [--faults SPEC]                deterministic chaos (dist/fault.h);
+//                                      default: $PS_SWEEP_FAULTS
 //   ps-sweep worker --stdin            cell blocks in, records out
 //   ps-sweep drive --cells FILE        drive a serialized cell grid across
 //       [--workers N] [--shards M]     N local workers; merged records to
 //       [--spool DIR] [--golden FILE]  stdout, summary to stderr
 //       [--manifest-out FILE]
+//       [--max-attempts N]             attempts per shard before giving up
+//       [--lease-ms N] [--heartbeat-ms N] [--poll-ms N]
+//       [--quarantine]                 report exhausted shards, exit 3
+//       [--resume]                     adopt valid results already in --spool
 //
-// See docs/ARCHITECTURE.md ("The dist layer") for the spool protocol and
-// merge invariants; examples/distributed_sweep.cpp for the C++ API.
+// See docs/ARCHITECTURE.md ("The dist layer", "Failure model") for the
+// spool protocol and merge invariants; examples/distributed_sweep.cpp for
+// the C++ API.
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "dist/driver.h"
+#include "dist/fault.h"
 #include "dist/protocol.h"
 #include "dist/worker.h"
 #include "util/spool.h"
@@ -28,10 +37,12 @@ using namespace ps;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s worker --spool DIR [--die-after-claim-if FILE]\n"
+               "usage: %s worker --spool DIR [--heartbeat-ms N] [--faults SPEC]\n"
                "       %s worker --stdin\n"
                "       %s drive --cells FILE [--workers N] [--shards M]\n"
-               "          [--spool DIR] [--golden FILE] [--manifest-out FILE]\n",
+               "          [--spool DIR] [--golden FILE] [--manifest-out FILE]\n"
+               "          [--max-attempts N] [--lease-ms N] [--heartbeat-ms N]\n"
+               "          [--poll-ms N] [--quarantine] [--resume] [--keep-spool]\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -43,14 +54,26 @@ std::string need_value(const std::vector<std::string>& args, std::size_t& i) {
   return args[++i];
 }
 
+std::int64_t need_i64(const std::vector<std::string>& args, std::size_t& i) {
+  const std::string flag = args[i];
+  auto value = strings::parse_i64(need_value(args, i));
+  if (!value || *value < 0) {
+    throw std::runtime_error(flag + " wants a non-negative integer");
+  }
+  return *value;
+}
+
 int worker_main(const std::vector<std::string>& args) {
   dist::WorkerOptions options;
+  options.faults = dist::FaultPlan::from_env();
   bool from_stdin = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--spool") options.spool_dir = need_value(args, i);
     else if (args[i] == "--stdin") from_stdin = true;
-    else if (args[i] == "--die-after-claim-if") {
-      options.die_after_claim_marker = need_value(args, i);
+    else if (args[i] == "--heartbeat-ms") {
+      options.heartbeat_interval_ms = need_i64(args, i);
+    } else if (args[i] == "--faults") {
+      options.faults = dist::FaultPlan::parse(need_value(args, i));
     } else throw std::runtime_error("unknown worker option " + args[i]);
   }
   if (from_stdin == !options.spool_dir.empty()) {
@@ -67,16 +90,22 @@ int drive_main(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--cells") cells_path = need_value(args, i);
     else if (args[i] == "--workers") {
-      options.workers = static_cast<std::size_t>(
-          strings::parse_i64(need_value(args, i)).value_or(0));
+      options.workers = static_cast<std::size_t>(need_i64(args, i));
     } else if (args[i] == "--shards") {
-      options.shards = static_cast<std::size_t>(
-          strings::parse_i64(need_value(args, i)).value_or(0));
+      options.shards = static_cast<std::size_t>(need_i64(args, i));
     } else if (args[i] == "--spool") options.spool_dir = need_value(args, i);
     else if (args[i] == "--golden") {
       options.golden = dist::parse_manifest(util::read_file(need_value(args, i)));
     } else if (args[i] == "--manifest-out") manifest_out = need_value(args, i);
     else if (args[i] == "--keep-spool") options.keep_spool = true;
+    else if (args[i] == "--max-attempts") {
+      options.max_attempts = static_cast<std::size_t>(need_i64(args, i));
+    } else if (args[i] == "--lease-ms") options.lease_timeout_ms = need_i64(args, i);
+    else if (args[i] == "--heartbeat-ms") {
+      options.heartbeat_interval_ms = need_i64(args, i);
+    } else if (args[i] == "--poll-ms") options.poll_interval_ms = need_i64(args, i);
+    else if (args[i] == "--quarantine") options.quarantine = true;
+    else if (args[i] == "--resume") options.resume = true;
     else throw std::runtime_error("unknown drive option " + args[i]);
   }
   if (cells_path.empty()) throw std::runtime_error("drive wants --cells FILE");
@@ -104,10 +133,22 @@ int drive_main(const std::vector<std::string>& args) {
   }
   std::fprintf(stderr,
                "drove %zu cells over %zu shards; %zu workers spawned, "
-               "%zu shards resubmitted%s\n",
+               "%zu shards resubmitted, %zu leases reclaimed, "
+               "%zu publishes fenced, %zu corrupt documents, "
+               "%zu cells resumed%s\n",
                report.results.size(), report.shard_count, report.workers_spawned,
-               report.resubmitted_shards,
+               report.resubmitted_shards, report.reclaimed_leases,
+               report.fenced_publishes, report.corrupt_documents,
+               report.resumed_cells,
                options.golden.empty() ? "" : "; golden manifest verified");
+  if (!report.complete) {
+    std::fprintf(stderr, "QUARANTINED %zu cells:", report.quarantined_cells.size());
+    for (std::uint64_t index : report.quarantined_cells) {
+      std::fprintf(stderr, " %llu", static_cast<unsigned long long>(index));
+    }
+    std::fprintf(stderr, "\n");
+    return 3;  // partial result: merged output is valid, but holes exist
+  }
   return 0;
 }
 

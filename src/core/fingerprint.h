@@ -10,10 +10,23 @@
 
 #include <bit>
 #include <cstdint>
+#include <string_view>
 
 #include "core/experiment.h"
 
 namespace ps::core {
+
+/// Byte-wise FNV-1a over a buffer — the same hash family as the result
+/// fingerprints below, used by dist::seal_document to checksum spool
+/// documents so a torn or bit-flipped file fails loudly at parse time.
+inline std::uint64_t fnv1a_bytes(std::string_view bytes,
+                                 std::uint64_t hash = 0xcbf29ce484222325ull) {
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
 
 inline std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
   for (int byte = 0; byte < 8; ++byte) {

@@ -1,10 +1,67 @@
 #include "dist/protocol.h"
 
+#include <charconv>
 #include <cinttypes>
 
+#include "core/fingerprint.h"
 #include "util/strings.h"
 
 namespace ps::dist {
+
+namespace {
+
+constexpr std::string_view kChecksumKey = "checksum ";
+
+/// Strict decimal u64 from a name fragment (no sign, no garbage).
+std::optional<std::uint64_t> u64_fragment(std::string_view text) {
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc() || ptr != end || text.empty()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string seal_document(std::string body) {
+  std::uint64_t digest = core::fnv1a_bytes(body);
+  body.append(kChecksumKey);
+  body.append(hex64_token(digest));
+  body.push_back('\n');
+  return body;
+}
+
+std::string_view open_document(std::string_view text) {
+  // The seal is the final line: `checksum <16 hex digits>\n`.
+  constexpr std::size_t kSealLength = 9 + 16 + 1;  // key + digest + newline
+  if (text.size() < kSealLength || text.back() != '\n') {
+    throw SerdeError("document is unsealed or truncated (no checksum line)");
+  }
+  std::size_t seal_start = text.size() - kSealLength;
+  if (text.substr(seal_start, kChecksumKey.size()) != kChecksumKey ||
+      (seal_start > 0 && text[seal_start - 1] != '\n')) {
+    throw SerdeError("document is unsealed or truncated (no checksum line)");
+  }
+  std::string_view body = text.substr(0, seal_start);
+  std::string_view digest_token = text.substr(seal_start + kChecksumKey.size(), 16);
+  std::uint64_t expected = 0;
+  for (char c : digest_token) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else throw SerdeError("document checksum line is malformed");
+    expected = expected << 4 | static_cast<std::uint64_t>(digit);
+  }
+  std::uint64_t actual = core::fnv1a_bytes(body);
+  if (actual != expected) {
+    throw SerdeError(strings::format(
+        "document checksum mismatch: body %016" PRIx64 ", sealed %016" PRIx64
+        " (torn write or bit rot)",
+        actual, expected));
+  }
+  return body;
+}
 
 std::string serialize_cell_grid(const std::vector<core::ScenarioConfig>& cells) {
   Writer w;
@@ -12,11 +69,11 @@ std::string serialize_cell_grid(const std::vector<core::ScenarioConfig>& cells) 
   w.field_u64("cells", cells.size());
   for (const core::ScenarioConfig& cell : cells) serialize_scenario_config(w, cell);
   w.end_block("cell_grid");
-  return w.take();
+  return seal_document(w.take());
 }
 
 std::vector<core::ScenarioConfig> parse_cell_grid(std::string_view text) {
-  Reader r(text);
+  Reader r(open_document(text));
   r.begin_block("cell_grid");
   std::uint64_t count = r.field_u64("cells");
   std::vector<core::ScenarioConfig> cells;
@@ -39,11 +96,11 @@ std::string serialize_shard(const Shard& shard) {
     w.end_block("cell");
   }
   w.end_block("shard");
-  return w.take();
+  return seal_document(w.take());
 }
 
 Shard parse_shard(std::string_view text) {
-  Reader r(text);
+  Reader r(open_document(text));
   Shard shard;
   r.begin_block("shard");
   shard.id = r.field_u64("id");
@@ -87,11 +144,11 @@ std::string serialize_shard_results(const ShardResults& results) {
   w.field_u64("cells", results.records.size());
   for (const CellRecord& record : results.records) serialize_cell_record(w, record);
   w.end_block("shard_results");
-  return w.take();
+  return seal_document(w.take());
 }
 
 ShardResults parse_shard_results(std::string_view text) {
-  Reader r(text);
+  Reader r(open_document(text));
   ShardResults results;
   r.begin_block("shard_results");
   results.id = r.field_u64("id");
@@ -113,11 +170,11 @@ std::string serialize_manifest(const std::vector<std::uint64_t>& fingerprints) {
     w.line(strings::format("fp %zu %s", i, hex64_token(fingerprints[i]).c_str()));
   }
   w.end_block("manifest");
-  return w.take();
+  return seal_document(w.take());
 }
 
 std::vector<std::uint64_t> parse_manifest(std::string_view text) {
-  Reader r(text);
+  Reader r(open_document(text));
   r.begin_block("manifest");
   std::uint64_t count = r.field_u64("cells");
   std::vector<std::uint64_t> fingerprints(count, 0);
@@ -135,17 +192,92 @@ std::vector<std::uint64_t> parse_manifest(std::string_view text) {
   return fingerprints;
 }
 
+std::string serialize_grid_meta(const GridMeta& meta) {
+  Writer w;
+  w.begin_block("grid_meta");
+  w.field_u64("cells", meta.cells);
+  w.field_u64("shards", meta.shards);
+  w.field("grid_checksum", hex64_token(meta.grid_checksum));
+  w.end_block("grid_meta");
+  return seal_document(w.take());
+}
+
+GridMeta parse_grid_meta(std::string_view text) {
+  Reader r(open_document(text));
+  GridMeta meta;
+  r.begin_block("grid_meta");
+  meta.cells = r.field_u64("cells");
+  meta.shards = r.field_u64("shards");
+  meta.grid_checksum = hex64_from_token(r.field_string("grid_checksum"), r);
+  r.end_block("grid_meta");
+  if (!r.at_end()) r.fail("trailing content after grid_meta");
+  return meta;
+}
+
 std::string spool_cells_dir(const std::string& spool) { return spool + "/cells"; }
 std::string spool_claimed_dir(const std::string& spool) { return spool + "/claimed"; }
 std::string spool_results_dir(const std::string& spool) { return spool + "/results"; }
-
-std::string shard_file_name(std::uint64_t shard_id) {
-  // Zero-padded so lexicographic listing order == shard id order.
-  return strings::format("shard-%06" PRIu64 ".shard", shard_id);
+std::string spool_grid_meta_path(const std::string& spool) {
+  return spool + "/grid.meta";
 }
 
-std::string results_file_name(std::uint64_t shard_id) {
-  return strings::format("shard-%06" PRIu64 ".results", shard_id);
+std::string shard_file_name(std::uint64_t shard_id, std::uint64_t token) {
+  // Zero-padded so lexicographic listing order == (shard id, token) order.
+  return strings::format("shard-%06" PRIu64 ".t%03" PRIu64 ".shard", shard_id,
+                         token);
+}
+
+std::string results_file_name(std::uint64_t shard_id, std::uint64_t token) {
+  return strings::format("shard-%06" PRIu64 ".t%03" PRIu64 ".results", shard_id,
+                         token);
+}
+
+std::string heartbeat_file_name(std::uint64_t shard_id, std::uint64_t token) {
+  return strings::format("shard-%06" PRIu64 ".t%03" PRIu64 ".hb", shard_id,
+                         token);
+}
+
+std::optional<SpoolName> parse_spool_name(std::string_view name) {
+  // shard-<id>.t<token>.<suffix>[.<pid>] — strict on the id/token shape,
+  // indifferent to the suffix so one parser serves every spool directory.
+  constexpr std::string_view kPrefix = "shard-";
+  if (!strings::starts_with(name, kPrefix)) return std::nullopt;
+  std::string_view rest = name.substr(kPrefix.size());
+  std::size_t dot = rest.find('.');
+  if (dot == std::string_view::npos) return std::nullopt;
+  auto id = u64_fragment(rest.substr(0, dot));
+  if (!id) return std::nullopt;
+  rest = rest.substr(dot + 1);
+  if (rest.empty() || rest[0] != 't') return std::nullopt;
+  std::size_t token_end = rest.find('.');
+  if (token_end == std::string_view::npos) return std::nullopt;
+  auto token = u64_fragment(rest.substr(1, token_end - 1));
+  if (!token) return std::nullopt;
+  return SpoolName{*id, *token};
+}
+
+std::optional<std::int64_t> parse_claim_pid(std::string_view name) {
+  std::size_t dot = name.rfind('.');
+  if (dot == std::string_view::npos) return std::nullopt;
+  auto pid = u64_fragment(name.substr(dot + 1));
+  if (!pid || *pid == 0 || *pid > static_cast<std::uint64_t>(INT64_MAX)) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(*pid);
+}
+
+std::string serialize_heartbeat(std::uint64_t seq, std::int64_t pid) {
+  return strings::format("hb %" PRIu64 " %lld\n", seq,
+                         static_cast<long long>(pid));
+}
+
+std::optional<Heartbeat> parse_heartbeat(std::string_view text) {
+  std::vector<std::string> tokens = strings::split_ws(text);
+  if (tokens.size() != 3 || tokens[0] != "hb") return std::nullopt;
+  auto seq = u64_fragment(tokens[1]);
+  auto pid = strings::parse_i64(tokens[2]);
+  if (!seq || !pid) return std::nullopt;
+  return Heartbeat{*seq, *pid};
 }
 
 }  // namespace ps::dist

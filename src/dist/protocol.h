@@ -13,12 +13,21 @@
 //     version skew is caught at merge time.
 //   * **manifest** — index-ordered fingerprints only; the golden artifact a
 //     driver can verify a re-run against (e.g. the committed Fig-8 grid).
+//   * **grid meta** — pinned at the spool root by the driver: shard count
+//     and a checksum of the serialized grid, so `--resume` can only ever
+//     continue the grid the spool was created for, with the partition it
+//     was created with.
 //
 // All documents inherit the serde guarantees: versioned blocks, strict
-// field order, deterministic bytes.
+// field order, deterministic bytes — and every one is *sealed*: a trailing
+// `checksum <fnv1a-64>` line over the body (core::fnv1a_bytes, the same
+// hash family as the result fingerprints) makes a torn, truncated or
+// bit-flipped file a loud parse failure the driver treats as a retriable
+// worker fault, never as driver state.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -63,21 +72,82 @@ ShardResults parse_shard_results(std::string_view text);
 std::string serialize_manifest(const std::vector<std::uint64_t>& fingerprints);
 std::vector<std::uint64_t> parse_manifest(std::string_view text);
 
+/// Spool-root pin for `--resume`: the partition geometry plus a checksum
+/// of the serialized cell grid the spool was created for.
+struct GridMeta {
+  std::uint64_t cells = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t grid_checksum = 0;  ///< core::fnv1a_bytes over the grid doc
+};
+
+std::string serialize_grid_meta(const GridMeta& meta);
+GridMeta parse_grid_meta(std::string_view text);
+
 /// Block-level record codec, shared by the shard-results document and the
 /// worker's stdin/stdout streaming mode.
 void serialize_cell_record(Writer& w, const CellRecord& record);
 CellRecord parse_cell_record(Reader& r);
 
+// --- document sealing --------------------------------------------------------
+
+/// Appends the trailing `checksum <hex64>` line (FNV-1a over every byte of
+/// `body`). Every spool document is sealed before it is written.
+std::string seal_document(std::string body);
+
+/// Verifies and strips the trailing checksum line, returning the body.
+/// Throws SerdeError when the line is missing (torn/truncated file) or the
+/// digest does not match (bit-flip) — the caller maps that to a retriable
+/// worker fault.
+std::string_view open_document(std::string_view text);
+
 // --- spool layout ------------------------------------------------------------
 //
-// <spool>/cells/shard-<id>.shard      pending work, claimable
-// <spool>/claimed/<name>.<pid>        claimed by one worker (atomic rename)
-// <spool>/results/shard-<id>.results  published results (atomic rename)
+// Every per-shard file name carries the shard's *fencing token* — the
+// attempt number, bumped by the driver each time the shard is reclaimed.
+// A worker publishes under the token baked into the claim it won, so a
+// zombie holder of a reclaimed shard can only ever produce a stale-token
+// file the driver discards; it can never race the current attempt.
+//
+// <spool>/grid.meta                            partition pin (resume)
+// <spool>/cells/shard-<id>.t<token>.shard      pending work, claimable
+// <spool>/claimed/<shard file>.<pid>           claimed by one worker
+// <spool>/claimed/shard-<id>.t<token>.hb       heartbeat, renewed by holder
+// <spool>/results/shard-<id>.t<token>.results  published results
 
 std::string spool_cells_dir(const std::string& spool);
 std::string spool_claimed_dir(const std::string& spool);
 std::string spool_results_dir(const std::string& spool);
-std::string shard_file_name(std::uint64_t shard_id);
-std::string results_file_name(std::uint64_t shard_id);
+std::string spool_grid_meta_path(const std::string& spool);
+std::string shard_file_name(std::uint64_t shard_id, std::uint64_t token);
+std::string results_file_name(std::uint64_t shard_id, std::uint64_t token);
+std::string heartbeat_file_name(std::uint64_t shard_id, std::uint64_t token);
+
+/// (shard id, fencing token) decoded from any of the spool file names
+/// above — claim names may carry a trailing `.<pid>`, retrieved via
+/// parse_claim_pid. nullopt for foreign files (tmp litter etc.).
+struct SpoolName {
+  std::uint64_t id = 0;
+  std::uint64_t token = 0;
+};
+std::optional<SpoolName> parse_spool_name(std::string_view name);
+
+/// The `<pid>` suffix of a claim file name, or nullopt when malformed.
+std::optional<std::int64_t> parse_claim_pid(std::string_view name);
+
+// --- heartbeat lease ---------------------------------------------------------
+//
+// The single-line heartbeat document: `hb <seq> <pid>`. The sequence is
+// monotonic per claim; the driver watches for *change*, not absolute time,
+// so worker and driver clocks never need to agree.
+
+std::string serialize_heartbeat(std::uint64_t seq, std::int64_t pid);
+
+struct Heartbeat {
+  std::uint64_t seq = 0;
+  std::int64_t pid = 0;
+};
+/// Lenient parse: nullopt on any malformation (a garbled heartbeat simply
+/// counts as "not renewed", which is the conservative reading).
+std::optional<Heartbeat> parse_heartbeat(std::string_view text);
 
 }  // namespace ps::dist

@@ -1,7 +1,11 @@
 #include "dist/worker.h"
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
@@ -9,6 +13,69 @@
 #include "util/spool.h"
 
 namespace ps::dist {
+
+namespace {
+
+/// Renews the shard's heartbeat file on a background thread while the
+/// shard runs. The file is written with durable=false: a heartbeat only
+/// has to be *visible* to the live driver, never to survive a crash — a
+/// lost heartbeat reads as a stale lease, which is the safe direction.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(std::string path, std::int64_t interval_ms, bool stalled)
+      : path_(std::move(path)), interval_ms_(interval_ms), stalled_(stalled) {
+    beat(1);  // liveness is visible from the moment the claim is held
+    thread_ = std::thread([this] { run(); });
+  }
+
+  HeartbeatPump(const HeartbeatPump&) = delete;
+  HeartbeatPump& operator=(const HeartbeatPump&) = delete;
+  ~HeartbeatPump() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    std::uint64_t seq = 2;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stopped_; })) {
+        return;
+      }
+      // stall_heartbeat fault: the thread lives but renewals stop — the
+      // emulated NFS stall the driver must detect via the lease.
+      if (!stalled_) beat(seq++);
+    }
+  }
+
+  void beat(std::uint64_t seq) {
+    util::write_file_atomic(path_, serialize_heartbeat(seq, ::getpid()),
+                            /*durable=*/false);
+  }
+
+  std::string path_;
+  std::int64_t interval_ms_;
+  bool stalled_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+};
+
+[[noreturn]] void emulate_sigkill() {
+  ::_exit(137);  // the exit code a real SIGKILL would produce
+}
+
+}  // namespace
 
 ShardResults run_shard(const Shard& shard) {
   ShardResults results;
@@ -31,26 +98,64 @@ int run_worker_spool(const WorkerOptions& options) {
   util::ensure_dir(claimed_dir);
   util::ensure_dir(results_dir);
   const std::string pid_suffix = "." + std::to_string(::getpid());
+  const FaultPlan& faults = options.faults;
 
   for (;;) {
     bool claimed_one = false;
     for (const std::string& name : util::list_files(cells_dir, ".shard")) {
+      std::optional<SpoolName> spool_name = parse_spool_name(name);
+      if (!spool_name) continue;  // tmp litter or foreign file
+      const std::uint64_t id = spool_name->id;
+      const std::uint64_t attempt = spool_name->token;
       std::string claim_path = claimed_dir + "/" + name + pid_suffix;
       if (!util::claim_file(cells_dir + "/" + name, claim_path)) {
         continue;  // another worker won this shard; try the next
       }
       claimed_one = true;
-      if (!options.die_after_claim_marker.empty() &&
-          util::path_exists(options.die_after_claim_marker)) {
-        // Emulated mid-shard kill: consume the marker so only one worker
-        // dies, then vanish without publishing or returning the claim.
-        util::remove_file(options.die_after_claim_marker);
-        ::_exit(137);  // the exit code a real SIGKILL would produce
+
+      if (faults.fires(FaultSite::HangAfterClaim, id, attempt)) {
+        // Emulated process freeze: no heartbeat, no progress, no exit —
+        // only the driver's lease timeout (and SIGKILL) ends this.
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
       }
+
+      HeartbeatPump heartbeat(
+          claimed_dir + "/" + heartbeat_file_name(id, attempt),
+          options.heartbeat_interval_ms,
+          faults.fires(FaultSite::StallHeartbeat, id, attempt));
+
       Shard shard = parse_shard(util::read_file(claim_path));
       ShardResults results = run_shard(shard);
-      util::write_file_atomic(results_dir + "/" + results_file_name(shard.id),
-                              serialize_shard_results(results));
+      std::string document = serialize_shard_results(results);
+      // The fencing token from the claim we won is baked into the result
+      // name: if the driver reclaimed this shard while we ran, our token
+      // is stale and the driver discards this file instead of merging it.
+      std::string published =
+          results_dir + "/" + results_file_name(shard.id, attempt);
+
+      if (faults.fires(FaultSite::DieBeforePublish, id, attempt)) {
+        emulate_sigkill();  // computed but never published; claim stranded
+      }
+      if (faults.fires(FaultSite::TornPublish, id, attempt)) {
+        // A torn write that still reached the final name (non-atomic FS):
+        // half the document, no checksum line, then death.
+        util::write_file_atomic(published, document.substr(0, document.size() / 2),
+                                /*durable=*/false);
+        emulate_sigkill();
+      }
+      if (faults.fires(FaultSite::CorruptResult, id, attempt)) {
+        // Bitrot after sealing: the checksum no longer matches the body.
+        document[document.size() / 2] ^= 0x20;
+        util::write_file_atomic(published, document);
+        heartbeat.stop();
+        util::remove_file(claimed_dir + "/" + heartbeat_file_name(id, attempt));
+        util::remove_file(claim_path);
+        break;  // worker itself is healthy; the document is the casualty
+      }
+
+      util::write_file_atomic(published, document);
+      heartbeat.stop();
+      util::remove_file(claimed_dir + "/" + heartbeat_file_name(id, attempt));
       util::remove_file(claim_path);
       break;  // re-list: claiming order stays fair across workers
     }

@@ -8,29 +8,40 @@
 //   * **spool mode** — loop over a spool directory (util/spool.h): claim a
 //     shard file by atomic rename, run it, publish the results file
 //     atomically, repeat until no pending shards remain. Several workers
-//     on the same spool never duplicate work (rename wins once); a worker
-//     that dies mid-shard leaves its claim stranded for the driver to
-//     detect and resubmit.
+//     on the same spool never duplicate work (rename wins once). While a
+//     shard runs, a background thread renews the shard's heartbeat file
+//     every `heartbeat_interval_ms` with a monotonic sequence — the
+//     driver's lease: a heartbeat stale past the lease timeout marks the
+//     holder hung (not just dead) and the shard is reclaimed under a new
+//     fencing token, so this worker's eventual late publish is discarded.
+//     A worker that dies mid-shard leaves its claim stranded for the
+//     driver to detect immediately.
 //   * **stdin mode** — read a stream of cell blocks from stdin, write
 //     cell_record blocks to stdout. No filesystem, no driver; useful for
 //     piping a cell into a remote shell.
+//
+// Fault injection (dist/fault.h) hooks the spool loop at named sites; an
+// inert plan (the default) costs one branch per site.
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
 
+#include "dist/fault.h"
 #include "dist/protocol.h"
 
 namespace ps::dist {
 
 struct WorkerOptions {
   std::string spool_dir;
-  /// Test hook (driver resubmission fence): when the named file exists at
-  /// the moment a shard is claimed, the worker deletes it and dies
-  /// immediately — by design without publishing results and without
-  /// returning the claim — emulating a mid-shard SIGKILL. Empty = off.
-  std::string die_after_claim_marker;
+  /// Heartbeat renewal period while a shard runs. The driver passes its
+  /// own setting down so lease arithmetic is consistent fleet-wide.
+  std::int64_t heartbeat_interval_ms = 500;
+  /// Deterministic chaos schedule (inert by default). Parsed from the
+  /// --faults flag or $PS_SWEEP_FAULTS by the CLI.
+  FaultPlan faults;
 };
 
 /// Runs every cell of a shard; records are in shard order.

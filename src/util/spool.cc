@@ -25,6 +25,22 @@ namespace {
                            "': " + std::strerror(errno));
 }
 
+/// Fsyncs the directory containing `path`, making a just-completed rename
+/// durable: POSIX only guarantees the new directory entry survives a crash
+/// once the directory itself has been synced.
+void fsync_parent_dir(const std::string& path) {
+  std::size_t slash = path.rfind('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail("open dir", dir);
+  if (::fsync(fd) < 0) {
+    ::close(fd);
+    fail("fsync dir", dir);
+  }
+  if (::close(fd) < 0) fail("close dir", dir);
+}
+
 }  // namespace
 
 void ensure_dir(const std::string& path) {
@@ -61,6 +77,7 @@ void write_file_atomic(const std::string& path, const std::string& content,
   // truncated after a crash, or the driver would merge garbage.
   if ((durable && ::fsync(fd) < 0) || ::close(fd) < 0) fail("fsync", tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) fail("rename", tmp);
+  if (durable) fsync_parent_dir(path);
 }
 
 std::vector<std::string> list_files(const std::string& dir, const std::string& suffix) {
@@ -80,10 +97,21 @@ std::vector<std::string> list_files(const std::string& dir, const std::string& s
   return names;
 }
 
-bool claim_file(const std::string& from, const std::string& to) {
-  if (std::rename(from.c_str(), to.c_str()) == 0) return true;
-  if (errno == ENOENT) return false;  // lost the race — somebody claimed it
-  fail("claim", from);
+bool claim_file(const std::string& from, const std::string& to, bool durable) {
+  // Transient errnos (seen on NFS and similar networked filesystems under
+  // contention) get a short bounded backoff instead of aborting the
+  // worker; ENOENT stays the normal lost-race return at any point.
+  int backoff_ms = 1;
+  for (int attempt = 0;; ++attempt) {
+    if (std::rename(from.c_str(), to.c_str()) == 0) break;
+    if (errno == ENOENT) return false;  // lost the race — somebody claimed it
+    bool transient = errno == EBUSY || errno == ESTALE || errno == EAGAIN;
+    if (!transient || attempt >= 5) fail("claim", from);
+    ::usleep(static_cast<useconds_t>(backoff_ms) * 1000);
+    backoff_ms *= 2;  // 1+2+4+8+16+32 ms ≈ 63 ms worst case, then fail
+  }
+  if (durable) fsync_parent_dir(to);
+  return true;
 }
 
 bool path_exists(const std::string& path) {

@@ -27,11 +27,14 @@ void ensure_dir(const std::string& path);
 std::string read_file(const std::string& path);
 
 /// Publishes `content` at `path` atomically: writes `path.tmp.<pid>`,
-/// fsyncs, renames. Readers listing the directory never observe a partial
-/// file. Throws std::runtime_error on I/O failure. `durable = false` skips
-/// the fsync — atomicity for live readers is kept, crash durability is
-/// not; only for benchmarks and other throwaway data whose timing must not
-/// ride the disk's sync latency.
+/// fsyncs, renames, then fsyncs the parent directory — on a journaled FS
+/// the rename itself is not durable until the directory metadata reaches
+/// disk, and a crash in that window would silently lose the published
+/// name. Readers listing the directory never observe a partial file.
+/// Throws std::runtime_error on I/O failure. `durable = false` skips both
+/// fsyncs — atomicity for live readers is kept, crash durability is not;
+/// only for benchmarks, heartbeats and other throwaway data whose timing
+/// must not ride the disk's sync latency.
 void write_file_atomic(const std::string& path, const std::string& content,
                        bool durable = true);
 
@@ -43,8 +46,13 @@ std::vector<std::string> list_files(const std::string& dir,
 
 /// Atomically claims `from` by renaming it to `to`. Returns false when the
 /// file vanished first (another claimer won — the expected contention
-/// outcome); throws on any other failure.
-bool claim_file(const std::string& from, const std::string& to);
+/// outcome). Transient networked-filesystem errors (EBUSY, ESTALE, EAGAIN)
+/// are retried with a short bounded backoff before failing; any other
+/// error throws. `durable = true` (the default) fsyncs the destination's
+/// parent directory after the rename so a crash cannot resurrect the claim
+/// under its old name; pass false only for timing-sensitive benchmarks.
+bool claim_file(const std::string& from, const std::string& to,
+                bool durable = true);
 
 /// True iff the path names an existing file or directory.
 bool path_exists(const std::string& path);

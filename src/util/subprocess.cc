@@ -1,9 +1,11 @@
 #include "util/subprocess.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include <fcntl.h>
@@ -102,6 +104,18 @@ bool Subprocess::try_wait(int* exit_code) {
   exit_code_ = reaped == pid_ ? decode_status(status) : 255;
   if (exit_code != nullptr) *exit_code = exit_code_;
   return true;
+}
+
+bool Subprocess::wait_for(std::int64_t timeout_ms, int* exit_code) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (try_wait(exit_code)) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    // 2 ms poll: coarse enough to stay cheap, fine enough that a killed
+    // worker is reaped well inside any realistic lease timeout.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 void Subprocess::kill() noexcept {

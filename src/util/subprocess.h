@@ -4,6 +4,7 @@
 // simulation core.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,11 @@ class Subprocess {
 
   /// Non-blocking probe; true when the child has exited (code as wait()).
   bool try_wait(int* exit_code);
+
+  /// Bounded wait: polls for up to `timeout_ms` milliseconds. Returns true
+  /// (child reaped, code as wait()) on exit, false when it is still
+  /// running at the deadline — the caller can then kill() and wait().
+  bool wait_for(std::int64_t timeout_ms, int* exit_code = nullptr);
 
   /// SIGKILL. Safe to call after exit (no-op); the child must still be
   /// reaped via wait()/try_wait().

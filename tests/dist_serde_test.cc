@@ -309,5 +309,108 @@ TEST(DistSerde, ProtocolDocumentsRoundTrip) {
   EXPECT_EQ(parse_manifest(serialize_manifest(manifest)), manifest);
 }
 
+TEST(DistSerde, SealedDocumentRoundTrips) {
+  std::string body = "shard_results {\nid 3\n}\n";
+  std::string sealed = seal_document(body);
+  EXPECT_NE(sealed, body);                        // the seal is visible bytes
+  EXPECT_EQ(open_document(sealed), body);         // ...and strips clean
+  // Sealing is deterministic: same body, same document.
+  EXPECT_EQ(sealed, seal_document(body));
+}
+
+TEST(DistSerde, UnsealedDocumentIsRejected) {
+  // A document written by a pre-checksum binary (or a write torn before
+  // the final line) has no seal: open must refuse, never guess.
+  EXPECT_THROW(open_document("shard_results {\nid 3\n}\n"), SerdeError);
+  EXPECT_THROW(open_document(""), SerdeError);
+  EXPECT_THROW(open_document("checksum tooshort\n"), SerdeError);
+}
+
+TEST(DistSerde, TruncatedSealedDocumentIsRejected) {
+  // Torn writes truncate at arbitrary byte offsets; every prefix of a
+  // sealed document must fail to open.
+  std::string sealed = serialize_shard_results([] {
+    ShardResults r;
+    r.id = 9;
+    return r;
+  }());
+  for (std::size_t len = 0; len < sealed.size(); ++len) {
+    EXPECT_THROW(open_document(std::string_view(sealed).substr(0, len)),
+                 SerdeError)
+        << "prefix of " << len << " bytes opened";
+  }
+}
+
+TEST(DistSerde, BitFlippedSealedDocumentIsRejected) {
+  // Bitrot anywhere — body or the checksum line itself — must be caught.
+  std::string sealed = seal_document("manifest {\ncells 0\n}\n");
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    std::string corrupt = sealed;
+    corrupt[i] ^= 0x01;
+    EXPECT_THROW(open_document(corrupt), SerdeError) << "flip at byte " << i;
+  }
+}
+
+TEST(DistSerde, EveryProtocolDocumentIsSealed) {
+  // All four spool document kinds carry the trailing checksum line and
+  // refuse a stripped body — the driver relies on this to classify any
+  // torn file as a retriable worker fault.
+  std::vector<core::ScenarioConfig> grid(2);
+  Shard shard;
+  shard.id = 1;
+  shard.cells = {{0, grid[0]}};
+  ShardResults results;
+  results.id = 1;
+  GridMeta meta{2, 1, 0xabcd};
+
+  for (const std::string& doc :
+       {serialize_cell_grid(grid), serialize_shard(shard),
+        serialize_shard_results(results), serialize_manifest({1, 2}),
+        serialize_grid_meta(meta)}) {
+    std::string_view body = open_document(doc);  // must not throw
+    EXPECT_THROW(parse_cell_grid(body), SerdeError);
+  }
+  GridMeta parsed = parse_grid_meta(serialize_grid_meta(meta));
+  EXPECT_EQ(parsed.cells, 2u);
+  EXPECT_EQ(parsed.shards, 1u);
+  EXPECT_EQ(parsed.grid_checksum, 0xabcdu);
+}
+
+TEST(DistSerde, SpoolNamesCarryFencingTokens) {
+  EXPECT_EQ(shard_file_name(3, 1), "shard-000003.t001.shard");
+  EXPECT_EQ(results_file_name(3, 12), "shard-000003.t012.results");
+  EXPECT_EQ(heartbeat_file_name(3, 2), "shard-000003.t002.hb");
+
+  auto name = parse_spool_name("shard-000003.t012.results");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->id, 3u);
+  EXPECT_EQ(name->token, 12u);
+  // Claim files carry a trailing .<pid>; the name parser ignores it, the
+  // pid parser extracts it.
+  auto claim = parse_spool_name("shard-000003.t012.shard.4711");
+  ASSERT_TRUE(claim.has_value());
+  EXPECT_EQ(claim->token, 12u);
+  EXPECT_EQ(parse_claim_pid("shard-000003.t012.shard.4711"),
+            std::optional<std::int64_t>(4711));
+
+  EXPECT_FALSE(parse_spool_name("shard-xyz.t001.shard").has_value());
+  EXPECT_FALSE(parse_spool_name("shard-000003.shard").has_value());
+  EXPECT_FALSE(parse_spool_name("other-000003.t001.shard").has_value());
+  EXPECT_FALSE(parse_spool_name(".tmp.shard-000003.t001.shard").has_value());
+}
+
+TEST(DistSerde, HeartbeatRoundTripsAndToleratesGarbage) {
+  auto hb = parse_heartbeat(serialize_heartbeat(42, 999));
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_EQ(hb->seq, 42u);
+  EXPECT_EQ(hb->pid, 999);
+  // A torn heartbeat must read as "no heartbeat", not an exception: the
+  // driver treats it as a lease that simply is not renewing.
+  EXPECT_FALSE(parse_heartbeat("").has_value());
+  EXPECT_FALSE(parse_heartbeat("hb 42").has_value());
+  EXPECT_FALSE(parse_heartbeat("hb x 999").has_value());
+  EXPECT_FALSE(parse_heartbeat("nope 42 999").has_value());
+}
+
 }  // namespace
 }  // namespace ps::dist

@@ -99,22 +99,19 @@ TEST(DistSweep, KilledWorkerShardIsResubmittedNotDropped) {
   std::vector<core::ScenarioConfig> grid = small_grid(6);
   std::vector<core::ScenarioResult> in_process = core::run_sweep(grid, 1);
 
-  // The marker makes exactly one worker die right after claiming a shard
-  // (it consumes the marker, so replacements run normally) — emulating a
-  // mid-shard SIGKILL with a stranded claim file in the spool.
+  // The fault plan kills every first-attempt worker right before it
+  // publishes (attempt 2+ runs clean) — emulating a mid-shard SIGKILL
+  // with a stranded claim file in the spool.
   std::string spool = util::make_temp_dir("ps-dist-kill-");
-  std::string marker = spool + "/poison";
-  util::write_file_atomic(marker, "die\n");
-
   DriverOptions options = worker_options();
   options.workers = 2;
   options.spool_dir = spool;
-  options.worker_args = {"--die-after-claim-if", marker};
+  options.worker_args = {"--faults",
+                         "seed=1,rate=1,max_attempt=1,sites=die_before_publish"};
   DriverReport report = run_distributed(grid, options);
 
-  EXPECT_FALSE(util::path_exists(marker));      // a worker did die
-  EXPECT_GE(report.resubmitted_shards, 1u);     // ...and its shard came back
-  EXPECT_GT(report.workers_spawned, 2u);        // a replacement wave ran
+  EXPECT_GE(report.resubmitted_shards, 1u);     // the dead shards came back
+  EXPECT_GT(report.workers_spawned, 2u);        // replacement workers ran
   ASSERT_EQ(report.results.size(), grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
     EXPECT_EQ(core::fingerprint(report.results[i]),

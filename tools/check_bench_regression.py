@@ -40,6 +40,10 @@ GATED_KERNELS = [
     # Distributed-sweep wire format + spool cycle: serialize/publish/claim/
     # parse/fingerprint one cell record (the per-cell dist overhead).
     "BM_DistSweepSpool",
+    # Spool document integrity layer in isolation: FNV-1a seal + checksum
+    # verify over a realistic shard_results body — the pure CPU price of
+    # torn-write detection, gated so it cannot silently creep.
+    "BM_SpoolChecksum",
     # Streaming trace pipeline: the 50k-job curie_month replay streamed off
     # the SWF file in O(chunk) memory (the materialized twin rides ungated
     # next to it in BENCH_kernel.json for comparison), and the from_chars
