@@ -30,6 +30,7 @@
 #include "core/sweep.h"
 #include "dist/protocol.h"
 #include "rjms/controller.h"
+#include "serve/protocol.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 #include "util/spool.h"
@@ -576,6 +577,52 @@ void BM_SpoolChecksum(benchmark::State& state) {
                           static_cast<std::int64_t>(body.size()));
 }
 BENCHMARK(BM_SpoolChecksum);
+
+// One full live-service ingest cycle for a 64-job submission batch: the
+// client side serializes and publishes the sealed document into the inbox,
+// the server side claims it, parses it back and removes the claim — the
+// per-document price of the ps-serve spool protocol (src/serve/), measured
+// end to end including the job-list serde and both filesystem renames.
+// items_processed counts *jobs*, so the rate reads directly against the
+// sustained-throughput target (~1M submissions/hour ≈ 280 jobs/s is three
+// orders of magnitude below what this kernel sustains).
+void BM_ServeIngest(benchmark::State& state) {
+  workload::GeneratorParams params = workload::params_for(workload::Profile::MedianJob);
+  params.name = "serve-kernel";
+  params.span = sim::minutes(10);
+  params.job_count = 64;
+  params.w_huge = 0.0;
+  workload::ChunkedSyntheticSource source(params, 20150525);
+
+  serve::Submission submission;
+  submission.client = "bench";
+  submission.seq = 0;
+  submission.jobs = workload::materialize(source);
+  submission.watermark = submission.jobs.back().submit_time;
+  submission.eof = true;
+
+  std::string spool = util::make_temp_dir("ps-bench-serve-");
+  util::ensure_dir(serve::inbox_dir(spool));
+  util::ensure_dir(serve::accepted_dir(spool));
+  std::string published =
+      serve::inbox_dir(spool) + "/" + serve::submission_file_name("bench", 0);
+  std::string claimed =
+      serve::accepted_dir(spool) + "/" + serve::submission_file_name("bench", 0);
+  for (auto _ : state) {
+    submission.publish_ns = serve::monotonic_ns();
+    util::write_file_atomic(published, serve::serialize_submission(submission),
+                            /*durable=*/false);
+    if (!util::claim_file(published, claimed, /*durable=*/false)) std::abort();
+    serve::Submission parsed = serve::parse_submission(util::read_file(claimed));
+    if (parsed.jobs.size() != submission.jobs.size()) std::abort();
+    util::remove_file(claimed);
+    benchmark::DoNotOptimize(parsed.seq);
+  }
+  util::remove_tree(spool);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(submission.jobs.size()));
+}
+BENCHMARK(BM_ServeIngest);
 
 // --- streaming trace pipeline kernels ----------------------------------------
 //

@@ -1,0 +1,139 @@
+// ps-serve — the live-service daemon: an online RJMS front door over the
+// deterministic replay engine. Clients (ps-load) publish job submissions
+// into a spool; ps-serve ingests them, replays them through the powercap
+// controller, and reports throughput, admission-latency percentiles and
+// the replay fingerprint on exit.
+//
+//   ps-serve --spool DIR --expect-clients N
+//       [--mode det|wall]          det: sim chases the ingest watermark
+//                                  (bit-identical to offline replay);
+//                                  wall: sim chases wall time x accel,
+//                                  late jobs admitted late (default det)
+//       [--accel X]                wall mode: sim ms per wall ms (1000)
+//       [--racks N] [--policy P] [--lambda L]
+//       [--cap-start MS] [--cap-minutes M]
+//       [--queue-docs N] [--inbox-high-water N]
+//       [--stats-ms N] [--hello-timeout-ms N]
+//
+// SIGTERM/SIGINT drain gracefully: ingestion stops, everything already
+// admitted finishes simulating, and the final report still prints.
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "serve/server.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace ps;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --spool DIR --expect-clients N [--mode det|wall]\n"
+               "          [--accel X] [--racks N] [--policy none|shut|dvfs|mix|"
+               "idle|auto]\n"
+               "          [--lambda L] [--cap-start MS] [--cap-minutes M]\n"
+               "          [--queue-docs N] [--inbox-high-water N] [--stats-ms N]\n"
+               "          [--hello-timeout-ms N]\n",
+               argv0);
+  return 2;
+}
+
+std::string need_value(const std::vector<std::string>& args, std::size_t& i) {
+  if (i + 1 >= args.size()) {
+    throw std::runtime_error("missing value after " + args[i]);
+  }
+  return args[++i];
+}
+
+std::int64_t need_i64(const std::vector<std::string>& args, std::size_t& i) {
+  const std::string flag = args[i];
+  auto value = strings::parse_i64(need_value(args, i));
+  if (!value) throw std::runtime_error(flag + " wants an integer");
+  return *value;
+}
+
+double need_f64(const std::vector<std::string>& args, std::size_t& i) {
+  const std::string flag = args[i];
+  auto value = strings::parse_f64(need_value(args, i));
+  if (!value) throw std::runtime_error(flag + " wants a number");
+  return *value;
+}
+
+core::Policy parse_policy(const std::string& name) {
+  std::string lowered = strings::to_lower(name);
+  if (lowered == "none") return core::Policy::None;
+  if (lowered == "shut") return core::Policy::Shut;
+  if (lowered == "dvfs") return core::Policy::Dvfs;
+  if (lowered == "mix") return core::Policy::Mix;
+  if (lowered == "idle") return core::Policy::Idle;
+  if (lowered == "auto") return core::Policy::Auto;
+  throw std::runtime_error("unknown policy " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  serve::ServeOptions options;
+  options.scenario.powercap.policy = core::Policy::Mix;
+  options.scenario.cap_lambda = 0.5;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--spool") options.spool = need_value(args, i);
+      else if (args[i] == "--expect-clients") {
+        options.expect_clients = static_cast<int>(need_i64(args, i));
+      } else if (args[i] == "--mode") {
+        std::string mode = need_value(args, i);
+        if (mode == "det") options.mode = serve::Mode::kDeterministic;
+        else if (mode == "wall") options.mode = serve::Mode::kWallClock;
+        else throw std::runtime_error("--mode wants det or wall");
+      } else if (args[i] == "--accel") options.accel = need_f64(args, i);
+      else if (args[i] == "--racks") {
+        options.scenario.racks = static_cast<std::int32_t>(need_i64(args, i));
+      } else if (args[i] == "--policy") {
+        options.scenario.powercap.policy = parse_policy(need_value(args, i));
+      } else if (args[i] == "--lambda") {
+        options.scenario.cap_lambda = need_f64(args, i);
+      } else if (args[i] == "--cap-start") {
+        options.scenario.cap_start = need_i64(args, i);
+      } else if (args[i] == "--cap-minutes") {
+        options.scenario.cap_duration = sim::minutes(need_i64(args, i));
+      } else if (args[i] == "--queue-docs") {
+        options.queue_capacity = static_cast<std::size_t>(need_i64(args, i));
+      } else if (args[i] == "--inbox-high-water") {
+        options.inbox_high_water = static_cast<std::size_t>(need_i64(args, i));
+      } else if (args[i] == "--stats-ms") {
+        options.stats_interval_ms = need_i64(args, i);
+      } else if (args[i] == "--hello-timeout-ms") {
+        options.hello_timeout_ms = need_i64(args, i);
+      } else if (args[i] == "--test-drain-delay-ms") {
+        options.test_drain_delay_ms = need_i64(args, i);  // tests only
+      } else {
+        throw std::runtime_error("unknown option " + args[i]);
+      }
+    }
+    if (options.spool.empty()) return usage(argv[0]);
+
+    struct sigaction action {};
+    action.sa_handler = handle_signal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    options.stop = &g_stop;
+
+    serve::ServeReport report = serve::run_server(options);
+    std::fputs(serve::format_report(report).c_str(), stdout);
+    return report.interrupted && report.admitted == 0 ? 4 : 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ps-serve: %s\n", error.what());
+    return 1;
+  }
+}

@@ -5,104 +5,10 @@
 #include <memory>
 
 #include "core/powercap_manager.h"
+#include "core/submission_pump.h"
 #include "util/check.h"
 
 namespace ps::core {
-
-namespace {
-
-/// The replay submission engine: pulls job chunks off a JobSource as the
-/// event clock reaches them and drains each submit-time group through the
-/// controller's batched-admission path. One recurring event on
-/// EventBand::kSubmit does all of it — no per-job event, no per-job
-/// std::function (the wake lambda captures a single pointer, which lives
-/// in the function's small-buffer storage), no per-job allocation.
-///
-/// Why this is bit-identical to the old preloaded-event replay: the total
-/// event order is (time, band, seq). Everything wired before the clock
-/// runs is kSetup, everything the run schedules is kNormal, and the pump
-/// is kSubmit — so at every timestamp submissions fire after the setup
-/// wiring and before any runtime event, exactly where the preloaded
-/// submission events (whose seqs sat between the two populations) used to
-/// fire; within a timestamp the pump submits in (submit time, source
-/// order), the preloaded order. See docs/ARCHITECTURE.md.
-class SubmissionPump {
- public:
-  SubmissionPump(sim::Simulator& simulator, rjms::Controller& controller,
-                 workload::JobSource& source, sim::Time horizon,
-                 sim::Duration chunk, double width_scale)
-      : simulator_(simulator), controller_(controller), source_(source),
-        horizon_(horizon), chunk_(chunk), width_scale_(width_scale) {}
-
-  /// Pulls the first chunk and schedules the first wake. Call during setup
-  /// (the simulator must still be on the kSetup default band).
-  void prime() {
-    refill();
-    schedule_next();
-  }
-
-  /// True once every job due by the horizon was submitted and the source
-  /// reported no more beyond it. After a replay whose horizon came from
-  /// last_submit_hint(), anything else means the hint under-reported (a
-  /// stale MaxSubmitTime header) and jobs were silently dropped.
-  bool fully_drained() const noexcept {
-    return cursor_ >= buffer_.size() && !more_;
-  }
-
- private:
-  void refill() {
-    buffer_.clear();  // capacity retained: steady-state refills allocate
-    cursor_ = 0;      // nothing once the largest chunk has been seen
-    while (buffer_.empty() && more_ && chunk_end_ < horizon_) {
-      chunk_end_ = chunk_ <= 0 ? horizon_
-                               : std::min<sim::Time>(
-                                     horizon_, chunk_end_ < 0 ? chunk_ : chunk_end_ + chunk_);
-      more_ = source_.next_chunk(chunk_end_, buffer_);
-    }
-    // Chunks may be locally unsorted; replay order is (submit time, source
-    // order) — stable sort restores exactly the preloaded order.
-    std::stable_sort(buffer_.begin(), buffer_.end(),
-                     [](const workload::JobRequest& a, const workload::JobRequest& b) {
-                       return a.submit_time < b.submit_time;
-                     });
-    if (width_scale_ < 1.0) {
-      for (workload::JobRequest& job : buffer_) {
-        job.requested_cores = std::max<std::int64_t>(
-            1, std::llround(static_cast<double>(job.requested_cores) * width_scale_));
-      }
-    }
-  }
-
-  void schedule_next() {
-    if (cursor_ >= buffer_.size()) return;  // refill found nothing: done
-    simulator_.schedule_at_band(buffer_[cursor_].submit_time,
-                                sim::EventBand::kSubmit, [this] { wake(); });
-  }
-
-  void wake() {
-    const sim::Time now = simulator_.now();
-    while (cursor_ < buffer_.size() && buffer_[cursor_].submit_time <= now) {
-      controller_.submit(buffer_[cursor_]);
-      ++cursor_;
-    }
-    if (cursor_ >= buffer_.size()) refill();
-    schedule_next();
-  }
-
-  sim::Simulator& simulator_;
-  rjms::Controller& controller_;
-  workload::JobSource& source_;
-  const sim::Time horizon_;
-  const sim::Duration chunk_;  // <= 0: one pull straight to the horizon
-  const double width_scale_;
-
-  std::vector<workload::JobRequest> buffer_;
-  std::size_t cursor_ = 0;
-  sim::Time chunk_end_ = -1;  // horizon of the chunk currently buffered
-  bool more_ = true;
-};
-
-}  // namespace
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   PS_CHECK_MSG(config.racks >= 1, "scenario: racks >= 1");

@@ -1,0 +1,88 @@
+// The replay submission engine: pulls job chunks off a JobSource as the
+// event clock reaches them and drains each submit-time group through the
+// controller's batched-admission path. One recurring event on
+// EventBand::kSubmit does all of it — no per-job event, no per-job
+// std::function (the wake lambda captures a single pointer, which lives in
+// the function's small-buffer storage), no per-job allocation.
+//
+// Why this is bit-identical to the old preloaded-event replay: the total
+// event order is (time, band, seq). Everything wired before the clock runs
+// is kSetup, everything the run schedules is kNormal, and the pump is
+// kSubmit — so at every timestamp submissions fire after the setup wiring
+// and before any runtime event, exactly where the preloaded submission
+// events (whose seqs sat between the two populations) used to fire; within
+// a timestamp the pump submits in (submit time, source order), the
+// preloaded order. See docs/ARCHITECTURE.md, "Streaming replay".
+//
+// Lived in core/experiment.cc until the live service (src/serve/) needed
+// the same engine under an *open-ended* horizon: run_scenario constructs
+// one with the final horizon up front; ps-serve constructs one bounded at
+// the current ingestion watermark and extend_horizon()s it forward as
+// clients commit more of the stream, so the pump never pulls a chunk the
+// ingest layer cannot yet guarantee complete.
+#pragma once
+
+#include <vector>
+
+#include "rjms/controller.h"
+#include "sim/simulator.h"
+#include "workload/job_source.h"
+
+namespace ps::core {
+
+class SubmissionPump {
+ public:
+  /// `horizon`: jobs past it are never pulled (extendable later).
+  /// `chunk` <= 0: one pull straight to the horizon. `width_scale` < 1
+  /// shrinks requested cores chunk by chunk (scaled-down machines).
+  SubmissionPump(sim::Simulator& simulator, rjms::Controller& controller,
+                 workload::JobSource& source, sim::Time horizon,
+                 sim::Duration chunk, double width_scale)
+      : simulator_(simulator), controller_(controller), source_(source),
+        horizon_(horizon), chunk_(chunk), width_scale_(width_scale) {}
+
+  /// Pulls the first chunk and schedules the first wake. Call during setup
+  /// (the simulator must still be on the kSetup default band).
+  void prime() {
+    refill();
+    schedule_next();
+  }
+
+  /// Raises the pull horizon (monotonic) and, when the pump had gone idle
+  /// against the old horizon, resumes pulling immediately. Jobs the source
+  /// reveals under the new horizon are replayed exactly as if the pump had
+  /// been constructed with it — chunk boundaries never change the replay
+  /// (the chunk-invariance fences of tests/core_stream_parity_test.cc).
+  void extend_horizon(sim::Time horizon);
+
+  /// True once every job due by the horizon was submitted and the source
+  /// reported no more beyond it. After a replay whose horizon came from
+  /// last_submit_hint(), anything else means the hint under-reported (a
+  /// stale MaxSubmitTime header) and jobs were silently dropped.
+  bool fully_drained() const noexcept {
+    return cursor_ >= buffer_.size() && !more_;
+  }
+
+  /// Jobs handed to the controller so far.
+  std::uint64_t submitted() const noexcept { return submitted_; }
+
+ private:
+  void refill();
+  void schedule_next();
+  void wake();
+
+  sim::Simulator& simulator_;
+  rjms::Controller& controller_;
+  workload::JobSource& source_;
+  sim::Time horizon_;
+  const sim::Duration chunk_;  // <= 0: one pull straight to the horizon
+  const double width_scale_;
+
+  std::vector<workload::JobRequest> buffer_;
+  std::size_t cursor_ = 0;
+  sim::Time chunk_end_ = -1;  // horizon of the chunk currently buffered
+  bool more_ = true;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace ps::core

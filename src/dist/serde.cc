@@ -405,7 +405,9 @@ rjms::ControllerConfig parse_controller_config(Reader& r) {
   return c;
 }
 
-void serialize_jobs(Writer& w, const std::vector<workload::JobRequest>& jobs) {
+}  // namespace
+
+void serialize_job_list(Writer& w, const std::vector<workload::JobRequest>& jobs) {
   w.field_u64("jobs", jobs.size());
   for (const workload::JobRequest& job : jobs) {
     // The app name rides as a bare token; "-" marks the empty default.
@@ -421,7 +423,7 @@ void serialize_jobs(Writer& w, const std::vector<workload::JobRequest>& jobs) {
   }
 }
 
-std::vector<workload::JobRequest> parse_jobs(Reader& r) {
+std::vector<workload::JobRequest> parse_job_list(Reader& r) {
   std::uint64_t count = r.field_u64("jobs");
   std::vector<workload::JobRequest> jobs;
   jobs.reserve(count);
@@ -440,6 +442,8 @@ std::vector<workload::JobRequest> parse_jobs(Reader& r) {
   }
   return jobs;
 }
+
+namespace {
 
 void serialize_selection(Writer& w, const core::Selection& s) {
   w.begin_block("selection");
@@ -533,7 +537,7 @@ void serialize_scenario_config(Writer& w, const core::ScenarioConfig& config) {
   w.field_bool("has_custom_workload", config.custom_workload.has_value());
   if (config.custom_workload) serialize_generator_params(w, *config.custom_workload);
   w.field_bool("has_trace_jobs", config.trace_jobs.has_value());
-  if (config.trace_jobs) serialize_jobs(w, *config.trace_jobs);
+  if (config.trace_jobs) serialize_job_list(w, *config.trace_jobs);
   w.field_u64("seed", config.seed);
   w.field_i64("racks", config.racks);
   serialize_powercap_config(w, config.powercap);
@@ -559,7 +563,7 @@ core::ScenarioConfig parse_scenario_config(Reader& r) {
   if (r.field_bool("has_custom_workload")) {
     config.custom_workload = parse_generator_params(r);
   }
-  if (r.field_bool("has_trace_jobs")) config.trace_jobs = parse_jobs(r);
+  if (r.field_bool("has_trace_jobs")) config.trace_jobs = parse_job_list(r);
   config.seed = r.field_u64("seed");
   config.racks = static_cast<std::int32_t>(r.field_i64("racks"));
   config.powercap = parse_powercap_config(r);

@@ -143,4 +143,11 @@ void serialize_scenario_result(Writer& w, const core::ScenarioResult& result);
 core::ScenarioConfig parse_scenario_config(Reader& r);
 core::ScenarioResult parse_scenario_result(Reader& r);
 
+/// Job-record rows (`jobs <n>` then one `job ...` row per request) — the
+/// payload of ScenarioConfig::trace_jobs, reused verbatim by the live
+/// service's submission documents (serve/protocol.h): one wire format for
+/// job records everywhere.
+void serialize_job_list(Writer& w, const std::vector<workload::JobRequest>& jobs);
+std::vector<workload::JobRequest> parse_job_list(Reader& r);
+
 }  // namespace ps::dist

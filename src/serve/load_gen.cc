@@ -1,0 +1,159 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/check.h"
+#include "util/spool.h"
+#include "util/strings.h"
+#include "workload/job_request.h"
+#include "workload/swf.h"
+
+namespace ps::serve {
+
+namespace {
+
+/// True when the spool currently welcomes a publish: the server's status
+/// document (when present) says accepting, and the inbox backlog is under
+/// the high-water. A missing or unreadable status document is not a stop
+/// signal — the server may simply not have started yet.
+bool gate_open(const LoadOptions& options) {
+  std::size_t backlog = 0;
+  for (const std::string& name : util::list_files(inbox_dir(options.spool))) {
+    if (parse_inbox_name(name)) ++backlog;
+  }
+  if (backlog > options.inbox_high_water) return false;
+  const std::string path = status_path(options.spool);
+  if (util::path_exists(path)) {
+    try {
+      if (!parse_status(util::read_file(path)).accepting) return false;
+    } catch (const std::exception&) {
+      // Torn read cannot happen (atomic rename); anything else here is the
+      // server's problem to fail loudly on, not a reason to stop publishing.
+    }
+  }
+  return true;
+}
+
+/// Blocks until the gate opens, with doubling back-off, for at most
+/// gate_patience_ms — the inbox is durable and unbounded, so a dead or
+/// wedged server must not strand the client; publishing into backlog is
+/// always safe. Returns the number of back-offs taken.
+std::uint64_t wait_for_gate(const LoadOptions& options) {
+  std::uint64_t stalls = 0;
+  std::int64_t waited = 0;
+  std::int64_t delay = options.backoff_initial_ms;
+  while (waited < options.gate_patience_ms && !gate_open(options)) {
+    ++stalls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    waited += delay;
+    delay = std::min(delay * 2, options.backoff_max_ms);
+  }
+  return stalls;
+}
+
+}  // namespace
+
+LoadReport run_load_client(const LoadOptions& options) {
+  PS_CHECK_MSG(valid_client_name(options.client),
+               "load: invalid client name");
+  PS_CHECK_MSG(options.client_count >= 1 && options.client_index >= 0 &&
+                   options.client_index < options.client_count,
+               "load: client_index must lie in [0, client_count)");
+  PS_CHECK_MSG(options.batch_jobs >= 1, "load: batch_jobs >= 1");
+
+  // The offline prelude (tests/workload_trace_replay_test.cc,
+  // examples/replay_swf.cpp): filter, then rebase over the *whole* trace —
+  // every client must rebase against the same minimum, so filtering and
+  // rebasing happen before striping.
+  workload::swf::ParseOptions parse_options;
+  parse_options.skip_zero_runtime = options.skip_zero_runtime;
+  parse_options.max_jobs = options.max_jobs;
+  std::vector<workload::JobRequest> jobs =
+      workload::swf::load_file(options.swf, parse_options);
+  workload::swf::rebase_submit_times(jobs);
+
+  std::vector<workload::JobRequest> mine;
+  for (std::size_t i = options.client_index; i < jobs.size();
+       i += options.client_count) {
+    mine.push_back(jobs[i]);
+  }
+  // SWF does not require submit-time order; the watermark protocol does
+  // (per client). Stable sort keeps equal-submit jobs in trace order.
+  std::stable_sort(mine.begin(), mine.end(),
+                   [](const workload::JobRequest& a,
+                      const workload::JobRequest& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+
+  LoadReport report;
+  report.client = options.client;
+  report.last_submit = mine.empty() ? -1 : mine.back().submit_time;
+  const std::string inbox = inbox_dir(options.spool);
+  util::ensure_dir(options.spool);  // clients may start before the server
+  util::ensure_dir(inbox);
+  const std::int64_t start_ns = monotonic_ns();
+
+  Hello hello;
+  hello.client = options.client;
+  hello.jobs = mine.size();
+  hello.last_submit = report.last_submit;
+  report.stalls += wait_for_gate(options);
+  util::write_file_atomic(inbox + "/" + hello_file_name(options.client),
+                          serialize_hello(hello), /*durable=*/false);
+
+  std::uint64_t seq = 0;
+  std::size_t pos = 0;
+  do {  // a client with an empty stripe still publishes its eof document
+    std::size_t end =
+        std::min(mine.size(), pos + static_cast<std::size_t>(options.batch_jobs));
+    Submission doc;
+    doc.client = options.client;
+    doc.seq = seq++;
+    doc.eof = end == mine.size();
+    doc.watermark = doc.eof ? report.last_submit : mine[end].submit_time - 1;
+    doc.jobs.assign(mine.begin() + static_cast<std::ptrdiff_t>(pos),
+                    mine.begin() + static_cast<std::ptrdiff_t>(end));
+    if (options.accel > 0.0 && end > pos) {
+      // Paced replay: this batch "happens" at its last job's submit time.
+      double target_ms = static_cast<double>(mine[end - 1].submit_time) /
+                         options.accel;
+      while (static_cast<double>(monotonic_ns() - start_ns) / 1e6 < target_ms) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    report.stalls += wait_for_gate(options);
+    doc.publish_ns = monotonic_ns();
+    util::write_file_atomic(
+        inbox + "/" + submission_file_name(options.client, doc.seq),
+        serialize_submission(doc), /*durable=*/false);
+    report.published += doc.jobs.size();
+    ++report.docs;
+    pos = end;
+  } while (pos < mine.size());
+
+  report.wall_ms = (monotonic_ns() - start_ns) / 1'000'000;
+  return report;
+}
+
+std::string format_load_report(const LoadReport& report) {
+  std::string out;
+  out += "load_report v1\n";
+  out += "client " + report.client + "\n";
+  out += strings::format("published %llu\n",
+                         static_cast<unsigned long long>(report.published));
+  out += strings::format("docs %llu\n",
+                         static_cast<unsigned long long>(report.docs));
+  out += strings::format("stalls %llu\n",
+                         static_cast<unsigned long long>(report.stalls));
+  out += strings::format("last_submit %lld\n",
+                         static_cast<long long>(report.last_submit));
+  out += strings::format("wall_ms %lld\n",
+                         static_cast<long long>(report.wall_ms));
+  return out;
+}
+
+}  // namespace ps::serve

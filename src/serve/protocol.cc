@@ -1,0 +1,159 @@
+#include "serve/protocol.h"
+
+#include <ctime>
+
+#include "dist/protocol.h"
+#include "dist/serde.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ps::serve {
+
+namespace {
+
+using dist::Reader;
+using dist::Writer;
+
+void check_client_name(std::string_view name) {
+  PS_CHECK_MSG(valid_client_name(name),
+               "serve: client name must be a non-empty [A-Za-z0-9._-] token");
+}
+
+}  // namespace
+
+bool valid_client_name(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string serialize_hello(const Hello& hello) {
+  check_client_name(hello.client);
+  Writer w;
+  w.begin_block("serve_hello");
+  w.field("client", hello.client);
+  w.field_u64("jobs", hello.jobs);
+  w.field_i64("last_submit", hello.last_submit);
+  w.end_block("serve_hello");
+  return dist::seal_document(w.take());
+}
+
+Hello parse_hello(std::string_view text) {
+  Reader r(dist::open_document(text));
+  Hello hello;
+  r.begin_block("serve_hello");
+  hello.client = r.field_string("client");
+  hello.jobs = r.field_u64("jobs");
+  hello.last_submit = r.field_i64("last_submit");
+  r.end_block("serve_hello");
+  if (!r.at_end()) r.fail("trailing data after serve_hello");
+  if (!valid_client_name(hello.client)) r.fail("invalid client name");
+  return hello;
+}
+
+std::string serialize_submission(const Submission& submission) {
+  check_client_name(submission.client);
+  Writer w;
+  w.begin_block("serve_submission");
+  w.field("client", submission.client);
+  w.field_u64("seq", submission.seq);
+  w.field_i64("watermark", submission.watermark);
+  w.field_bool("eof", submission.eof);
+  w.field_i64("publish_ns", submission.publish_ns);
+  dist::serialize_job_list(w, submission.jobs);
+  w.end_block("serve_submission");
+  return dist::seal_document(w.take());
+}
+
+Submission parse_submission(std::string_view text) {
+  Reader r(dist::open_document(text));
+  Submission submission;
+  r.begin_block("serve_submission");
+  submission.client = r.field_string("client");
+  submission.seq = r.field_u64("seq");
+  submission.watermark = r.field_i64("watermark");
+  submission.eof = r.field_bool("eof");
+  submission.publish_ns = r.field_i64("publish_ns");
+  submission.jobs = dist::parse_job_list(r);
+  r.end_block("serve_submission");
+  if (!r.at_end()) r.fail("trailing data after serve_submission");
+  if (!valid_client_name(submission.client)) r.fail("invalid client name");
+  return submission;
+}
+
+std::string serialize_status(const Status& status) {
+  Writer w;
+  w.begin_block("serve_status");
+  w.field_bool("accepting", status.accepting);
+  w.field_u64("seq", status.seq);
+  w.field_i64("sim_time", status.sim_time);
+  w.field_u64("admitted", status.admitted);
+  w.end_block("serve_status");
+  return dist::seal_document(w.take());
+}
+
+Status parse_status(std::string_view text) {
+  Reader r(dist::open_document(text));
+  Status status;
+  r.begin_block("serve_status");
+  status.accepting = r.field_bool("accepting");
+  status.seq = r.field_u64("seq");
+  status.sim_time = r.field_i64("sim_time");
+  status.admitted = r.field_u64("admitted");
+  r.end_block("serve_status");
+  if (!r.at_end()) r.fail("trailing data after serve_status");
+  return status;
+}
+
+std::string inbox_dir(const std::string& spool) { return spool + "/inbox"; }
+std::string accepted_dir(const std::string& spool) { return spool + "/accepted"; }
+std::string status_path(const std::string& spool) {
+  return spool + "/control/status";
+}
+
+std::string hello_file_name(std::string_view client) {
+  check_client_name(client);
+  return std::string(client) + ".hello";
+}
+
+std::string submission_file_name(std::string_view client, std::uint64_t seq) {
+  check_client_name(client);
+  return strings::format("%.*s-%08llu.sub", static_cast<int>(client.size()),
+                         client.data(), static_cast<unsigned long long>(seq));
+}
+
+std::optional<InboxName> parse_inbox_name(std::string_view name) {
+  InboxName decoded;
+  if (name.size() > 6 && name.substr(name.size() - 6) == ".hello") {
+    decoded.client = std::string(name.substr(0, name.size() - 6));
+    decoded.hello = true;
+    if (!valid_client_name(decoded.client)) return std::nullopt;
+    return decoded;
+  }
+  if (name.size() > 4 && name.substr(name.size() - 4) == ".sub") {
+    std::string_view stem = name.substr(0, name.size() - 4);
+    std::size_t dash = stem.rfind('-');
+    if (dash == std::string_view::npos || dash == 0) return std::nullopt;
+    std::string_view seq_text = stem.substr(dash + 1);
+    if (seq_text.size() != 8) return std::nullopt;
+    auto seq = strings::parse_i64(seq_text);
+    if (!seq || *seq < 0) return std::nullopt;
+    decoded.client = std::string(stem.substr(0, dash));
+    decoded.seq = static_cast<std::uint64_t>(*seq);
+    if (!valid_client_name(decoded.client)) return std::nullopt;
+    return decoded;
+  }
+  return std::nullopt;
+}
+
+std::int64_t monotonic_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace ps::serve

@@ -1,0 +1,555 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <cstdio>
+
+#include "cluster/curie.h"
+#include "core/fingerprint.h"
+#include "core/powercap_manager.h"
+#include "core/submission_pump.h"
+#include "dist/serde.h"
+#include "metrics/summary.h"
+#include "metrics/timeseries.h"
+#include "rjms/controller.h"
+#include "serve/protocol.h"
+#include "sim/simulator.h"
+#include "util/bounded_queue.h"
+#include "util/check.h"
+#include "util/spool.h"
+#include "util/strings.h"
+#include "workload/live_source.h"
+
+namespace ps::serve {
+
+namespace {
+
+/// One claimed inbox document, either kind.
+struct IngestDoc {
+  bool is_hello = false;
+  Hello hello;
+  Submission submission;
+};
+
+/// State the ingest thread shares with the serve loop.
+struct Shared {
+  util::BoundedQueue<IngestDoc> queue;
+  std::atomic<bool> ingest_stop{false};
+  std::atomic<bool> accepting{true};
+  std::atomic<std::int64_t> sim_time{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> stalls{0};
+
+  // Set when the ingest thread dies on an exception (corrupt document,
+  // I/O failure); the serve thread rethrows it as its own failure.
+  std::atomic<bool> failed{false};
+  std::mutex failure_mutex;
+  std::string failure;
+
+  explicit Shared(std::size_t capacity) : queue(capacity) {}
+};
+
+void publish_status(const ServeOptions& options, Shared& shared,
+                    std::uint64_t& status_seq) {
+  Status status;
+  status.accepting = shared.accepting.load(std::memory_order_relaxed);
+  status.seq = ++status_seq;
+  status.sim_time = shared.sim_time.load(std::memory_order_relaxed);
+  status.admitted = shared.admitted.load(std::memory_order_relaxed);
+  // Heartbeat-grade data: atomic for live readers, not crash-durable.
+  util::write_file_atomic(status_path(options.spool), serialize_status(status),
+                          /*durable=*/false);
+}
+
+/// Ingest thread body: list -> claim -> parse -> push. A full queue stops
+/// the claiming (the inbox is the durable overflow buffer); nothing is
+/// ever discarded.
+void ingest_loop(const ServeOptions& options, Shared& shared) {
+  const std::string inbox = inbox_dir(options.spool);
+  const std::string accepted = accepted_dir(options.spool);
+  util::SpoolOptions claim_options;
+  claim_options.durable = false;  // local spool, polled at millisecond rate
+  claim_options.claim_backoff_max_ms = 8;
+
+  std::uint64_t status_seq = 0;
+  std::int64_t last_status_ns = 0;
+  while (!shared.ingest_stop.load(std::memory_order_relaxed)) {
+    std::vector<std::string> names = util::list_files(inbox);
+    std::size_t backlog = 0;
+    bool queue_full = false;
+    for (const std::string& name : names) {
+      std::optional<InboxName> decoded = parse_inbox_name(name);
+      if (!decoded) continue;  // tmp litter from in-flight publishes
+      ++backlog;
+      if (shared.ingest_stop.load(std::memory_order_relaxed)) break;
+      if (!util::claim_file(inbox + "/" + name, accepted + "/" + name,
+                            claim_options)) {
+        continue;  // vanished: only possible if an operator intervened
+      }
+      std::string text = util::read_file(accepted + "/" + name);
+      IngestDoc doc;
+      doc.is_hello = decoded->hello;
+      if (decoded->hello) {
+        doc.hello = parse_hello(text);
+        PS_CHECK_MSG(doc.hello.client == decoded->client,
+                     "serve ingest: hello body does not match its file name");
+      } else {
+        doc.submission = parse_submission(text);
+        PS_CHECK_MSG(doc.submission.client == decoded->client &&
+                         doc.submission.seq == decoded->seq,
+                     "serve ingest: submission body does not match its file name");
+      }
+      util::remove_file(accepted + "/" + name);
+      while (!shared.queue.try_push(std::move(doc))) {
+        if (shared.queue.closed()) return;
+        // Backpressure: hold this document (claimed, so no other reader
+        // can take it) and retry; flip the gate so clients back off.
+        queue_full = true;
+        shared.stalls.fetch_add(1, std::memory_order_relaxed);
+        shared.accepting.store(false, std::memory_order_relaxed);
+        publish_status(options, shared, status_seq);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        if (shared.ingest_stop.load(std::memory_order_relaxed)) return;
+      }
+    }
+    bool accepting = !queue_full && backlog <= options.inbox_high_water;
+    bool changed =
+        shared.accepting.exchange(accepting, std::memory_order_relaxed) !=
+        accepting;
+    std::int64_t now_ns = monotonic_ns();
+    if (changed || now_ns - last_status_ns >=
+                       options.status_interval_ms * 1'000'000) {
+      publish_status(options, shared, status_seq);
+      last_status_ns = now_ns;
+    }
+    if (backlog == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
+    }
+  }
+  // Final status: the daemon is draining; nothing further will be claimed.
+  shared.accepting.store(false, std::memory_order_relaxed);
+  publish_status(options, shared, status_seq);
+}
+
+/// Per-client stream reassembly: documents apply in contiguous sequence
+/// order no matter how the filesystem listed them.
+struct ClientState {
+  bool helloed = false;
+  Hello hello;
+  std::uint64_t next_seq = 0;
+  std::map<std::uint64_t, Submission> deferred;
+  sim::Time watermark = -1;
+  bool eof = false;
+  std::uint64_t jobs = 0;
+};
+
+/// A document whose admission latency is still pending: it completes when
+/// the simulation clock passes the last submit time it carried.
+struct PendingLatency {
+  sim::Time due;
+  std::int64_t publish_ns;
+  std::uint32_t jobs;
+  bool operator>(const PendingLatency& other) const noexcept {
+    return due > other.due;
+  }
+};
+
+}  // namespace
+
+ServeReport run_server(const ServeOptions& options) {
+  PS_CHECK_MSG(!options.spool.empty(), "serve: spool path required");
+  PS_CHECK_MSG(options.expect_clients >= 1, "serve: expect_clients >= 1");
+  PS_CHECK_MSG(options.queue_capacity >= 1, "serve: queue capacity >= 1");
+  if (options.mode == Mode::kWallClock) {
+    PS_CHECK_MSG(options.accel > 0.0, "serve: wall-clock accel > 0");
+  }
+
+  util::ensure_dir(options.spool);
+  util::ensure_dir(inbox_dir(options.spool));
+  util::ensure_dir(accepted_dir(options.spool));
+  util::ensure_dir(options.spool + "/control");
+
+  Shared shared(options.queue_capacity);
+  std::thread ingest([&] {
+    try {
+      ingest_loop(options, shared);
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(shared.failure_mutex);
+        shared.failure = e.what();
+      }
+      shared.failed.store(true, std::memory_order_release);
+      shared.queue.close();  // wakes the serve thread immediately
+    }
+  });
+  // Joins on every exit path, including exceptions thrown by the protocol
+  // checks below — a joinable thread in a destructor is std::terminate.
+  struct IngestJoiner {
+    Shared& shared;
+    std::thread& thread;
+    void join() {
+      shared.ingest_stop.store(true, std::memory_order_relaxed);
+      shared.queue.close();
+      if (thread.joinable()) thread.join();
+    }
+    ~IngestJoiner() { join(); }
+  } joiner{shared, ingest};
+
+  ServeReport report;
+  const bool wall_mode = options.mode == Mode::kWallClock;
+  workload::LiveJobSource source(/*clamp_late=*/wall_mode);
+  std::map<std::string, ClientState> clients;
+  std::priority_queue<PendingLatency, std::vector<PendingLatency>,
+                      std::greater<PendingLatency>>
+      pending_latency;
+  int hellos = 0;
+
+  auto stop_requested = [&] {
+    return options.stop && options.stop->load(std::memory_order_relaxed);
+  };
+  auto check_ingest_alive = [&] {
+    if (!shared.failed.load(std::memory_order_acquire)) return;
+    joiner.join();
+    std::lock_guard<std::mutex> lock(shared.failure_mutex);
+    PS_CHECK_MSG(false, "serve ingest thread failed: " + shared.failure);
+  };
+
+  // Applies every deferred document that has become contiguous. Jobs go
+  // straight into the live source; watermarks and eof update the client.
+  auto apply_ready = [&](ClientState& client) {
+    while (true) {
+      auto it = client.deferred.find(client.next_seq);
+      if (it == client.deferred.end()) return;
+      Submission doc = std::move(it->second);
+      client.deferred.erase(it);
+      PS_CHECK_MSG(!client.eof, "serve: document after eof from a client");
+      PS_CHECK_MSG(doc.watermark >= client.watermark,
+                   "serve: client watermark regressed");
+      if (!doc.jobs.empty()) {
+        sim::Time last = -1;
+        for (const workload::JobRequest& job : doc.jobs) {
+          last = std::max(last, job.submit_time);
+        }
+        pending_latency.push(
+            {last, doc.publish_ns, static_cast<std::uint32_t>(doc.jobs.size())});
+        client.jobs += doc.jobs.size();
+        source.push(std::move(doc.jobs));
+      }
+      client.watermark = doc.watermark;
+      client.eof = doc.eof;
+      ++client.next_seq;
+      ++report.docs;
+    }
+  };
+
+  auto process = [&](IngestDoc&& doc) {
+    if (doc.is_hello) {
+      ClientState& client = clients[doc.hello.client];
+      PS_CHECK_MSG(!client.helloed, "serve: duplicate hello from a client");
+      client.helloed = true;
+      client.hello = doc.hello;
+      ++hellos;
+      PS_CHECK_MSG(hellos <= options.expect_clients,
+                   "serve: more hellos than --expect-clients");
+      return;
+    }
+    ClientState& client = clients[doc.submission.client];
+    std::uint64_t seq = doc.submission.seq;
+    PS_CHECK_MSG(seq >= client.next_seq,
+                 "serve: replayed sequence number from a client");
+    bool inserted =
+        client.deferred.emplace(seq, std::move(doc.submission)).second;
+    PS_CHECK_MSG(inserted, "serve: duplicate sequence number from a client");
+    apply_ready(client);
+  };
+
+  // --- hello phase: wait for every expected client ---------------------------
+  const std::int64_t hello_start_ns = monotonic_ns();
+  std::vector<IngestDoc> batch;
+  while (hellos < options.expect_clients) {
+    check_ingest_alive();
+    if (stop_requested()) {
+      report.interrupted = true;
+      return report;
+    }
+    PS_CHECK_MSG(options.hello_timeout_ms <= 0 ||
+                     monotonic_ns() - hello_start_ns <
+                         options.hello_timeout_ms * 1'000'000,
+                 "serve: timed out waiting for client hellos");
+    batch.clear();
+    shared.queue.pop_all(batch, options.drain_wait_ms);
+    for (IngestDoc& doc : batch) process(std::move(doc));
+  }
+
+  // --- scenario setup: mirrors core::run_scenario exactly --------------------
+  const core::ScenarioConfig& config = options.scenario;
+  PS_CHECK_MSG(config.racks >= 1, "serve: racks >= 1");
+  cluster::Cluster cl = cluster::curie::make_scaled_cluster(config.racks);
+  sim::Simulator simulator;  // default band: kSetup, until the replay starts
+  rjms::Controller controller(simulator, cl, config.controller);
+  core::PowercapManager manager(controller, config.powercap);
+  metrics::Recorder recorder(controller);
+  const double width_scale = static_cast<double>(config.racks) /
+                             static_cast<double>(cluster::curie::kRacks);
+
+  // The hellos bound the horizon the way a trace's last_submit_hint does:
+  // greatest declared submit time plus one drain hour.
+  sim::Time last_submit = 0;
+  for (const auto& [name, client] : clients) {
+    PS_CHECK_MSG(client.helloed, "serve: submission from a client with no hello");
+    last_submit = std::max(last_submit, client.hello.last_submit);
+    report.jobs_declared += client.hello.jobs;
+  }
+  sim::Time horizon = last_submit + sim::hours(1);
+  report.horizon = horizon;
+  report.clients = hellos;
+
+  // Cap reservations, identical wiring (and order) to run_scenario.
+  core::ScenarioResult& result = report.result;
+  result.max_cluster_watts = cl.power_model().max_cluster_watts();
+  result.total_cores = cl.topology().total_cores();
+  if (!config.cap_windows.empty() && config.powercap.policy != core::Policy::None) {
+    struct Announced {
+      sim::Time announce = 0;
+      core::ScenarioResult::Window window;
+    };
+    std::vector<core::PlanWindow> advance;
+    std::vector<Announced> announced;
+    for (const core::CapWindow& window : config.cap_windows) {
+      sim::Time start = window.start >= 0 ? window.start
+                                          : (horizon - window.duration) / 2;
+      sim::Time end =
+          window.duration > 0 ? start + window.duration : sim::kTimeMax;
+      double watts = manager.lambda_to_watts(window.lambda);
+      if (window.announce >= 0) {
+        if (window.announce > horizon) continue;
+        announced.push_back({window.announce, {start, end, watts}});
+      } else {
+        result.windows.push_back({start, end, watts});
+        advance.push_back({start, end, watts});
+      }
+    }
+    manager.add_powercap_schedule(advance);
+    std::stable_sort(announced.begin(), announced.end(),
+                     [](const Announced& a, const Announced& b) {
+                       return a.announce < b.announce;
+                     });
+    for (const Announced& entry : announced) {
+      result.windows.push_back(entry.window);
+      const core::ScenarioResult::Window& w = entry.window;
+      simulator.schedule_at(entry.announce, [&manager, w] {
+        manager.add_powercap(w.start, w.end, w.watts);
+      });
+    }
+  } else if (config.cap_lambda < 1.0 &&
+             config.powercap.policy != core::Policy::None) {
+    sim::Time start = config.cap_start >= 0
+                          ? config.cap_start
+                          : (horizon - config.cap_duration) / 2;
+    sim::Time end = start + config.cap_duration;
+    double watts = manager.lambda_to_watts(config.cap_lambda);
+    manager.add_powercap(start, end, watts);
+    result.windows.push_back({start, end, watts});
+  }
+  if (!result.windows.empty()) {
+    result.cap_watts = result.windows.front().watts;
+    result.cap_start = result.windows.front().start;
+    result.cap_end = result.windows.front().end;
+  }
+
+  // The pump starts bounded at "nothing committed yet" (-1): prime() is a
+  // no-op and every pull happens through extend_horizon as watermarks
+  // arrive — the pump can never read past what ingestion has guaranteed.
+  sim::Duration chunk = config.submit_chunk > 0 ? config.submit_chunk
+                                                : core::kDefaultStreamChunk;
+  core::SubmissionPump pump(simulator, controller, source, /*horizon=*/-1,
+                            chunk, width_scale);
+  pump.prime();
+  simulator.set_default_band(sim::EventBand::kNormal);
+
+  // --- serve loop ------------------------------------------------------------
+  const std::int64_t clock_epoch_ns = monotonic_ns();
+  std::int64_t last_stats_ns = clock_epoch_ns;
+  sim::Time committed = -1;
+
+  auto harvest_latency = [&] {
+    const sim::Time now = simulator.now();
+    const std::int64_t now_ns = monotonic_ns();
+    while (!pending_latency.empty() && pending_latency.top().due <= now) {
+      const PendingLatency& entry = pending_latency.top();
+      double ms =
+          static_cast<double>(now_ns - entry.publish_ns) / 1e6;
+      for (std::uint32_t i = 0; i < entry.jobs; ++i) report.latency.add(ms);
+      pending_latency.pop();
+    }
+  };
+
+  auto advance_to = [&](sim::Time target) {
+    if (target <= simulator.now() && target <= committed) return;
+    if (target > committed) {
+      committed = target;
+      source.commit_watermark(std::min(target, horizon));
+    }
+    pump.extend_horizon(std::min(std::max<sim::Time>(target, 0), horizon));
+    if (target > simulator.now()) simulator.run_until(std::min(target, horizon));
+    harvest_latency();
+    shared.sim_time.store(simulator.now(), std::memory_order_relaxed);
+    shared.admitted.store(pump.submitted(), std::memory_order_relaxed);
+  };
+
+  auto stats_tick = [&] {
+    if (options.stats_interval_ms <= 0) return;
+    std::int64_t now_ns = monotonic_ns();
+    if (now_ns - last_stats_ns < options.stats_interval_ms * 1'000'000) return;
+    last_stats_ns = now_ns;
+    std::fprintf(stderr,
+                 "ps-serve: sim=%s admitted=%llu queue=%zu p50=%.2fms "
+                 "p99=%.2fms%s\n",
+                 strings::human_duration_ms(simulator.now()).c_str(),
+                 static_cast<unsigned long long>(pump.submitted()),
+                 shared.queue.size(), report.latency.quantile(0.5),
+                 report.latency.quantile(0.99),
+                 shared.accepting.load(std::memory_order_relaxed)
+                     ? ""
+                     : " [backpressure]");
+  };
+
+  while (true) {
+    check_ingest_alive();
+    if (stop_requested()) {
+      report.interrupted = true;
+      break;
+    }
+    if (options.test_drain_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.test_drain_delay_ms));
+    }
+    batch.clear();
+    shared.queue.pop_all(batch, options.drain_wait_ms);
+    for (IngestDoc& doc : batch) process(std::move(doc));
+
+    bool all_eof = true;
+    sim::Time watermark = sim::kTimeMax;
+    for (const auto& [name, client] : clients) {
+      PS_CHECK_MSG(client.helloed,
+                   "serve: submission from a client with no hello");
+      PS_CHECK_MSG(client.deferred.empty() || !client.eof,
+                   "serve: sequence gap left behind an eof document");
+      if (!client.eof) {
+        all_eof = false;
+        watermark = std::min(watermark, client.watermark);
+      }
+    }
+    if (all_eof && static_cast<int>(clients.size()) == hellos) break;
+
+    if (wall_mode) {
+      double elapsed_ms =
+          static_cast<double>(monotonic_ns() - clock_epoch_ns) / 1e6;
+      sim::Time target = static_cast<sim::Time>(elapsed_ms * options.accel);
+      advance_to(std::min(target, horizon));
+    } else if (watermark > committed && watermark >= 0) {
+      // Deterministic mode: chase the committed watermark, nothing more.
+      advance_to(std::min(watermark, horizon));
+    }
+    stats_tick();
+  }
+
+  // --- drain -----------------------------------------------------------------
+  // Every client finished (or we were told to stop): no job will ever be
+  // pushed again. Close the stream and run out the drain hour.
+  source.close();
+  sim::Time finish = std::max(horizon, source.max_submit() + sim::hours(1));
+  finish = std::max(finish, simulator.now());
+  committed = std::max(committed, finish);
+  pump.extend_horizon(finish);
+  simulator.run_until(finish);
+  harvest_latency();
+  PS_CHECK_MSG(pump.fully_drained(),
+               "serve: jobs were pushed but never replayed — horizon bug");
+  shared.sim_time.store(simulator.now(), std::memory_order_relaxed);
+  shared.admitted.store(pump.submitted(), std::memory_order_relaxed);
+  joiner.join();
+
+  recorder.sample(finish);
+  double drift = cl.watts() - cl.audit_watts();
+  PS_CHECK_MSG(drift < 1e-6 && drift > -1e-6,
+               "incremental power accounting drifted");
+
+  result.plans = manager.release_plans();
+  if (!result.plans.empty()) {
+    result.has_plan = true;
+    result.plan = result.plans.front();
+  }
+  result.summary = metrics::summarize(recorder, controller, 0, finish);
+  result.stats = controller.stats();
+  result.samples = recorder.samples();
+
+  report.fingerprint = core::fingerprint(result);
+  report.admitted = pump.submitted();
+  report.clamped = source.clamped();
+  report.backpressure_stalls = shared.stalls.load(std::memory_order_relaxed);
+  report.peak_queue = shared.queue.peak();
+  report.wall_ms = (monotonic_ns() - clock_epoch_ns) / 1'000'000;
+  report.jobs_per_sec =
+      report.wall_ms > 0
+          ? static_cast<double>(report.admitted) * 1000.0 /
+                static_cast<double>(report.wall_ms)
+          : 0.0;
+  if (!report.interrupted) {
+    PS_CHECK_MSG(report.admitted == report.jobs_declared,
+                 "serve: admitted job count does not match the hellos");
+  }
+  return report;
+}
+
+std::string format_report(const ServeReport& report) {
+  std::string out;
+  auto line = [&](const char* key, const std::string& value) {
+    out += key;
+    out += ' ';
+    out += value;
+    out += '\n';
+  };
+  line("serve_report", "v1");
+  line("clients", strings::format("%d", report.clients));
+  line("jobs_declared", strings::format(
+                            "%llu", static_cast<unsigned long long>(
+                                        report.jobs_declared)));
+  line("admitted", strings::format("%llu", static_cast<unsigned long long>(
+                                               report.admitted)));
+  line("clamped", strings::format("%llu", static_cast<unsigned long long>(
+                                              report.clamped)));
+  line("docs", strings::format("%llu",
+                               static_cast<unsigned long long>(report.docs)));
+  line("backpressure_stalls",
+       strings::format("%llu",
+                       static_cast<unsigned long long>(
+                           report.backpressure_stalls)));
+  line("peak_queue", strings::format("%zu", report.peak_queue));
+  line("horizon_ms", strings::format("%lld", static_cast<long long>(
+                                                 report.horizon)));
+  line("wall_ms", strings::format("%lld", static_cast<long long>(
+                                              report.wall_ms)));
+  line("jobs_per_sec", strings::format("%.3f", report.jobs_per_sec));
+  line("latency_count",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.latency.count())));
+  line("latency_p50_ms", strings::format("%.3f", report.latency.quantile(0.5)));
+  line("latency_p95_ms", strings::format("%.3f", report.latency.quantile(0.95)));
+  line("latency_p99_ms", strings::format("%.3f", report.latency.quantile(0.99)));
+  line("latency_max_ms", strings::format("%.3f", report.latency.max()));
+  line("completed_jobs",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.result.summary.completed_jobs)));
+  line("interrupted", report.interrupted ? "1" : "0");
+  line("fingerprint", dist::hex64_token(report.fingerprint));
+  return out;
+}
+
+}  // namespace ps::serve

@@ -1,0 +1,124 @@
+// The ps-serve daemon: an online RJMS front door over the deterministic
+// replay engine (docs/ARCHITECTURE.md, "Live service").
+//
+// Two clocks, strictly separated:
+//   * The **simulation clock** is the deterministic event clock of
+//     core/run_scenario — same cluster, same controller, same powercap
+//     manager, same SubmissionPump. The serve loop only ever advances it
+//     to watermarks the ingest layer has committed, so a live replay fires
+//     exactly the event sequence the offline replay of the same jobs
+//     would (the determinism fence of tests/serve_determinism_test.cc).
+//   * The **wall clock** drives everything else: inbox polling, status
+//     publication, stats ticks, latency measurement, and — in wall-clock
+//     mode — the pace at which the simulation clock is allowed to chase
+//     `accel` times real time.
+//
+// Threading: one ingest thread claims spool documents and feeds a bounded
+// queue; the serve thread drains the queue, orders each client's stream by
+// its embedded sequence number, pushes jobs into the LiveJobSource,
+// commits watermarks, and runs the simulator. The simulator and every
+// core/ object are touched by the serve thread only.
+//
+// Backpressure: a full queue stops the ingest thread from claiming (the
+// inbox is the overflow buffer — durable, unbounded, nothing is ever
+// dropped) and flips `accepting` off in the published status document;
+// clients see it (or the inbox high-water) and back off with retries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/experiment.h"
+#include "util/stats.h"
+
+namespace ps::serve {
+
+enum class Mode {
+  /// Deterministic replay: the simulation clock advances exactly to the
+  /// committed ingestion watermark, as fast as clients publish. Replays of
+  /// the same jobs are bit-identical to offline run_scenario.
+  kDeterministic,
+  /// Service mode: the simulation clock chases wall time times `accel`;
+  /// documents that arrive after their simulation time has passed are
+  /// admitted late (submit times clamped just above the clock), like a
+  /// real RJMS that cannot admit in the past.
+  kWallClock,
+};
+
+struct ServeOptions {
+  /// Spool root; inbox/accepted/control subdirectories are created.
+  std::string spool;
+  /// Number of clients that will publish hellos; the server waits for all
+  /// of them before wiring caps and starting the clock.
+  int expect_clients = 1;
+  Mode mode = Mode::kDeterministic;
+  /// Wall-clock mode: simulation milliseconds per wall millisecond.
+  double accel = 1000.0;
+
+  /// Scenario shape (racks, powercap policy and windows, controller,
+  /// submit_chunk). Workload fields (trace_jobs / profile / job_source)
+  /// and horizon are ignored: the workload is what clients publish and
+  /// the horizon comes from their hellos (max last_submit + one drain
+  /// hour), mirroring run_scenario's hint-derived horizon.
+  core::ScenarioConfig scenario;
+
+  /// Ingest queue capacity in documents; a full queue is the backpressure
+  /// trigger, never a drop.
+  std::size_t queue_capacity = 256;
+  /// Inbox backlog (files) above which status flips to accepting=false.
+  std::size_t inbox_high_water = 512;
+
+  std::int64_t poll_ms = 5;             ///< ingest idle poll interval
+  std::int64_t drain_wait_ms = 20;      ///< serve-loop queue wait
+  std::int64_t status_interval_ms = 50; ///< status document refresh
+  std::int64_t stats_interval_ms = 2000;///< stderr progress tick; 0 = off
+  /// Abort the hello wait after this long (0 = wait forever). A missing
+  /// client is a deployment bug; failing loudly beats hanging.
+  std::int64_t hello_timeout_ms = 60'000;
+
+  /// Graceful-shutdown flag, typically flipped by a SIGTERM handler: stop
+  /// claiming new documents, finish simulating everything already
+  /// admitted, emit the final report.
+  const std::atomic<bool>* stop = nullptr;
+
+  /// Test hook: sleep this long in every serve-loop iteration, throttling
+  /// the drain so the backpressure tests can fill a small queue
+  /// deterministically. 0 in production.
+  std::int64_t test_drain_delay_ms = 0;
+};
+
+struct ServeReport {
+  core::ScenarioResult result;   ///< same shape run_scenario returns
+  std::uint64_t fingerprint = 0; ///< core::fingerprint(result)
+  sim::Time horizon = 0;         ///< replay horizon derived from hellos
+
+  int clients = 0;
+  std::uint64_t jobs_declared = 0;  ///< sum of hello job counts
+  std::uint64_t admitted = 0;       ///< jobs handed to the controller
+  std::uint64_t clamped = 0;        ///< late jobs re-timed (wall mode)
+  std::uint64_t docs = 0;           ///< submission documents ingested
+  std::uint64_t backpressure_stalls = 0;  ///< full-queue push retries
+  std::size_t peak_queue = 0;
+
+  /// Admission latency: client publish (CLOCK_MONOTONIC) to the serve
+  /// loop advancing the simulation past the document's last submit time.
+  util::QuantileSketch latency{0.01};
+
+  std::int64_t wall_ms = 0;        ///< hello-complete to drain-complete
+  double jobs_per_sec = 0.0;       ///< admitted / wall seconds
+  bool interrupted = false;        ///< stopped via the shutdown flag
+};
+
+/// Runs the daemon to completion: waits for hellos, replays the published
+/// workload, drains, and returns the report. Throws on protocol
+/// violations (duplicate clients, watermark regressions, checksum
+/// failures) — a lying client must never silently skew the replay.
+ServeReport run_server(const ServeOptions& options);
+
+/// The report as deterministic `key value` lines (serde style) — what
+/// ps-serve prints on stdout and the tests parse. The fingerprint is the
+/// hex64 token dist uses everywhere.
+std::string format_report(const ServeReport& report);
+
+}  // namespace ps::serve

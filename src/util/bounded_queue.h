@@ -1,0 +1,96 @@
+// Bounded multi-producer queue with explicit backpressure — the ingest
+// spine of the live service (src/serve/): the spool ingest thread pushes
+// parsed submission documents, the serve loop drains them between
+// simulation advances. The bound is the *backpressure* mechanism, not an
+// error path: when the queue is full, try_push returns false and the
+// producer stops claiming new work, so pressure propagates outward (to the
+// spool inbox, and from there to the clients' retriable back-off) instead
+// of growing an unbounded in-memory backlog or dropping items.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ps::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    PS_CHECK_MSG(capacity >= 1, "bounded queue: capacity >= 1");
+  }
+
+  /// Non-blocking push. False when the queue is at capacity or closed —
+  /// the caller must keep the item and retry later (backpressure), never
+  /// discard it. Takes an rvalue reference (not by value) so a refused
+  /// push leaves the caller's item intact for the retry.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > peak_) peak_ = items_.size();
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  /// Drains everything currently queued into `out` (appending), waiting up
+  /// to `max_wait_ms` for the first item. Returns the number of items
+  /// drained; 0 after the timeout or once the queue is closed and empty.
+  std::size_t pop_all(std::vector<T>& out, std::int64_t max_wait_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    consumer_cv_.wait_for(lock, std::chrono::milliseconds(max_wait_ms),
+                          [this] { return !items_.empty() || closed_; });
+    std::size_t drained = items_.size();
+    while (!items_.empty()) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return drained;
+  }
+
+  /// After close() every try_push fails; pending items still drain.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    consumer_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// High-water mark of the queue depth since construction (reporting).
+  std::size_t peak() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable consumer_cv_;
+  std::deque<T> items_;
+  std::size_t peak_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ps::util

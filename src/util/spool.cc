@@ -97,21 +97,41 @@ std::vector<std::string> list_files(const std::string& dir, const std::string& s
   return names;
 }
 
-bool claim_file(const std::string& from, const std::string& to, bool durable) {
+std::vector<std::int64_t> spool_retry_delays_ms(const SpoolOptions& options) {
+  std::vector<std::int64_t> delays;
+  delays.reserve(static_cast<std::size_t>(std::max(options.claim_retries, 0)));
+  std::int64_t backoff_ms = options.claim_backoff_initial_ms;
+  for (int retry = 0; retry < options.claim_retries; ++retry) {
+    delays.push_back(std::min(backoff_ms, options.claim_backoff_max_ms));
+    backoff_ms *= 2;
+  }
+  return delays;
+}
+
+bool claim_file(const std::string& from, const std::string& to,
+                const SpoolOptions& options) {
   // Transient errnos (seen on NFS and similar networked filesystems under
-  // contention) get a short bounded backoff instead of aborting the
-  // worker; ENOENT stays the normal lost-race return at any point.
-  int backoff_ms = 1;
+  // contention) get a bounded backoff per `options` instead of aborting
+  // the worker; ENOENT stays the normal lost-race return at any point.
+  std::int64_t backoff_ms = options.claim_backoff_initial_ms;
   for (int attempt = 0;; ++attempt) {
     if (std::rename(from.c_str(), to.c_str()) == 0) break;
     if (errno == ENOENT) return false;  // lost the race — somebody claimed it
     bool transient = errno == EBUSY || errno == ESTALE || errno == EAGAIN;
-    if (!transient || attempt >= 5) fail("claim", from);
-    ::usleep(static_cast<useconds_t>(backoff_ms) * 1000);
-    backoff_ms *= 2;  // 1+2+4+8+16+32 ms ≈ 63 ms worst case, then fail
+    if (!transient || attempt >= options.claim_retries) fail("claim", from);
+    ::usleep(static_cast<useconds_t>(
+                 std::min(backoff_ms, options.claim_backoff_max_ms)) *
+             1000);
+    backoff_ms *= 2;
   }
-  if (durable) fsync_parent_dir(to);
+  if (options.durable) fsync_parent_dir(to);
   return true;
+}
+
+bool claim_file(const std::string& from, const std::string& to, bool durable) {
+  SpoolOptions options;
+  options.durable = durable;
+  return claim_file(from, to, options);
 }
 
 bool path_exists(const std::string& path) {

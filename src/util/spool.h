@@ -44,13 +44,37 @@ void write_file_atomic(const std::string& path, const std::string& content,
 std::vector<std::string> list_files(const std::string& dir,
                                     const std::string& suffix = "");
 
+/// Tunables of the claim path. The defaults reproduce the historical
+/// hard-coded behavior (5 retries, 1 ms doubling backoff, durable); the
+/// live-service ingest loop and the chaos tests pass their own — a local
+/// spool polled hundreds of times per second has no business sleeping
+/// 63 ms on a transient errno sized for NFS.
+struct SpoolOptions {
+  /// Fsync the destination's parent directory after the rename so a crash
+  /// cannot resurrect the claim under its old name; false only for
+  /// timing-sensitive benchmarks and heartbeat-grade data.
+  bool durable = true;
+  /// Retries after a transient errno (EBUSY, ESTALE, EAGAIN) before the
+  /// claim fails loudly. 0 = fail on the first transient error.
+  int claim_retries = 5;
+  /// First retry sleep; doubles per retry up to claim_backoff_max_ms.
+  std::int64_t claim_backoff_initial_ms = 1;
+  std::int64_t claim_backoff_max_ms = 32;
+};
+
+/// The claim backoff schedule `options` produces: one sleep per retry,
+/// doubling from claim_backoff_initial_ms and capped at
+/// claim_backoff_max_ms. Pure (exposed so tests can pin the bounds without
+/// synthesizing EBUSY on a real filesystem).
+std::vector<std::int64_t> spool_retry_delays_ms(const SpoolOptions& options);
+
 /// Atomically claims `from` by renaming it to `to`. Returns false when the
 /// file vanished first (another claimer won — the expected contention
 /// outcome). Transient networked-filesystem errors (EBUSY, ESTALE, EAGAIN)
-/// are retried with a short bounded backoff before failing; any other
-/// error throws. `durable = true` (the default) fsyncs the destination's
-/// parent directory after the rename so a crash cannot resurrect the claim
-/// under its old name; pass false only for timing-sensitive benchmarks.
+/// are retried per `options` before failing; any other error throws.
+bool claim_file(const std::string& from, const std::string& to,
+                const SpoolOptions& options);
+/// Compatibility overload: default retry schedule, explicit durability.
 bool claim_file(const std::string& from, const std::string& to,
                 bool durable = true);
 

@@ -43,6 +43,77 @@ double percentile(std::vector<double> values, double q) {
 
 double median(std::vector<double> values) { return percentile(std::move(values), 0.5); }
 
+QuantileSketch::QuantileSketch(double relative_error, double min_value,
+                               double max_value)
+    : min_value_(min_value) {
+  PS_CHECK_MSG(relative_error > 0.0 && relative_error < 0.5,
+               "quantile sketch: relative_error in (0, 0.5)");
+  PS_CHECK_MSG(min_value > 0.0 && max_value > min_value,
+               "quantile sketch: 0 < min_value < max_value");
+  gamma_ = (1.0 + relative_error) / (1.0 - relative_error);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+  // Bucket 0 holds everything <= min_value; bucket i >= 1 covers
+  // (min_value * gamma^(i-1), min_value * gamma^i]. The top bucket absorbs
+  // everything past max_value, so the array size is fixed at construction.
+  auto spans = static_cast<std::size_t>(
+      std::ceil(std::log(max_value / min_value) * inv_log_gamma_));
+  counts_.assign(spans + 2, 0);
+}
+
+std::size_t QuantileSketch::bucket_index(double x) const noexcept {
+  if (!(x > min_value_)) return 0;  // also catches NaN: conservative floor
+  auto i = static_cast<std::size_t>(
+      std::ceil(std::log(x / min_value_) * inv_log_gamma_));
+  return std::min(i == 0 ? 1 : i, counts_.size() - 1);
+}
+
+void QuantileSketch::add(double x) noexcept {
+  ++counts_[bucket_index(x)];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  PS_CHECK_MSG(other.counts_.size() == counts_.size() &&
+                   other.gamma_ == gamma_ && other.min_value_ == min_value_,
+               "quantile sketch merge: geometry mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    min_ = count_ ? std::min(min_, other.min_) : other.min_;
+    max_ = count_ ? std::max(max_, other.max_) : other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double QuantileSketch::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * n) contains the exact q-quantile sample.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      if (i == 0) return min_value_;
+      // Bucket i covers (lo, lo * gamma]; the arithmetic midpoint caps the
+      // relative error at (gamma - 1) / 2 for any sample in the bucket.
+      double lo = min_value_ * std::pow(gamma_, static_cast<double>(i - 1));
+      return lo * (1.0 + gamma_) / 2.0;
+    }
+  }
+  return max_;  // unreachable: cumulative == count_ by the loop end
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
   PS_CHECK_MSG(hi > lo, "histogram range empty");
   PS_CHECK_MSG(bins > 0, "histogram needs at least one bin");

@@ -1,0 +1,48 @@
+#include "workload/live_source.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ps::workload {
+
+void LiveJobSource::push(std::vector<JobRequest> jobs) {
+  PS_CHECK_MSG(!closed_, "live source: push after close");
+  for (JobRequest& job : jobs) {
+    if (job.submit_time <= floor_) {
+      PS_CHECK_MSG(clamp_late_,
+                   "live source: job arrived at or below an already-released "
+                   "chunk boundary — the ingest watermark lied");
+      job.submit_time = floor_ + 1;
+      ++clamped_;
+    }
+    max_submit_ = std::max(max_submit_, job.submit_time);
+    pending_.push(std::move(job));
+  }
+}
+
+void LiveJobSource::commit_watermark(sim::Time w) {
+  PS_CHECK_MSG(w >= watermark_, "live source: watermark is monotonic");
+  watermark_ = w;
+}
+
+void LiveJobSource::close() { closed_ = true; }
+
+bool LiveJobSource::next_chunk(sim::Time until, std::vector<JobRequest>& out) {
+  PS_CHECK_MSG(until <= watermark_ || closed_,
+               "live source: pull past the committed watermark");
+  while (!pending_.empty() && pending_.top().submit_time <= until) {
+    out.push_back(pending_.top());
+    pending_.pop();
+    ++released_;
+  }
+  floor_ = std::max(floor_, until);
+  return !closed_ || !pending_.empty();
+}
+
+void LiveJobSource::rewind() {
+  PS_CHECK_MSG(released_ == 0, "live source: cannot rewind a consumed stream");
+}
+
+}  // namespace ps::workload

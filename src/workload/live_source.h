@@ -1,0 +1,95 @@
+// Live workload source: the bridge between online ingestion and the
+// deterministic replay engine (the ps-serve daemon, src/serve/).
+//
+// A LiveJobSource is a JobSource whose jobs arrive *while the simulation
+// runs*: many clients publish submission batches concurrently, in any
+// interleaving, and the serve loop pushes them here as it ingests. Two
+// rules make the live replay observationally identical to an offline
+// replay of the same jobs (the "ingestion determinism fence",
+// docs/ARCHITECTURE.md "Live service"):
+//
+//   1. **Total order is (submit_time, id).** Pending jobs are released in
+//      ascending (submit_time, id); the SubmissionPump's stable sort then
+//      keeps that order among equal submit times. Offline, replay order is
+//      (submit_time, source order) — so whenever ids ascend with source
+//      order (true of every SWF trace and every generated workload here),
+//      a live replay reproduces the offline order *no matter how many
+//      clients published, or in what interleaving*.
+//   2. **The watermark gates release.** next_chunk(until) is only legal
+//      for until <= committed watermark — the caller's promise that every
+//      job with submit_time <= until has already been pushed. The serve
+//      loop derives the watermark from per-client progress markers and
+//      never advances the simulation past it, so a chunk can never be
+//      retroactively incomplete.
+//
+// Late arrivals: in `clamp_late` mode (wall-clock service), a job pushed
+// with submit_time at or below the release floor is re-timed to just above
+// it (a real RJMS cannot admit in the past); with clamping off
+// (deterministic trace replay), the same push is a loud contract violation.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+#include "workload/job_source.h"
+
+namespace ps::workload {
+
+class LiveJobSource final : public JobSource {
+ public:
+  explicit LiveJobSource(bool clamp_late = false) : clamp_late_(clamp_late) {}
+
+  /// Adds arrived jobs (any order; duplicates are the caller's bug). With
+  /// clamp_late off, a job at or below the highest `until` already served
+  /// throws (the watermark contract was broken upstream); with it on, the
+  /// job is re-timed to floor + 1 ms. Single-threaded with next_chunk —
+  /// the serve loop owns both sides (concurrency lives in the ingest
+  /// queue, util/bounded_queue.h).
+  void push(std::vector<JobRequest> jobs);
+
+  /// Commits "every job with submit_time <= w has been pushed" (monotonic).
+  void commit_watermark(sim::Time w);
+
+  /// Marks the stream complete: no job will ever be pushed again, and the
+  /// greatest submit time seen becomes last_submit_hint().
+  void close();
+
+  /// Jobs released so far (served out of next_chunk).
+  std::uint64_t released() const noexcept { return released_; }
+  /// Greatest submit time pushed so far (-1 when none) — after close(),
+  /// the exact replay horizon anchor.
+  sim::Time max_submit() const noexcept { return max_submit_; }
+  /// Jobs re-timed because they arrived below the release floor.
+  std::uint64_t clamped() const noexcept { return clamped_; }
+
+  // --- JobSource -------------------------------------------------------------
+  /// Requires until <= committed watermark (or a closed stream). Emits in
+  /// ascending (submit_time, id).
+  bool next_chunk(sim::Time until, std::vector<JobRequest>& out) override;
+  /// -1 (unknowable) until close().
+  sim::Time last_submit_hint() override { return closed_ ? max_submit_ : -1; }
+  /// A live stream cannot be replayed: rewind() is only legal before
+  /// anything was released (run-once semantics).
+  void rewind() override;
+
+ private:
+  struct Later {
+    bool operator()(const JobRequest& a, const JobRequest& b) const noexcept {
+      if (a.submit_time != b.submit_time) return a.submit_time > b.submit_time;
+      return a.id > b.id;
+    }
+  };
+
+  bool clamp_late_;
+  std::priority_queue<JobRequest, std::vector<JobRequest>, Later> pending_;
+  sim::Time watermark_ = -1;  // committed ingest completeness
+  sim::Time floor_ = -1;      // highest `until` served
+  sim::Time max_submit_ = -1;
+  bool closed_ = false;
+  std::uint64_t released_ = 0;
+  std::uint64_t clamped_ = 0;
+};
+
+}  // namespace ps::workload

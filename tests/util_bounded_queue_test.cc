@@ -1,0 +1,107 @@
+// BoundedQueue unit fence: capacity refusal (never a silent drop), drain
+// semantics, close behavior, and a producer/consumer smoke across threads
+// — plus the SpoolOptions retry schedule the live-service ingest tunes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_queue.h"
+#include "util/spool.h"
+
+namespace ps::util {
+namespace {
+
+TEST(BoundedQueue, RefusesWhenFullNeverDrops) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full: caller retries, item survives
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_all(out, 0), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(queue.try_push(3));  // space again after the drain
+  out.clear();
+  EXPECT_EQ(queue.pop_all(out, 0), 1u);
+  EXPECT_EQ(out, (std::vector<int>{3}));
+}
+
+TEST(BoundedQueue, PopAllAppendsAndTimesOutEmpty) {
+  BoundedQueue<int> queue(4);
+  std::vector<int> out{99};
+  EXPECT_EQ(queue.pop_all(out, 1), 0u);  // timeout, vector untouched
+  EXPECT_EQ(out, (std::vector<int>{99}));
+  queue.try_push(1);
+  queue.try_push(2);
+  EXPECT_EQ(queue.pop_all(out, 0), 2u);
+  EXPECT_EQ(out, (std::vector<int>{99, 1, 2}));
+}
+
+TEST(BoundedQueue, CloseRefusesPushesButDrainsPending) {
+  BoundedQueue<int> queue(4);
+  queue.try_push(7);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.try_push(8));
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_all(out, 0), 1u);  // pending item still drains
+  EXPECT_EQ(out, (std::vector<int>{7}));
+  EXPECT_EQ(queue.pop_all(out, 0), 0u);  // closed + empty: returns at once
+}
+
+TEST(BoundedQueue, PeakTracksHighWater) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) queue.try_push(int(i));
+  std::vector<int> out;
+  queue.pop_all(out, 0);
+  queue.try_push(42);
+  EXPECT_EQ(queue.peak(), 5u);  // high-water survives the drain
+  EXPECT_EQ(queue.capacity(), 8u);
+}
+
+TEST(BoundedQueue, ProducerConsumerDeliversEverythingInOrder) {
+  BoundedQueue<int> queue(4);  // small: forces real backpressure retries
+  constexpr int kItems = 2000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!queue.try_push(int(i))) std::this_thread::yield();
+    }
+    queue.close();
+  });
+  std::vector<int> got;
+  while (true) {
+    if (queue.pop_all(got, 10) == 0 && queue.closed()) break;
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  EXPECT_LE(queue.peak(), 4u);  // capacity bound held throughout
+}
+
+// --- SpoolOptions (the lifted claim_file retry constants) --------------------
+
+TEST(SpoolOptions, DefaultScheduleReproducesHistoricalBehavior) {
+  // 5 retries, 1 ms doubling, capped at 32 ms: the constants claim_file
+  // hard-coded before they were lifted into SpoolOptions.
+  EXPECT_EQ(spool_retry_delays_ms(SpoolOptions{}),
+            (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(SpoolOptions, BackoffCapsAtMax) {
+  SpoolOptions options;
+  options.claim_retries = 6;
+  options.claim_backoff_initial_ms = 8;
+  options.claim_backoff_max_ms = 32;
+  EXPECT_EQ(spool_retry_delays_ms(options),
+            (std::vector<std::int64_t>{8, 16, 32, 32, 32, 32}));
+}
+
+TEST(SpoolOptions, ZeroRetriesMeansFailFast) {
+  SpoolOptions options;
+  options.claim_retries = 0;
+  EXPECT_TRUE(spool_retry_delays_ms(options).empty());
+}
+
+}  // namespace
+}  // namespace ps::util

@@ -1,0 +1,123 @@
+// LiveJobSource unit fence: (submit_time, id) release order regardless of
+// push interleaving, watermark gating, late-arrival clamping, and the
+// run-once rewind contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "workload/job_request.h"
+#include "workload/live_source.h"
+
+namespace ps::workload {
+namespace {
+
+JobRequest job(std::int64_t id, sim::Time submit) {
+  JobRequest request;
+  request.id = id;
+  request.submit_time = submit;
+  request.requested_cores = 1;
+  request.base_runtime = 1000;
+  request.requested_walltime = 2000;
+  return request;
+}
+
+std::vector<std::int64_t> drain_ids(LiveJobSource& source, sim::Time until) {
+  std::vector<JobRequest> out;
+  source.next_chunk(until, out);
+  std::vector<std::int64_t> ids;
+  for (const JobRequest& j : out) ids.push_back(j.id);
+  return ids;
+}
+
+TEST(LiveJobSource, ReleasesInSubmitTimeIdOrderAcrossInterleavedPushes) {
+  LiveJobSource source;
+  // Two "clients" interleave: odd ids arrive first, then even ids with
+  // earlier submit times. Release must still be (submit, id) ascending.
+  source.push({job(3, 300), job(5, 100), job(7, 100)});
+  source.push({job(2, 200), job(4, 100), job(6, 300)});
+  source.commit_watermark(300);
+  EXPECT_EQ(drain_ids(source, 300),
+            (std::vector<std::int64_t>{4, 5, 7, 2, 3, 6}));
+  EXPECT_EQ(source.released(), 6u);
+}
+
+TEST(LiveJobSource, WatermarkGatesRelease) {
+  LiveJobSource source;
+  source.push({job(1, 100), job(2, 200)});
+  source.commit_watermark(150);
+  // Pulling past the committed watermark is a loud contract violation.
+  std::vector<JobRequest> out;
+  EXPECT_THROW(source.next_chunk(200, out), CheckError);
+  EXPECT_EQ(drain_ids(source, 150), (std::vector<std::int64_t>{1}));
+  // A closed stream may be pulled to any horizon.
+  source.close();
+  EXPECT_EQ(drain_ids(source, 10'000), (std::vector<std::int64_t>{2}));
+}
+
+TEST(LiveJobSource, WatermarkIsMonotonic) {
+  LiveJobSource source;
+  source.commit_watermark(500);
+  EXPECT_THROW(source.commit_watermark(400), CheckError);
+}
+
+TEST(LiveJobSource, LatePushBelowFloorThrowsWithoutClamping) {
+  LiveJobSource source(/*clamp_late=*/false);
+  source.push({job(1, 100)});
+  source.commit_watermark(200);
+  std::vector<JobRequest> out;
+  source.next_chunk(200, out);
+  EXPECT_THROW(source.push({job(2, 150)}), CheckError);
+}
+
+TEST(LiveJobSource, LatePushClampsJustAboveTheFloorInWallMode) {
+  LiveJobSource source(/*clamp_late=*/true);
+  source.push({job(1, 100)});
+  source.commit_watermark(200);
+  std::vector<JobRequest> out;
+  source.next_chunk(200, out);
+  source.push({job(2, 150), job(3, 900)});  // one late, one fine
+  EXPECT_EQ(source.clamped(), 1u);
+  source.commit_watermark(1000);
+  out.clear();
+  source.next_chunk(1000, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 2);
+  EXPECT_EQ(out[0].submit_time, 201);  // floor + 1, never the past
+  EXPECT_EQ(out[1].id, 3);
+  EXPECT_EQ(out[1].submit_time, 900);
+}
+
+TEST(LiveJobSource, HintUnknowableUntilClosed) {
+  LiveJobSource source;
+  EXPECT_EQ(source.last_submit_hint(), -1);
+  source.push({job(1, 700), job(2, 300)});
+  EXPECT_EQ(source.last_submit_hint(), -1);  // more could still arrive
+  source.close();
+  EXPECT_EQ(source.last_submit_hint(), 700);
+  EXPECT_THROW(source.push({job(3, 800)}), CheckError);
+}
+
+TEST(LiveJobSource, NextChunkReportsExhaustionOnlyWhenClosedAndEmpty) {
+  LiveJobSource source;
+  source.push({job(1, 100)});
+  source.commit_watermark(200);
+  std::vector<JobRequest> out;
+  EXPECT_TRUE(source.next_chunk(200, out));  // open stream: always "more"
+  source.close();
+  EXPECT_FALSE(source.next_chunk(300, out));
+}
+
+TEST(LiveJobSource, RewindLegalOnlyBeforeRelease) {
+  LiveJobSource source;
+  source.push({job(1, 100)});
+  source.rewind();  // nothing released yet: a no-op, not an error
+  source.commit_watermark(100);
+  std::vector<JobRequest> out;
+  source.next_chunk(100, out);
+  EXPECT_THROW(source.rewind(), CheckError);  // a live stream cannot replay
+}
+
+}  // namespace
+}  // namespace ps::workload

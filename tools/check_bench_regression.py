@@ -50,6 +50,10 @@ GATED_KERNELS = [
     # SWF line parser on the same 50k-line buffer.
     "BM_TraceReplayStream/iterations:3",
     "BM_SwfParse",
+    # Live-service ingest cycle: serialize/publish/claim/parse/remove one
+    # 64-job submission document through the serve spool protocol — the
+    # per-document overhead bounding ps-serve sustained throughput.
+    "BM_ServeIngest",
 ]
 
 TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Gate a ps-serve sustained-load smoke run.
+
+Parses the `serve_report v1` emitted by ps-serve (key value lines on
+stdout) and asserts the live-service throughput and tail-latency claims:
+
+  * every declared job was admitted and latency-measured (nothing dropped
+    by backpressure, nothing lost in the drain);
+  * sustained admission throughput stays above --min-jobs-per-sec
+    (default 278 jobs/s ~= 1M submissions/hour);
+  * the p99 admission latency stays under a bound.
+
+Because absolute latencies differ across machines, the p99 bound is
+*calibrated* the same way tools/check_bench_regression.py calibrates
+timings: pass --baseline (the committed BENCH_kernel.json) and --fresh (a
+BENCH json emitted on this machine) and the bound becomes
+
+    --p99-ms * max(1, fresh[BM_ServeIngest] / baseline[BM_ServeIngest])
+
+so a slower CI container loosens the bound proportionally to how much
+slower it runs the serve ingest kernel, while a regression that only
+affects the daemon (not the kernel) still fails.
+
+Usage:
+  tools/check_serve_smoke.py --report build/serve_smoke.out \
+      [--min-jobs-per-sec 278] [--p99-ms 250] \
+      [--baseline BENCH_kernel.json --fresh build/BENCH_gate.json] \
+      [--calibrate BM_ServeIngest]
+
+Exit code 1 when any gate fails.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def parse_report(path):
+    """First-token -> rest-of-line map of a serve_report."""
+    fields = {}
+    with open(path) as f:
+        for line in f:
+            parts = line.rstrip("\n").split(" ", 1)
+            if len(parts) == 2:
+                fields[parts[0]] = parts[1]
+    return fields
+
+
+def kernel_time_ns(path, name):
+    with open(path) as f:
+        data = json.load(f)
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "iteration" and bench["name"] == name:
+            unit = TIME_UNITS_NS.get(bench.get("time_unit", "ns"), 1.0)
+            return bench["real_time"] * unit
+    raise SystemExit(f"calibration kernel {name} missing from {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--report", required=True, help="ps-serve stdout report")
+    parser.add_argument("--min-jobs-per-sec", type=float, default=278.0,
+                        help="throughput floor (default 278 ~= 1M/hour)")
+    parser.add_argument("--p99-ms", type=float, default=250.0,
+                        help="base p99 admission-latency bound in ms")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_kernel.json (calibration)")
+    parser.add_argument("--fresh", default=None,
+                        help="BENCH json from this machine (calibration)")
+    parser.add_argument("--calibrate", default="BM_ServeIngest",
+                        help="kernel whose fresh/baseline ratio scales the bound")
+    args = parser.parse_args()
+
+    report = parse_report(args.report)
+    failures = []
+
+    def field(key):
+        if key not in report:
+            failures.append(f"report is missing `{key}`")
+            return None
+        return report[key]
+
+    declared = field("jobs_declared")
+    admitted = field("admitted")
+    measured = field("latency_count")
+    interrupted = field("interrupted")
+    if admitted is not None and declared is not None and admitted != declared:
+        failures.append(f"admitted {admitted} != declared {declared}: jobs were lost")
+    if measured is not None and declared is not None and measured != declared:
+        failures.append(f"latency_count {measured} != declared {declared}")
+    if interrupted is not None and interrupted != "0":
+        failures.append("the smoke run was interrupted")
+
+    jps = field("jobs_per_sec")
+    if jps is not None and float(jps) < args.min_jobs_per_sec:
+        failures.append(
+            f"throughput {float(jps):.0f} jobs/s < floor {args.min_jobs_per_sec:.0f}")
+
+    ratio = 1.0
+    if args.baseline and args.fresh:
+        ratio = max(1.0, kernel_time_ns(args.fresh, args.calibrate) /
+                    kernel_time_ns(args.baseline, args.calibrate))
+    bound_ms = args.p99_ms * ratio
+    p99 = field("latency_p99_ms")
+    if p99 is not None:
+        print(f"p99 {float(p99):.1f} ms vs bound {bound_ms:.1f} ms "
+              f"(base {args.p99_ms:.0f} x machine ratio {ratio:.2f})")
+        if float(p99) > bound_ms:
+            failures.append(f"p99 {float(p99):.1f} ms exceeds bound {bound_ms:.1f} ms")
+    if jps is not None:
+        print(f"throughput {float(jps):.0f} jobs/s "
+              f"(~{float(jps) * 3600 / 1e6:.1f}M submissions/hour)")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("serve smoke gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
