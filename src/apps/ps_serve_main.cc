@@ -14,9 +14,20 @@
 //       [--cap-start MS] [--cap-minutes M]
 //       [--queue-docs N] [--inbox-high-water N]
 //       [--stats-ms N] [--hello-timeout-ms N]
+//       [--recover]                 resume a dirty spool from its journal
+//                                  and newest sealed checkpoint
+//       [--checkpoint-jobs N]       checkpoint every N admitted jobs (5000;
+//                                  0 disables the job cadence)
+//       [--checkpoint-seconds N]    ... or every N simulated seconds (86400)
+//       [--journal-fsync]           fsync each journaled document (survives
+//                                  kernel crashes, not just SIGKILL)
+//       [--faults SPEC]             serve-tier fault injection (same spec
+//                                  grammar as $PS_SWEEP_FAULTS, which is
+//                                  also honoured; the flag wins)
 //
 // SIGTERM/SIGINT drain gracefully: ingestion stops, everything already
 // admitted finishes simulating, and the final report still prints.
+// SIGKILL does not: recovery is what --recover is for.
 #include <csignal>
 #include <cstdio>
 #include <exception>
@@ -24,6 +35,7 @@
 #include <vector>
 
 #include "core/policy.h"
+#include "dist/fault.h"
 #include "serve/server.h"
 #include "util/strings.h"
 
@@ -42,7 +54,9 @@ int usage(const char* argv0) {
                "idle|auto]\n"
                "          [--lambda L] [--cap-start MS] [--cap-minutes M]\n"
                "          [--queue-docs N] [--inbox-high-water N] [--stats-ms N]\n"
-               "          [--hello-timeout-ms N]\n",
+               "          [--hello-timeout-ms N] [--recover] [--checkpoint-jobs N]\n"
+               "          [--checkpoint-seconds N] [--journal-fsync] "
+               "[--faults SPEC]\n",
                argv0);
   return 2;
 }
@@ -87,6 +101,7 @@ int main(int argc, char** argv) {
   options.scenario.powercap.policy = core::Policy::Mix;
   options.scenario.cap_lambda = 0.5;
   try {
+    options.faults = dist::FaultPlan::from_env();
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (args[i] == "--spool") options.spool = need_value(args, i);
       else if (args[i] == "--expect-clients") {
@@ -115,6 +130,16 @@ int main(int argc, char** argv) {
         options.stats_interval_ms = need_i64(args, i);
       } else if (args[i] == "--hello-timeout-ms") {
         options.hello_timeout_ms = need_i64(args, i);
+      } else if (args[i] == "--recover") {
+        options.recover = true;
+      } else if (args[i] == "--checkpoint-jobs") {
+        options.checkpoint_jobs = need_i64(args, i);
+      } else if (args[i] == "--checkpoint-seconds") {
+        options.checkpoint_seconds = need_i64(args, i);
+      } else if (args[i] == "--journal-fsync") {
+        options.journal_fsync = true;
+      } else if (args[i] == "--faults") {
+        options.faults = dist::FaultPlan::parse(need_value(args, i));
       } else if (args[i] == "--test-drain-delay-ms") {
         options.test_drain_delay_ms = need_i64(args, i);  // tests only
       } else {

@@ -8,37 +8,18 @@
 // skew fails loudly at merge time (src/dist/).
 #pragma once
 
-#include <bit>
 #include <cstdint>
-#include <string_view>
 
 #include "core/experiment.h"
+#include "util/seal.h"
 
 namespace ps::core {
 
-/// Byte-wise FNV-1a over a buffer — the same hash family as the result
-/// fingerprints below, used by dist::seal_document to checksum spool
-/// documents so a torn or bit-flipped file fails loudly at parse time.
-inline std::uint64_t fnv1a_bytes(std::string_view bytes,
-                                 std::uint64_t hash = 0xcbf29ce484222325ull) {
-  for (unsigned char byte : bytes) {
-    hash ^= byte;
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
-inline std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
-  for (int byte = 0; byte < 8; ++byte) {
-    hash ^= (value >> (8 * byte)) & 0xffu;
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
-
-inline std::uint64_t fnv1a(std::uint64_t hash, double value) {
-  return fnv1a(hash, std::bit_cast<std::uint64_t>(value));
-}
+// The FNV-1a primitives live in util/seal.h (one hash family for result
+// fingerprints, fault-injector draws and document seals); re-exported here
+// so fingerprinting call sites keep their historical core:: spelling.
+using util::fnv1a;
+using util::fnv1a_bytes;
 
 inline std::uint64_t fingerprint(const ScenarioResult& result) {
   std::uint64_t h = 0xcbf29ce484222325ull;

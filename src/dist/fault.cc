@@ -18,6 +18,9 @@ namespace {
 constexpr const char* kSiteTokens[kFaultSiteCount] = {
     "die_before_publish", "hang_after_claim", "stall_heartbeat",
     "torn_publish", "corrupt_result",
+    // serve-tier sites (see fault.h)
+    "die_after_claim", "die_before_checkpoint", "torn_checkpoint",
+    "die_after_checkpoint", "stall_ingest",
 };
 
 }  // namespace

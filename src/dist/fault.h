@@ -1,9 +1,11 @@
-// Deterministic fault injection for the distributed sweep — the chaos
-// harness behind the soak tests and the CI chaos step.
+// Deterministic fault injection for the distributed sweep and the live
+// serve tier — the chaos harness behind the soak tests and the CI chaos
+// steps.
 //
-// A FaultPlan names *sites* (well-defined points in the worker's
-// claim/run/publish cycle) and decides, purely from (seed, site, shard,
-// attempt), whether the fault fires there. No wall clock, no RNG state:
+// A FaultPlan names *sites* (well-defined points in the sweep worker's
+// claim/run/publish cycle, or in ps-serve's ingest/checkpoint cycle) and
+// decides, purely from (seed, site, shard, attempt), whether the fault
+// fires there. No wall clock, no RNG state:
 // the same plan over the same spool produces the same fault schedule on
 // every run, so a chaos soak is reproducible and its golden-fingerprint
 // assertion is meaningful. Faults are *bounded by construction*: a site
@@ -44,14 +46,30 @@
 namespace ps::dist {
 
 enum class FaultSite {
+  // Distributed-sweep worker sites (shard_id = sweep shard, attempt =
+  // fencing-token attempt number).
   DieBeforePublish,
   HangAfterClaim,
   StallHeartbeat,
   TornPublish,
   CorruptResult,
+  // Serve-tier sites (src/serve/server.cc). For the ingest sites
+  // (DieAfterClaim, StallIngest) shard_id is the daemon-lifetime claim
+  // ordinal; for the checkpoint sites it is the checkpoint sequence number.
+  // `attempt` is the daemon generation (the epoch counter bumped on every
+  // start), so max_attempt bounds kills across recoveries exactly like it
+  // bounds sweep retries — a storming chaos plan always lets some
+  // generation finish. The dist worker never evaluates these sites and the
+  // serve daemon never evaluates the sweep sites, so one $PS_SWEEP_FAULTS
+  // spec can drive both tiers.
+  DieAfterClaim,        // SIGKILL right after journaling a claimed doc
+  DieBeforeCheckpoint,  // SIGKILL before the checkpoint document is written
+  TornCheckpoint,       // truncated checkpoint under the final name, then die
+  DieAfterCheckpoint,   // SIGKILL after checkpoint + journal prune
+  StallIngest,          // ingest thread naps (slow disk / NFS stall)
 };
 
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 10;
 
 const char* to_string(FaultSite site);
 

@@ -4,13 +4,12 @@
 #include <cinttypes>
 
 #include "core/fingerprint.h"
+#include "util/seal.h"
 #include "util/strings.h"
 
 namespace ps::dist {
 
 namespace {
-
-constexpr std::string_view kChecksumKey = "checksum ";
 
 /// Strict decimal u64 from a name fragment (no sign, no garbage).
 std::optional<std::uint64_t> u64_fragment(std::string_view text) {
@@ -25,42 +24,17 @@ std::optional<std::uint64_t> u64_fragment(std::string_view text) {
 }  // namespace
 
 std::string seal_document(std::string body) {
-  std::uint64_t digest = core::fnv1a_bytes(body);
-  body.append(kChecksumKey);
-  body.append(hex64_token(digest));
-  body.push_back('\n');
-  return body;
+  return util::seal_document(std::move(body));
 }
 
 std::string_view open_document(std::string_view text) {
-  // The seal is the final line: `checksum <16 hex digits>\n`.
-  constexpr std::size_t kSealLength = 9 + 16 + 1;  // key + digest + newline
-  if (text.size() < kSealLength || text.back() != '\n') {
-    throw SerdeError("document is unsealed or truncated (no checksum line)");
+  // The sealing implementation lives in util/seal (shared with the serve
+  // journal); dist callers expect serde failures as SerdeError.
+  try {
+    return util::open_document(text);
+  } catch (const util::SealError& e) {
+    throw SerdeError(e.what());
   }
-  std::size_t seal_start = text.size() - kSealLength;
-  if (text.substr(seal_start, kChecksumKey.size()) != kChecksumKey ||
-      (seal_start > 0 && text[seal_start - 1] != '\n')) {
-    throw SerdeError("document is unsealed or truncated (no checksum line)");
-  }
-  std::string_view body = text.substr(0, seal_start);
-  std::string_view digest_token = text.substr(seal_start + kChecksumKey.size(), 16);
-  std::uint64_t expected = 0;
-  for (char c : digest_token) {
-    int digit;
-    if (c >= '0' && c <= '9') digit = c - '0';
-    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
-    else throw SerdeError("document checksum line is malformed");
-    expected = expected << 4 | static_cast<std::uint64_t>(digit);
-  }
-  std::uint64_t actual = core::fnv1a_bytes(body);
-  if (actual != expected) {
-    throw SerdeError(strings::format(
-        "document checksum mismatch: body %016" PRIx64 ", sealed %016" PRIx64
-        " (torn write or bit rot)",
-        actual, expected));
-  }
-  return body;
 }
 
 std::string serialize_cell_grid(const std::vector<core::ScenarioConfig>& cells) {

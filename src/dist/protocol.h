@@ -89,6 +89,9 @@ void serialize_cell_record(Writer& w, const CellRecord& record);
 CellRecord parse_cell_record(Reader& r);
 
 // --- document sealing --------------------------------------------------------
+// Thin wrappers over util::seal_document / util::open_document (the shared
+// sealing implementation, also used by the serve journal/checkpoints) that
+// surface failures as SerdeError for dist callers.
 
 /// Appends the trailing `checksum <hex64>` line (FNV-1a over every byte of
 /// `body`). Every spool document is sealed before it is written.

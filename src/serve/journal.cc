@@ -1,0 +1,223 @@
+#include "serve/journal.h"
+
+#include <exception>
+
+#include "dist/protocol.h"
+#include "dist/serde.h"
+#include "util/seal.h"
+#include "util/spool.h"
+#include "util/strings.h"
+
+namespace ps::serve {
+
+namespace {
+
+using dist::Reader;
+using dist::Writer;
+
+void serialize_checkpoint_client(Writer& w, const CheckpointClient& client) {
+  w.begin_block("ckpt_client");
+  w.field("name", client.name);
+  w.field_u64("hello_jobs", client.hello_jobs);
+  w.field_i64("hello_last_submit", client.hello_last_submit);
+  w.field_u64("next_seq", client.next_seq);
+  w.field_i64("watermark", client.watermark);
+  w.field_bool("eof", client.eof);
+  w.field_u64("admitted_jobs", client.admitted_jobs);
+  w.field("history_fp", dist::hex64_token(client.history_fp));
+  w.end_block("ckpt_client");
+}
+
+CheckpointClient parse_checkpoint_client(Reader& r) {
+  CheckpointClient client;
+  r.begin_block("ckpt_client");
+  client.name = r.field_string("name");
+  client.hello_jobs = r.field_u64("hello_jobs");
+  client.hello_last_submit = r.field_i64("hello_last_submit");
+  client.next_seq = r.field_u64("next_seq");
+  client.watermark = r.field_i64("watermark");
+  client.eof = r.field_bool("eof");
+  client.admitted_jobs = r.field_u64("admitted_jobs");
+  client.history_fp = dist::hex64_from_token(r.field_string("history_fp"), r);
+  r.end_block("ckpt_client");
+  if (!valid_client_name(client.name)) r.fail("invalid checkpoint client name");
+  return client;
+}
+
+}  // namespace
+
+std::string journal_dir(const std::string& spool) { return spool + "/journal"; }
+
+std::string checkpoints_dir(const std::string& spool) {
+  return spool + "/checkpoints";
+}
+
+std::string epoch_path(const std::string& spool) {
+  return spool + "/control/epoch";
+}
+
+std::string checkpoint_file_name(std::uint64_t seq) {
+  return strings::format("ckpt-%06llu.ckpt",
+                         static_cast<unsigned long long>(seq));
+}
+
+std::string segment_file_name(std::uint64_t seq) {
+  return strings::format("seg-%06llu.seg", static_cast<unsigned long long>(seq));
+}
+
+std::optional<std::uint64_t> parse_checkpoint_name(std::string_view name) {
+  constexpr std::string_view kPrefix = "ckpt-";
+  constexpr std::string_view kSuffix = ".ckpt";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  if (name.substr(name.size() - kSuffix.size()) != kSuffix) return std::nullopt;
+  std::string_view digits =
+      name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  auto seq = strings::parse_i64(digits);
+  if (!seq || *seq < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(*seq);
+}
+
+std::uint64_t read_epoch(const std::string& spool) {
+  const std::string path = epoch_path(spool);
+  if (!util::path_exists(path)) return 0;
+  try {
+    std::string text = util::read_file(path);
+    std::string_view line = strings::trim(text);
+    constexpr std::string_view kKey = "epoch ";
+    if (line.substr(0, kKey.size()) != kKey) return 0;
+    auto value = strings::parse_i64(line.substr(kKey.size()));
+    if (!value || *value < 0) return 0;
+    return static_cast<std::uint64_t>(*value);
+  } catch (const std::exception&) {
+    return 0;  // torn epoch file: treat as generation 0, never refuse to start
+  }
+}
+
+std::uint64_t bump_epoch(const std::string& spool) {
+  std::uint64_t generation = read_epoch(spool);
+  util::write_file_atomic(
+      epoch_path(spool),
+      strings::format("epoch %llu\n",
+                      static_cast<unsigned long long>(generation + 1)),
+      /*durable=*/true);
+  return generation;
+}
+
+std::uint64_t chain_submission(std::uint64_t fp, const Submission& doc) {
+  fp = util::fnv1a(fp, doc.seq);
+  fp = util::fnv1a(fp, static_cast<std::uint64_t>(doc.watermark));
+  fp = util::fnv1a(fp, static_cast<std::uint64_t>(doc.eof ? 1 : 0));
+  fp = util::fnv1a(fp, static_cast<std::uint64_t>(doc.publish_ns));
+  fp = util::fnv1a(fp, static_cast<std::uint64_t>(doc.jobs.size()));
+  for (const workload::JobRequest& job : doc.jobs) {
+    fp = util::fnv1a(fp, static_cast<std::uint64_t>(job.id));
+    fp = util::fnv1a(fp, static_cast<std::uint64_t>(job.submit_time));
+    fp = util::fnv1a(fp, static_cast<std::uint64_t>(job.user));
+    fp = util::fnv1a(fp, static_cast<std::uint64_t>(job.requested_cores));
+    fp = util::fnv1a(fp, static_cast<std::uint64_t>(job.requested_walltime));
+    fp = util::fnv1a(fp, static_cast<std::uint64_t>(job.base_runtime));
+    fp = util::fnv1a(fp, util::fnv1a_bytes(job.app));
+  }
+  return fp;
+}
+
+std::string serialize_checkpoint(const Checkpoint& ckpt) {
+  Writer w;
+  w.begin_block("serve_checkpoint");
+  w.field_u64("seq", ckpt.seq);
+  w.field_i64("committed", ckpt.committed);
+  w.field_u64("admitted", ckpt.admitted);
+  w.field_u64("docs", ckpt.docs);
+  w.field_u64("clamped", ckpt.clamped);
+  w.field("scenario_checksum", dist::hex64_token(ckpt.scenario_checksum));
+  w.field_u64("clients", ckpt.clients.size());
+  for (const CheckpointClient& client : ckpt.clients) {
+    serialize_checkpoint_client(w, client);
+  }
+  w.field_string("sketch", ckpt.sketch);
+  w.end_block("serve_checkpoint");
+  return dist::seal_document(w.take());
+}
+
+Checkpoint parse_checkpoint(std::string_view text) {
+  Reader r(dist::open_document(text));
+  Checkpoint ckpt;
+  r.begin_block("serve_checkpoint");
+  ckpt.seq = r.field_u64("seq");
+  ckpt.committed = r.field_i64("committed");
+  ckpt.admitted = r.field_u64("admitted");
+  ckpt.docs = r.field_u64("docs");
+  ckpt.clamped = r.field_u64("clamped");
+  ckpt.scenario_checksum =
+      dist::hex64_from_token(r.field_string("scenario_checksum"), r);
+  std::uint64_t count = r.field_u64("clients");
+  ckpt.clients.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CheckpointClient client = parse_checkpoint_client(r);
+    if (i > 0 && !(ckpt.clients.back().name < client.name)) {
+      r.fail("checkpoint clients not strictly ascending by name");
+    }
+    ckpt.clients.push_back(std::move(client));
+  }
+  ckpt.sketch = r.field_string("sketch");
+  r.end_block("serve_checkpoint");
+  if (!r.at_end()) r.fail("trailing data after serve_checkpoint");
+  return ckpt;
+}
+
+std::string serialize_segment(const Segment& segment) {
+  Writer w;
+  w.begin_block("serve_segment");
+  w.field_u64("seq", segment.seq);
+  w.field_u64("docs", segment.docs.size());
+  for (const Submission& doc : segment.docs) serialize_submission_block(w, doc);
+  w.end_block("serve_segment");
+  return dist::seal_document(w.take());
+}
+
+Segment parse_segment(std::string_view text) {
+  Reader r(dist::open_document(text));
+  Segment segment;
+  r.begin_block("serve_segment");
+  segment.seq = r.field_u64("seq");
+  std::uint64_t count = r.field_u64("docs");
+  segment.docs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Submission doc = parse_submission_block(r);
+    if (i > 0) {
+      const Submission& prev = segment.docs.back();
+      bool ascending = prev.client < doc.client ||
+                       (prev.client == doc.client && prev.seq < doc.seq);
+      if (!ascending) r.fail("segment docs not in (client, seq) order");
+    }
+    segment.docs.push_back(std::move(doc));
+  }
+  r.end_block("serve_segment");
+  if (!r.at_end()) r.fail("trailing data after serve_segment");
+  return segment;
+}
+
+std::optional<Checkpoint> load_newest_checkpoint(const std::string& dir,
+                                                 std::uint64_t* skipped) {
+  std::vector<std::string> names = util::list_files(dir, ".ckpt");
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    std::optional<std::uint64_t> name_seq = parse_checkpoint_name(*it);
+    if (!name_seq) continue;  // foreign file, not a corruption signal
+    try {
+      Checkpoint ckpt = parse_checkpoint(util::read_file(dir + "/" + *it));
+      if (ckpt.seq != *name_seq) {
+        throw dist::SerdeError("checkpoint seq disagrees with file name");
+      }
+      return ckpt;
+    } catch (const std::exception&) {
+      // Torn write, bit rot, or a renamed impostor: skip backward — the
+      // previous checkpoint's journal suffix is intact because a checkpoint
+      // prunes only after it is durably sealed.
+      if (skipped != nullptr) ++*skipped;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ps::serve

@@ -55,9 +55,8 @@ Hello parse_hello(std::string_view text) {
   return hello;
 }
 
-std::string serialize_submission(const Submission& submission) {
+void serialize_submission_block(Writer& w, const Submission& submission) {
   check_client_name(submission.client);
-  Writer w;
   w.begin_block("serve_submission");
   w.field("client", submission.client);
   w.field_u64("seq", submission.seq);
@@ -66,11 +65,9 @@ std::string serialize_submission(const Submission& submission) {
   w.field_i64("publish_ns", submission.publish_ns);
   dist::serialize_job_list(w, submission.jobs);
   w.end_block("serve_submission");
-  return dist::seal_document(w.take());
 }
 
-Submission parse_submission(std::string_view text) {
-  Reader r(dist::open_document(text));
+Submission parse_submission_block(Reader& r) {
   Submission submission;
   r.begin_block("serve_submission");
   submission.client = r.field_string("client");
@@ -80,8 +77,20 @@ Submission parse_submission(std::string_view text) {
   submission.publish_ns = r.field_i64("publish_ns");
   submission.jobs = dist::parse_job_list(r);
   r.end_block("serve_submission");
-  if (!r.at_end()) r.fail("trailing data after serve_submission");
   if (!valid_client_name(submission.client)) r.fail("invalid client name");
+  return submission;
+}
+
+std::string serialize_submission(const Submission& submission) {
+  Writer w;
+  serialize_submission_block(w, submission);
+  return dist::seal_document(w.take());
+}
+
+Submission parse_submission(std::string_view text) {
+  Reader r(dist::open_document(text));
+  Submission submission = parse_submission_block(r);
+  if (!r.at_end()) r.fail("trailing data after serve_submission");
   return submission;
 }
 

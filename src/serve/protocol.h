@@ -44,6 +44,11 @@
 #include "sim/time.h"
 #include "workload/job_request.h"
 
+namespace ps::dist {
+class Writer;
+class Reader;
+}  // namespace ps::dist
+
 namespace ps::serve {
 
 struct Hello {
@@ -73,6 +78,12 @@ Hello parse_hello(std::string_view text);
 
 std::string serialize_submission(const Submission& submission);
 Submission parse_submission(std::string_view text);
+
+/// Block-level submission codec — the same bytes as the standalone wire
+/// document above, embeddable inside a larger document (the journal
+/// segment documents a checkpoint compacts retired submissions into).
+void serialize_submission_block(dist::Writer& w, const Submission& submission);
+Submission parse_submission_block(dist::Reader& r);
 
 std::string serialize_status(const Status& status);
 Status parse_status(std::string_view text);

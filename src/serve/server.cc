@@ -10,14 +10,18 @@
 
 #include <cstdio>
 
+#include <unistd.h>
+
 #include "cluster/curie.h"
 #include "core/fingerprint.h"
 #include "core/powercap_manager.h"
 #include "core/submission_pump.h"
+#include "dist/fault.h"
 #include "dist/serde.h"
 #include "metrics/summary.h"
 #include "metrics/timeseries.h"
 #include "rjms/controller.h"
+#include "serve/journal.h"
 #include "serve/protocol.h"
 #include "sim/simulator.h"
 #include "util/bounded_queue.h"
@@ -29,6 +33,11 @@
 namespace ps::serve {
 
 namespace {
+
+/// Same SIGKILL emulation as the dist chaos worker (dist/worker.cc): the
+/// injected crash must be indistinguishable from `kill -9` — no stack
+/// unwinding, no atexit, no flushed buffers.
+[[noreturn]] void emulate_sigkill() { ::_exit(137); }
 
 /// One claimed inbox document, either kind.
 struct IngestDoc {
@@ -45,6 +54,11 @@ struct Shared {
   std::atomic<std::int64_t> sim_time{0};
   std::atomic<std::uint64_t> admitted{0};
   std::atomic<std::uint64_t> stalls{0};
+  /// Daemon-lifetime claim ordinal — the fault-site id of the ingest sites,
+  /// so a chaos plan can target "the Nth claim of any generation".
+  std::atomic<std::uint64_t> claims{0};
+  /// Daemon generation (epoch counter) — the fault-site `attempt`.
+  std::uint64_t generation = 0;
 
   // Set when the ingest thread dies on an exception (corrupt document,
   // I/O failure); the serve thread rethrows it as its own failure.
@@ -67,12 +81,16 @@ void publish_status(const ServeOptions& options, Shared& shared,
                           /*durable=*/false);
 }
 
-/// Ingest thread body: list -> claim -> parse -> push. A full queue stops
-/// the claiming (the inbox is the durable overflow buffer); nothing is
-/// ever discarded.
+/// Ingest thread body: list -> claim -> parse -> journal -> push. A full
+/// queue stops the claiming (the inbox is the durable overflow buffer);
+/// nothing is ever discarded. Every claimed document is retired into the
+/// write-ahead journal *before* it can be pushed — SIGKILL between any two
+/// instructions leaves it recoverable from either accepted/ (claimed, not
+/// yet journaled; swept into the journal at recovery) or journal/.
 void ingest_loop(const ServeOptions& options, Shared& shared) {
   const std::string inbox = inbox_dir(options.spool);
   const std::string accepted = accepted_dir(options.spool);
+  const std::string journal = journal_dir(options.spool);
   util::SpoolOptions claim_options;
   claim_options.durable = false;  // local spool, polled at millisecond rate
   claim_options.claim_backoff_max_ms = 8;
@@ -105,7 +123,30 @@ void ingest_loop(const ServeOptions& options, Shared& shared) {
                          doc.submission.seq == decoded->seq,
                      "serve ingest: submission body does not match its file name");
       }
-      util::remove_file(accepted + "/" + name);
+      const std::uint64_t ordinal =
+          shared.claims.fetch_add(1, std::memory_order_relaxed);
+      if (options.faults.fires(dist::FaultSite::StallIngest, ordinal,
+                               shared.generation)) {
+        // Slow disk / NFS stall: the claim is held, the pipeline keeps
+        // running on what it already has. Latency, not loss.
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+      // Write-ahead: journal the claimed document before its jobs can
+      // enter the pipeline. A lost rename race (ENOENT) means the document
+      // is already journaled — e.g. the recovery sweep of a previous
+      // generation retired it between our claim and this retire — which is
+      // success, not a fault; anything else is a real I/O failure and the
+      // retire has already thrown.
+      if (!util::retire_file(accepted + "/" + name, journal + "/" + name,
+                             options.journal_fsync)) {
+        PS_CHECK_MSG(
+            util::path_exists(journal + "/" + name),
+            "serve ingest: claimed document vanished before it was journaled");
+      }
+      if (options.faults.fires(dist::FaultSite::DieAfterClaim, ordinal,
+                               shared.generation)) {
+        emulate_sigkill();  // journaled but never applied: recovery replays it
+      }
       while (!shared.queue.try_push(std::move(doc))) {
         if (shared.queue.closed()) return;
         // Backpressure: hold this document (claimed, so no other reader
@@ -147,6 +188,14 @@ struct ClientState {
   sim::Time watermark = -1;
   bool eof = false;
   std::uint64_t jobs = 0;
+  /// Running chain_submission fingerprint over every applied document —
+  /// checkpointed, and cross-checked when a recovery replays the history.
+  std::uint64_t history_fp = 0xcbf29ce484222325ull;
+  /// Recovery expectation: when next_seq reaches expect_fp_at_seq the
+  /// replayed history_fp must equal the checkpointed one exactly.
+  bool has_expect_fp = false;
+  std::uint64_t expect_fp = 0;
+  std::uint64_t expect_fp_at_seq = 0;
 };
 
 /// A document whose admission latency is still pending: it completes when
@@ -166,16 +215,103 @@ ServeReport run_server(const ServeOptions& options) {
   PS_CHECK_MSG(!options.spool.empty(), "serve: spool path required");
   PS_CHECK_MSG(options.expect_clients >= 1, "serve: expect_clients >= 1");
   PS_CHECK_MSG(options.queue_capacity >= 1, "serve: queue capacity >= 1");
+  PS_CHECK_MSG(options.hello_timeout_ms >= 0,
+               "serve: hello timeout >= 0 (0 = wait forever)");
+  PS_CHECK_MSG(options.checkpoint_jobs >= 0, "serve: checkpoint jobs >= 0");
+  PS_CHECK_MSG(options.checkpoint_seconds >= 0,
+               "serve: checkpoint seconds >= 0");
   if (options.mode == Mode::kWallClock) {
     PS_CHECK_MSG(options.accel > 0.0, "serve: wall-clock accel > 0");
   }
 
+  const std::string accepted = accepted_dir(options.spool);
+  const std::string journal = journal_dir(options.spool);
+  const std::string ckpt_dir = checkpoints_dir(options.spool);
   util::ensure_dir(options.spool);
   util::ensure_dir(inbox_dir(options.spool));
-  util::ensure_dir(accepted_dir(options.spool));
+  util::ensure_dir(accepted);
+  util::ensure_dir(journal);
+  util::ensure_dir(ckpt_dir);
   util::ensure_dir(options.spool + "/control");
 
+  ServeReport report;
+  report.generation = bump_epoch(options.spool);
+
+  // A spool that already holds claimed or checkpointed admission state is
+  // a crashed run. Refusing to start without --recover is the whole point:
+  // silently ignoring a journal would lose admitted jobs.
+  const bool dirty = !util::list_files(journal).empty() ||
+                     !util::list_files(ckpt_dir, ".ckpt").empty() ||
+                     !util::list_files(accepted).empty();
+  PS_CHECK_MSG(options.recover || !dirty,
+               "serve: spool holds journaled admission state from a previous "
+               "run — pass --recover to resume it, or use a fresh spool");
+
+  // The scenario flags are baked into every checkpoint: a recovery with a
+  // different cluster/policy would deterministically diverge from the
+  // journaled history, so it is rejected instead of replayed.
+  const std::uint64_t scenario_checksum =
+      util::fnv1a_bytes(dist::serialize(options.scenario));
+
+  // --- recovery phase A: collect the durable history (no threads yet) --------
+  std::optional<Checkpoint> ckpt;
+  std::vector<Hello> recovered_hellos;
+  std::vector<Submission> recovered_subs;
+  std::map<std::string, std::uint64_t> compacted;  // client -> journal floor
+  std::uint64_t ckpt_next_seq = 0;
+  if (options.recover) {
+    // Finish any claim interrupted mid-retire: accepted/ -> journal/.
+    for (const std::string& name : util::list_files(accepted)) {
+      if (!parse_inbox_name(name)) continue;
+      util::retire_file(accepted + "/" + name, journal + "/" + name,
+                        /*durable=*/true);
+    }
+    ckpt = load_newest_checkpoint(ckpt_dir, &report.checkpoints_skipped);
+    if (ckpt) {
+      PS_CHECK_MSG(ckpt->scenario_checksum == scenario_checksum,
+                   "serve --recover: scenario flags differ from the "
+                   "checkpointed run — recovery would diverge");
+      ckpt_next_seq = ckpt->seq + 1;
+      for (const CheckpointClient& client : ckpt->clients) {
+        compacted[client.name] = client.next_seq;
+      }
+      for (std::uint64_t s = 0; s <= ckpt->seq; ++s) {
+        Segment segment = parse_segment(
+            util::read_file(ckpt_dir + "/" + segment_file_name(s)));
+        PS_CHECK_MSG(segment.seq == s,
+                     "serve --recover: segment sequence mismatch");
+        for (Submission& doc : segment.docs) {
+          recovered_subs.push_back(std::move(doc));
+        }
+      }
+    }
+    for (const std::string& name : util::list_files(journal)) {
+      std::optional<InboxName> decoded = parse_inbox_name(name);
+      if (!decoded) continue;
+      if (decoded->hello) {
+        Hello hello = parse_hello(util::read_file(journal + "/" + name));
+        PS_CHECK_MSG(hello.client == decoded->client,
+                     "serve --recover: journaled hello does not match its name");
+        recovered_hellos.push_back(std::move(hello));
+        continue;
+      }
+      auto floor = compacted.find(decoded->client);
+      if (floor != compacted.end() && decoded->seq < floor->second) {
+        // Checkpointed but not yet pruned (crash inside the prune window):
+        // the document already lives in a segment; finish the prune now.
+        util::remove_file(journal + "/" + name);
+        ++report.journal_pruned;
+        continue;
+      }
+      Submission sub = parse_submission(util::read_file(journal + "/" + name));
+      PS_CHECK_MSG(sub.client == decoded->client && sub.seq == decoded->seq,
+                   "serve --recover: journaled submission does not match its name");
+      recovered_subs.push_back(std::move(sub));
+    }
+  }
+
   Shared shared(options.queue_capacity);
+  shared.generation = report.generation;
   std::thread ingest([&] {
     try {
       ingest_loop(options, shared);
@@ -201,7 +337,6 @@ ServeReport run_server(const ServeOptions& options) {
     ~IngestJoiner() { join(); }
   } joiner{shared, ingest};
 
-  ServeReport report;
   const bool wall_mode = options.mode == Mode::kWallClock;
   workload::LiveJobSource source(/*clamp_late=*/wall_mode);
   std::map<std::string, ClientState> clients;
@@ -220,6 +355,12 @@ ServeReport run_server(const ServeOptions& options) {
     PS_CHECK_MSG(false, "serve ingest thread failed: " + shared.failure);
   };
 
+  // False while the recovered history replays: those documents' publish
+  // timestamps belong to a previous process (and include the outage), so
+  // they would poison the latency percentiles. The checkpointed sketch is
+  // restored instead.
+  bool measure_latency = true;
+
   // Applies every deferred document that has become contiguous. Jobs go
   // straight into the live source; watermarks and eof update the client.
   auto apply_ready = [&](ClientState& client) {
@@ -231,13 +372,16 @@ ServeReport run_server(const ServeOptions& options) {
       PS_CHECK_MSG(!client.eof, "serve: document after eof from a client");
       PS_CHECK_MSG(doc.watermark >= client.watermark,
                    "serve: client watermark regressed");
+      client.history_fp = chain_submission(client.history_fp, doc);
       if (!doc.jobs.empty()) {
         sim::Time last = -1;
         for (const workload::JobRequest& job : doc.jobs) {
           last = std::max(last, job.submit_time);
         }
-        pending_latency.push(
-            {last, doc.publish_ns, static_cast<std::uint32_t>(doc.jobs.size())});
+        if (measure_latency) {
+          pending_latency.push({last, doc.publish_ns,
+                                static_cast<std::uint32_t>(doc.jobs.size())});
+        }
         client.jobs += doc.jobs.size();
         source.push(std::move(doc.jobs));
       }
@@ -245,6 +389,15 @@ ServeReport run_server(const ServeOptions& options) {
       client.eof = doc.eof;
       ++client.next_seq;
       ++report.docs;
+      if (client.has_expect_fp && client.next_seq == client.expect_fp_at_seq) {
+        // The replayed history reached the checkpoint's floor: any serde
+        // drift, reordering or lost document diverges here, loudly, instead
+        // of producing a silently different replay.
+        PS_CHECK_MSG(client.history_fp == client.expect_fp,
+                     "serve --recover: replayed history fingerprint does not "
+                     "match the checkpoint");
+        client.has_expect_fp = false;
+      }
     }
   };
 
@@ -269,6 +422,16 @@ ServeReport run_server(const ServeOptions& options) {
     apply_ready(client);
   };
 
+  // Journaled hellos replay first; they cannot collide with live ingest
+  // because a hello lives in exactly one of inbox/journal.
+  for (Hello& hello : recovered_hellos) {
+    IngestDoc doc;
+    doc.is_hello = true;
+    doc.hello = std::move(hello);
+    process(std::move(doc));
+  }
+  recovered_hellos.clear();
+
   // --- hello phase: wait for every expected client ---------------------------
   const std::int64_t hello_start_ns = monotonic_ns();
   std::vector<IngestDoc> batch;
@@ -285,6 +448,51 @@ ServeReport run_server(const ServeOptions& options) {
     batch.clear();
     shared.queue.pop_all(batch, options.drain_wait_ms);
     for (IngestDoc& doc : batch) process(std::move(doc));
+  }
+
+  // --- recovery phase B: cross-check the checkpoint, replay the history ------
+  // Deterministic-mode correctness of replay-then-advance: the final state
+  // of a det replay depends only on the job set and the committed
+  // watermarks, not on how many intermediate advances delivered them (the
+  // same argument that makes batched hello-phase pushes equivalent to
+  // steady-state ones). Pushing the whole recovered history and then
+  // advancing once is therefore byte-identical to the original incremental
+  // run — the fence of tests/serve_recovery_test.cc.
+  if (ckpt) {
+    for (const CheckpointClient& entry : ckpt->clients) {
+      auto it = clients.find(entry.name);
+      PS_CHECK_MSG(it != clients.end() && it->second.helloed,
+                   "serve --recover: checkpointed client is missing its hello");
+      ClientState& client = it->second;
+      PS_CHECK_MSG(client.hello.jobs == entry.hello_jobs &&
+                       client.hello.last_submit == entry.hello_last_submit,
+                   "serve --recover: hello does not match the checkpoint");
+      if (entry.next_seq > 0) {
+        client.has_expect_fp = true;
+        client.expect_fp = entry.history_fp;
+        client.expect_fp_at_seq = entry.next_seq;
+      }
+    }
+    // Latency percentiles of the pre-crash run live in the checkpoint; the
+    // replayed documents below carry a dead process's publish timestamps
+    // and are excluded from measurement.
+    report.latency = util::QuantileSketch::parse(ckpt->sketch);
+  }
+  if (!recovered_subs.empty()) {
+    measure_latency = false;
+    // Every recovered document applies: the journal is a per-client
+    // seq-prefix (claims happen in sorted listing order), so replay never
+    // leaves a gap-blocked straggler behind.
+    report.recovered_docs = recovered_subs.size();
+    for (Submission& sub : recovered_subs) {
+      report.recovered_jobs += sub.jobs.size();
+      IngestDoc doc;
+      doc.submission = std::move(sub);
+      process(std::move(doc));
+    }
+    measure_latency = true;
+    recovered_subs.clear();
+    recovered_subs.shrink_to_fit();
   }
 
   // --- scenario setup: mirrors core::run_scenario exactly --------------------
@@ -420,6 +628,103 @@ ServeReport run_server(const ServeOptions& options) {
                      : " [backpressure]");
   };
 
+  // --- checkpointing ---------------------------------------------------------
+  // Write order is the crash-safety argument (serve/journal.h): segment,
+  // then checkpoint, then journal prune — each durable before the next
+  // starts. A crash at any point leaves either the previous checkpoint
+  // with its full journal suffix, or the new checkpoint with an at-worst
+  // unpruned journal (recovery finishes the prune).
+  std::uint64_t jobs_at_ckpt = ckpt ? ckpt->admitted : 0;
+  std::uint64_t docs_at_ckpt = ckpt ? ckpt->docs : 0;
+  sim::Time sim_at_ckpt = ckpt ? std::max<sim::Time>(ckpt->committed, 0) : 0;
+
+  auto write_checkpoint = [&] {
+    const std::uint64_t seq = ckpt_next_seq;
+    if (options.faults.fires(dist::FaultSite::DieBeforeCheckpoint, seq,
+                             report.generation)) {
+      emulate_sigkill();  // journal intact: recovery replays, nothing lost
+    }
+    Segment segment;
+    segment.seq = seq;
+    Checkpoint snapshot;
+    snapshot.seq = seq;
+    snapshot.committed = committed;
+    snapshot.admitted = pump.submitted();
+    snapshot.docs = report.docs;
+    snapshot.clamped = source.clamped();
+    snapshot.scenario_checksum = scenario_checksum;
+    std::vector<std::string> prune;
+    for (const auto& [name, client] : clients) {
+      CheckpointClient entry;
+      entry.name = name;
+      entry.hello_jobs = client.hello.jobs;
+      entry.hello_last_submit = client.hello.last_submit;
+      entry.next_seq = client.next_seq;
+      entry.watermark = client.watermark;
+      entry.eof = client.eof;
+      entry.admitted_jobs = client.jobs;
+      entry.history_fp = client.history_fp;
+      snapshot.clients.push_back(std::move(entry));
+      auto floor = compacted.find(name);
+      std::uint64_t from = floor != compacted.end() ? floor->second : 0;
+      for (std::uint64_t s = from; s < client.next_seq; ++s) {
+        std::string file = submission_file_name(name, s);
+        segment.docs.push_back(
+            parse_submission(util::read_file(journal + "/" + file)));
+        prune.push_back(std::move(file));
+      }
+    }
+    snapshot.sketch = report.latency.serialize();
+    // 1. Segment, durable. A stale seg-<seq> from a crashed predecessor is
+    //    simply overwritten — only a sealed ckpt-<seq> makes it reachable.
+    util::write_file_atomic(ckpt_dir + "/" + segment_file_name(seq),
+                            serialize_segment(segment), /*durable=*/true);
+    // 2. Checkpoint, durable — the commit point of the compaction.
+    const std::string ckpt_path = ckpt_dir + "/" + checkpoint_file_name(seq);
+    std::string doc = serialize_checkpoint(snapshot);
+    if (options.faults.fires(dist::FaultSite::TornCheckpoint, seq,
+                             report.generation)) {
+      // Torn write under the final name: the seal fails at parse time and
+      // recovery skips backward to the previous checkpoint, whose journal
+      // suffix is still intact (this prune below never ran).
+      util::write_file_atomic(ckpt_path, doc.substr(0, doc.size() / 2),
+                              /*durable=*/true);
+      emulate_sigkill();
+    }
+    util::write_file_atomic(ckpt_path, doc, /*durable=*/true);
+    if (options.faults.fires(dist::FaultSite::DieAfterCheckpoint, seq,
+                             report.generation)) {
+      emulate_sigkill();  // prune unfinished: recovery removes the leftovers
+    }
+    // 3. Prune the compacted journal suffix.
+    for (const std::string& file : prune) {
+      util::remove_file(journal + "/" + file);
+      ++report.journal_pruned;
+    }
+    for (const auto& [name, client] : clients) compacted[name] = client.next_seq;
+    ckpt_next_seq = seq + 1;
+    ++report.checkpoints;
+    jobs_at_ckpt = pump.submitted();
+    docs_at_ckpt = report.docs;
+    sim_at_ckpt = simulator.now();
+  };
+
+  auto maybe_checkpoint = [&] {
+    if (options.checkpoint_jobs == 0 && options.checkpoint_seconds == 0) return;
+    // Progress-gated: an idle daemon (or one advancing over a quiet stretch
+    // of simulated time) must not write a stream of identical checkpoints.
+    if (pump.submitted() == jobs_at_ckpt && report.docs == docs_at_ckpt) return;
+    // `submitted() >= jobs_at_ckpt` guards the window right after recovery,
+    // before the first advance re-submits the replayed history.
+    bool due = options.checkpoint_jobs > 0 && pump.submitted() >= jobs_at_ckpt &&
+               pump.submitted() - jobs_at_ckpt >=
+                   static_cast<std::uint64_t>(options.checkpoint_jobs);
+    due = due || (options.checkpoint_seconds > 0 &&
+                  simulator.now() - sim_at_ckpt >=
+                      sim::seconds(options.checkpoint_seconds));
+    if (due) write_checkpoint();
+  };
+
   while (true) {
     check_ingest_alive();
     if (stop_requested()) {
@@ -446,7 +751,23 @@ ServeReport run_server(const ServeOptions& options) {
         watermark = std::min(watermark, client.watermark);
       }
     }
-    if (all_eof && static_cast<int>(clients.size()) == hellos) break;
+    if (all_eof && static_cast<int>(clients.size()) == hellos) {
+      // Every stream is complete. Advance to the committed frontier (the
+      // greatest eof watermark — every published job sits below it) so the
+      // final checkpoint attempt sees the whole admitted history and can
+      // compact the journal before the drain takes over. Without this, a
+      // workload that arrives faster than it simulates would exit the loop
+      // on its first iteration and never checkpoint at all.
+      if (!wall_mode) {
+        sim::Time frontier = 0;
+        for (const auto& [name, client] : clients) {
+          frontier = std::max(frontier, client.watermark);
+        }
+        advance_to(std::min(frontier, horizon));
+      }
+      maybe_checkpoint();
+      break;
+    }
 
     if (wall_mode) {
       double elapsed_ms =
@@ -457,6 +778,7 @@ ServeReport run_server(const ServeOptions& options) {
       // Deterministic mode: chase the committed watermark, nothing more.
       advance_to(std::min(watermark, horizon));
     }
+    maybe_checkpoint();
     stats_tick();
   }
 
@@ -547,6 +869,22 @@ std::string format_report(const ServeReport& report) {
   line("completed_jobs",
        strings::format("%llu", static_cast<unsigned long long>(
                                    report.result.summary.completed_jobs)));
+  line("generation", strings::format("%llu", static_cast<unsigned long long>(
+                                                 report.generation)));
+  line("recovered_docs",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.recovered_docs)));
+  line("recovered_jobs",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.recovered_jobs)));
+  line("checkpoints", strings::format("%llu", static_cast<unsigned long long>(
+                                                  report.checkpoints)));
+  line("checkpoints_skipped",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.checkpoints_skipped)));
+  line("journal_pruned",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.journal_pruned)));
   line("interrupted", report.interrupted ? "1" : "0");
   line("fingerprint", dist::hex64_token(report.fingerprint));
   return out;

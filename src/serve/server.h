@@ -23,6 +23,12 @@
 // inbox is the overflow buffer — durable, unbounded, nothing is ever
 // dropped) and flips `accepting` off in the published status document;
 // clients see it (or the inbox high-water) and back off with retries.
+//
+// Durability: every claimed document is retired into a write-ahead journal
+// before its jobs can reach the pipeline, sealed checkpoints periodically
+// compact the journal, and `--recover` deterministically rebuilds the
+// admitted history after SIGKILL — byte-identical final fingerprint
+// (serve/journal.h, docs/ARCHITECTURE.md "Crash recovery").
 #pragma once
 
 #include <atomic>
@@ -30,6 +36,7 @@
 #include <string>
 
 #include "core/experiment.h"
+#include "dist/fault.h"
 #include "util/stats.h"
 
 namespace ps::serve {
@@ -77,6 +84,29 @@ struct ServeOptions {
   /// client is a deployment bug; failing loudly beats hanging.
   std::int64_t hello_timeout_ms = 60'000;
 
+  /// Resume from the spool's journal + checkpoints (see serve/journal.h).
+  /// Required when the spool holds admission state from a previous run —
+  /// starting without it on a dirty spool fails loudly, because ignoring a
+  /// journal would silently lose admitted jobs.
+  bool recover = false;
+  /// Checkpoint cadence: write a sealed checkpoint after this many newly
+  /// admitted jobs (0 = never by job count) ...
+  std::int64_t checkpoint_jobs = 5000;
+  /// ... or after this much simulated time (seconds; 0 = never by time).
+  /// Both zero disables checkpointing: the journal grows unboundedly and
+  /// recovery replays it all.
+  std::int64_t checkpoint_seconds = 86'400;
+  /// Fsync each journaled document (and the journal directory) at retire
+  /// time. Off by default: the atomic rename already survives SIGKILL of
+  /// the daemon (the fenced failure mode); surviving a simultaneous kernel
+  /// crash costs one fsync per document on the ingest path.
+  bool journal_fsync = false;
+
+  /// Serve-tier fault injection (die_after_claim, torn_checkpoint, ...) —
+  /// same plan mechanism as the distributed sweep, driven by
+  /// $PS_SWEEP_FAULTS or --faults. Inert by default.
+  dist::FaultPlan faults;
+
   /// Graceful-shutdown flag, typically flipped by a SIGTERM handler: stop
   /// claiming new documents, finish simulating everything already
   /// admitted, emit the final report.
@@ -108,6 +138,14 @@ struct ServeReport {
   std::int64_t wall_ms = 0;        ///< hello-complete to drain-complete
   double jobs_per_sec = 0.0;       ///< admitted / wall seconds
   bool interrupted = false;        ///< stopped via the shutdown flag
+
+  // Durability counters (serve/journal.h).
+  std::uint64_t generation = 0;          ///< daemon epoch (0 = first start)
+  std::uint64_t recovered_docs = 0;      ///< docs replayed from segments+journal
+  std::uint64_t recovered_jobs = 0;      ///< jobs those docs carried
+  std::uint64_t checkpoints = 0;         ///< checkpoints written this run
+  std::uint64_t checkpoints_skipped = 0; ///< corrupt ckpts skipped at recovery
+  std::uint64_t journal_pruned = 0;      ///< journal files compacted away
 };
 
 /// Runs the daemon to completion: waits for hellos, replays the published

@@ -1,0 +1,68 @@
+// FNV-1a hashing and the sealed-document convention — the one checksum
+// family of the whole system. Hoisted from dist/protocol so every spool
+// tier shares a single implementation: the distributed-sweep documents
+// (dist/protocol), the live-service wire documents, and the ps-serve
+// write-ahead journal / checkpoint documents (serve/journal) are all
+// sealed and verified by exactly this code.
+//
+// A *sealed* document is its body plus one trailing line:
+//
+//   checksum <16 lowercase hex digits>\n
+//
+// where the digest is FNV-1a over every byte of the body. Sealing turns a
+// torn write, truncation or bit flip into a loud parse failure — callers
+// map that to whatever "corrupt input" means in their tier (a retriable
+// worker fault in dist, a skipped-backward checkpoint in serve recovery) —
+// never into silently adopted state.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ps::util {
+
+/// Thrown by open_document on a missing, malformed or mismatched seal.
+/// dist wraps it into SerdeError; serve recovery catches it to skip a
+/// corrupt checkpoint backward.
+class SealError : public std::runtime_error {
+ public:
+  explicit SealError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Byte-wise FNV-1a over a buffer — the hash family behind the result
+/// fingerprints (core/fingerprint.h), the fault injector's deterministic
+/// draws (dist/fault.cc) and every document seal.
+inline std::uint64_t fnv1a_bytes(std::string_view bytes,
+                                 std::uint64_t hash = 0xcbf29ce484222325ull) {
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+inline std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+inline std::uint64_t fnv1a(std::uint64_t hash, double value) {
+  return fnv1a(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+/// Appends the trailing `checksum <hex64>` line (FNV-1a over every byte of
+/// `body`). Every spool document is sealed before it is written.
+std::string seal_document(std::string body);
+
+/// Verifies and strips the trailing checksum line, returning the body.
+/// Throws SealError when the line is missing (torn/truncated file) or the
+/// digest does not match (bit flip).
+std::string_view open_document(std::string_view text);
+
+}  // namespace ps::util

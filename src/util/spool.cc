@@ -134,6 +134,13 @@ bool claim_file(const std::string& from, const std::string& to, bool durable) {
   return claim_file(from, to, options);
 }
 
+bool retire_file(const std::string& from, const std::string& to, bool durable) {
+  // Retiring into an archive is the same atomic rename as claiming out of an
+  // inbox — one primitive, two spool verbs. ENOENT (false) means the source
+  // was already retired by someone else.
+  return claim_file(from, to, durable);
+}
+
 bool path_exists(const std::string& path) {
   std::error_code ec;
   return fs::exists(path, ec);

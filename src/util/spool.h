@@ -78,6 +78,16 @@ bool claim_file(const std::string& from, const std::string& to,
 bool claim_file(const std::string& from, const std::string& to,
                 bool durable = true);
 
+/// Atomically retires `from` into an archive location `to` (the serve tier's
+/// write-ahead journal). Same contract as claim_file: returns false when the
+/// source vanished first — for a journal that means another actor (or an
+/// earlier generation of this daemon) already retired it, which callers must
+/// classify as already-journaled, not as a fault. Durable by default: the
+/// destination's parent directory is fsynced so the journal entry survives
+/// SIGKILL once retire_file returns.
+bool retire_file(const std::string& from, const std::string& to,
+                 bool durable = true);
+
 /// True iff the path names an existing file or directory.
 bool path_exists(const std::string& path);
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ps::util {
@@ -68,6 +69,16 @@ class QuantileSketch {
   /// Merges another sketch with identical geometry (checked).
   void merge(const QuantileSketch& other);
 
+  /// Bit-exact single-line text form (geometry as IEEE-754 hex bit
+  /// patterns, sparse nonzero buckets) for embedding in sealed serve
+  /// checkpoints. parse(serialize()) reproduces identical quantiles,
+  /// counters and error bound, and the round-tripped sketch merges with a
+  /// live one (the recovery path restores the latency sketch this way).
+  std::string serialize() const;
+  /// Inverse of serialize(); throws std::runtime_error on malformed input
+  /// (wrong prefix, token garbage, bucket/count inconsistencies).
+  static QuantileSketch parse(std::string_view text);
+
   /// Nearest-rank quantile estimate; q in [0, 1]. 0 when empty.
   double quantile(double q) const noexcept;
 
@@ -87,6 +98,13 @@ class QuantileSketch {
   std::size_t bucket_count() const noexcept { return counts_.size(); }
 
  private:
+  /// Tagged shell ctor for parse(), which restores every member verbatim
+  /// (the public ctor's defaulted arguments make a plain default ctor
+  /// ambiguous).
+  struct RawTag {};
+  explicit QuantileSketch(RawTag) noexcept
+      : min_value_(0.0), gamma_(1.0), inv_log_gamma_(0.0) {}
+
   std::size_t bucket_index(double x) const noexcept;
 
   double min_value_;

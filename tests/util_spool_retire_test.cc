@@ -1,0 +1,71 @@
+// Fences the retire_file contract the serve write-ahead journal depends on:
+// retiring a claimed submission document into <spool>/journal/ must be an
+// atomic rename, and *losing* the retire race (source already gone, ENOENT)
+// must classify as already-journaled — return false with the destination
+// intact — never as a fault. This mirrors the claim_file lost-race contract
+// (another claimer won), applied in the opposite direction (another retirer
+// won, e.g. an earlier daemon generation that died between rename and exit).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/spool.h"
+
+namespace ps::util {
+namespace {
+
+class RetireFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = make_temp_dir("retire"); }
+  void TearDown() override { remove_tree(dir_); }
+
+  std::string path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+};
+
+TEST_F(RetireFileTest, MovesFileAtomicallyAndReturnsTrue) {
+  write_file_atomic(path("doc.sub"), "payload\n", /*durable=*/false);
+  EXPECT_TRUE(retire_file(path("doc.sub"), path("doc.journaled")));
+  EXPECT_FALSE(path_exists(path("doc.sub")));
+  ASSERT_TRUE(path_exists(path("doc.journaled")));
+  EXPECT_EQ(read_file(path("doc.journaled")), "payload\n");
+}
+
+TEST_F(RetireFileTest, LostRaceReturnsFalseAndLeavesWinnerIntact) {
+  // Simulate the race: another retirer already moved the document. A second
+  // retire of the (now missing) source must report false — already
+  // journaled — and must not disturb the journaled copy.
+  write_file_atomic(path("doc.sub"), "payload\n", /*durable=*/false);
+  ASSERT_TRUE(retire_file(path("doc.sub"), path("doc.journaled")));
+  EXPECT_FALSE(retire_file(path("doc.sub"), path("doc.journaled")));
+  ASSERT_TRUE(path_exists(path("doc.journaled")));
+  EXPECT_EQ(read_file(path("doc.journaled")), "payload\n");
+}
+
+TEST_F(RetireFileTest, MissingSourceAndDestinationIsStillJustFalse) {
+  // ENOENT with no journaled copy either: still the lost-race return, not a
+  // throw — the caller decides whether a vanished document is fatal.
+  EXPECT_FALSE(retire_file(path("ghost.sub"), path("ghost.journaled")));
+  EXPECT_FALSE(path_exists(path("ghost.journaled")));
+}
+
+TEST_F(RetireFileTest, NonDurableVariantMovesToo) {
+  write_file_atomic(path("doc.sub"), "fast\n", /*durable=*/false);
+  EXPECT_TRUE(retire_file(path("doc.sub"), path("doc.journaled"),
+                          /*durable=*/false));
+  EXPECT_EQ(read_file(path("doc.journaled")), "fast\n");
+}
+
+TEST_F(RetireFileTest, RetireOverwritesStaleDestination) {
+  // rename(2) replaces an existing destination atomically; a stale entry
+  // under the same journal name (crashed mid-prune, then the same doc was
+  // re-published and re-claimed) must not make the retire fail.
+  write_file_atomic(path("doc.journaled"), "stale\n", /*durable=*/false);
+  write_file_atomic(path("doc.sub"), "fresh\n", /*durable=*/false);
+  EXPECT_TRUE(retire_file(path("doc.sub"), path("doc.journaled")));
+  EXPECT_EQ(read_file(path("doc.journaled")), "fresh\n");
+}
+
+}  // namespace
+}  // namespace ps::util

@@ -148,5 +148,88 @@ TEST(QuantileSketch, MergeRejectsMismatchedGeometry) {
   EXPECT_THROW(a.merge(b), CheckError);
 }
 
+// --- serialize/parse round trip (the serve-checkpoint embedding) ------------
+
+TEST(QuantileSketchSerde, RoundTripReportsIdenticalQuantiles) {
+  Rng rng(20260808);
+  QuantileSketch sketch(0.01);
+  std::vector<double> samples;
+  for (int i = 0; i < 100'000; ++i) {
+    double x = rng.lognormal(2.0, 1.5);
+    sketch.add(x);
+    samples.push_back(x);
+  }
+  QuantileSketch restored = QuantileSketch::parse(sketch.serialize());
+  EXPECT_EQ(restored.count(), sketch.count());
+  EXPECT_DOUBLE_EQ(restored.sum(), sketch.sum());
+  EXPECT_DOUBLE_EQ(restored.min(), sketch.min());
+  EXPECT_DOUBLE_EQ(restored.max(), sketch.max());
+  EXPECT_DOUBLE_EQ(restored.error_bound(), sketch.error_bound());
+  EXPECT_EQ(restored.bucket_count(), sketch.bucket_count());
+  for (double q : kQuantiles) {
+    EXPECT_DOUBLE_EQ(restored.quantile(q), sketch.quantile(q)) << "q=" << q;
+  }
+  // Byte-identical re-serialization: the checkpoint diff of an idle serve
+  // loop is empty.
+  EXPECT_EQ(restored.serialize(), sketch.serialize());
+  // And the restored sketch still honors the advertised rank-error bound
+  // against the exact sorted reference.
+  expect_within_bound(restored, std::move(samples));
+}
+
+TEST(QuantileSketchSerde, MergeAfterRoundTripMatchesDirectMergeWithinBound) {
+  // The recovery scenario: sketch `a` survives inside a checkpoint while
+  // fresh samples accumulate in `b`; the merged result must be identical to
+  // a merge that never went through text, and must still satisfy the
+  // rank-error bound over the union stream.
+  Rng rng(314159);
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.01);
+  std::vector<double> all;
+  for (int i = 0; i < 60'000; ++i) {
+    double x = rng.lognormal(1.5, 1.2);
+    (i < 30'000 ? a : b).add(x);
+    all.push_back(x);
+  }
+  QuantileSketch direct = a;
+  direct.merge(b);
+  QuantileSketch restored = QuantileSketch::parse(a.serialize());
+  restored.merge(b);
+  EXPECT_EQ(restored.count(), direct.count());
+  EXPECT_DOUBLE_EQ(restored.sum(), direct.sum());
+  for (double q : kQuantiles) {
+    EXPECT_DOUBLE_EQ(restored.quantile(q), direct.quantile(q)) << "q=" << q;
+  }
+  expect_within_bound(restored, std::move(all));
+}
+
+TEST(QuantileSketchSerde, EmptySketchRoundTrips) {
+  QuantileSketch sketch(0.05, 1.0, 1e6);
+  QuantileSketch restored = QuantileSketch::parse(sketch.serialize());
+  EXPECT_EQ(restored.count(), 0u);
+  EXPECT_EQ(restored.quantile(0.5), 0.0);
+  EXPECT_EQ(restored.bucket_count(), sketch.bucket_count());
+  QuantileSketch live(0.05, 1.0, 1e6);
+  live.add(42.0);
+  restored.merge(live);  // geometry survived the trip
+  EXPECT_EQ(restored.count(), 1u);
+}
+
+TEST(QuantileSketchSerde, MalformedInputThrows) {
+  QuantileSketch sketch;
+  sketch.add(5.0);
+  std::string good = sketch.serialize();
+  EXPECT_THROW(QuantileSketch::parse(""), std::runtime_error);
+  EXPECT_THROW(QuantileSketch::parse("qsketch2" + good.substr(8)),
+               std::runtime_error);
+  EXPECT_THROW(QuantileSketch::parse(good.substr(0, good.size() / 2)),
+               std::runtime_error);
+  EXPECT_THROW(QuantileSketch::parse(good + " 7:1"), std::runtime_error);
+  // A corrupted bucket count no longer sums to the total.
+  std::string tampered = good;
+  tampered.back() = tampered.back() == '1' ? '2' : '1';
+  EXPECT_THROW(QuantileSketch::parse(tampered), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ps::util
