@@ -29,6 +29,8 @@
 #include "core/online.h"
 #include "core/sweep.h"
 #include "dist/protocol.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "rjms/controller.h"
 #include "serve/protocol.h"
 #include "sim/event_queue.h"
@@ -624,6 +626,42 @@ void BM_ServeIngest(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeIngest);
 
+// --- observability overhead ---------------------------------------------------
+//
+// The obs substrate (src/obs/) ships enabled in every binary, so its
+// per-call price is fenced directly: a Counter::inc is one relaxed load
+// plus one relaxed fetch_add, a disabled inc is the load + branch alone
+// (the kill-switch floor), and a span outside a trace session is one
+// relaxed load. Setting PS_OBS_DISABLED=1 in the environment flips the
+// global registry off for whole-suite A/B runs — CI compares
+// BM_ServeIngest / BM_AdmissionBurstSubmit across the two within 2%
+// (tools/check_bench_regression.py --kernels ... --threshold 0.02).
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter& counter = obs::Registry::global().counter("bench.obs.inc");
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsCounterIncDisabled(benchmark::State& state) {
+  // A private registry so the global kill switch stays untouched.
+  obs::Registry registry;
+  registry.set_enabled(false);
+  obs::Counter& counter = registry.counter("bench.obs.disabled");
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterIncDisabled);
+
+void BM_TraceSpan(benchmark::State& state) {
+  // Tracing off (the shipping default): what PS_TRACE_SPAN costs when left
+  // in production code.
+  for (auto _ : state) {
+    PS_TRACE_SPAN("bench.span");
+  }
+}
+BENCHMARK(BM_TraceSpan);
+
 // --- streaming trace pipeline kernels ----------------------------------------
 //
 // Fixture: the default curie_month trace (50k jobs over 4 weeks, the
@@ -764,6 +802,13 @@ BENCHMARK(BM_FullScenarioCurie5h)->Unit(benchmark::kMillisecond)->Iterations(3);
 // every run leaves a machine-readable record, while still honouring any
 // --benchmark_* flags the caller passes (their --benchmark_out wins).
 int main(int argc, char** argv) {
+  // PS_OBS_DISABLED=1: run the whole suite with the metrics registry off —
+  // the A/B leg of the obs overhead fence (<2% on the ingest/admission
+  // kernels, .github/workflows/ci.yml).
+  if (const char* disabled = std::getenv("PS_OBS_DISABLED");
+      disabled != nullptr && disabled[0] == '1') {
+    ps::obs::Registry::global().set_enabled(false);
+  }
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

@@ -24,6 +24,14 @@
 //       [--faults SPEC]             serve-tier fault injection (same spec
 //                                  grammar as $PS_SWEEP_FAULTS, which is
 //                                  also honoured; the flag wins)
+//       [--telemetry-seconds N]     publish a sealed obs-registry snapshot
+//                                  into <spool>/telemetry/ every N wall
+//                                  seconds (read with ps-stat; 0 = off)
+//       [--trace-out FILE]          record trace spans and write Chrome
+//                                  trace-event JSON on exit (load in
+//                                  chrome://tracing or Perfetto)
+//       [--log-json]                JSON-lines log sink (one object per
+//                                  line, wall-clock stamped)
 //
 // SIGTERM/SIGINT drain gracefully: ingestion stops, everything already
 // admitted finishes simulating, and the final report still prints.
@@ -36,7 +44,9 @@
 
 #include "core/policy.h"
 #include "dist/fault.h"
+#include "obs/trace.h"
 #include "serve/server.h"
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace {
@@ -56,7 +66,9 @@ int usage(const char* argv0) {
                "          [--queue-docs N] [--inbox-high-water N] [--stats-ms N]\n"
                "          [--hello-timeout-ms N] [--recover] [--checkpoint-jobs N]\n"
                "          [--checkpoint-seconds N] [--journal-fsync] "
-               "[--faults SPEC]\n",
+               "[--faults SPEC]\n"
+               "          [--telemetry-seconds N] [--trace-out FILE] "
+               "[--log-json]\n",
                argv0);
   return 2;
 }
@@ -98,6 +110,7 @@ core::Policy parse_policy(const std::string& name) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   serve::ServeOptions options;
+  std::string trace_out;
   options.scenario.powercap.policy = core::Policy::Mix;
   options.scenario.cap_lambda = 0.5;
   try {
@@ -140,6 +153,12 @@ int main(int argc, char** argv) {
         options.journal_fsync = true;
       } else if (args[i] == "--faults") {
         options.faults = dist::FaultPlan::parse(need_value(args, i));
+      } else if (args[i] == "--telemetry-seconds") {
+        options.telemetry_seconds = need_i64(args, i);
+      } else if (args[i] == "--trace-out") {
+        trace_out = need_value(args, i);
+      } else if (args[i] == "--log-json") {
+        log::set_format(log::Format::Json);
       } else if (args[i] == "--test-drain-delay-ms") {
         options.test_drain_delay_ms = need_i64(args, i);  // tests only
       } else {
@@ -154,7 +173,12 @@ int main(int argc, char** argv) {
     ::sigaction(SIGINT, &action, nullptr);
     options.stop = &g_stop;
 
+    if (!trace_out.empty()) obs::start_tracing();
     serve::ServeReport report = serve::run_server(options);
+    if (!trace_out.empty()) {
+      obs::stop_tracing();
+      obs::write_chrome_trace(trace_out);
+    }
     std::fputs(serve::format_report(report).c_str(), stdout);
     return report.interrupted && report.admitted == 0 ? 4 : 0;
   } catch (const std::exception& error) {

@@ -1,0 +1,178 @@
+// ps-stat — reads the telemetry spool a ps-serve daemon publishes with
+// --telemetry-seconds (sealed obs-registry snapshots, obs/registry.h wire
+// format) and presents it.
+//
+//   ps-stat DIR                 pretty-print the newest snapshot; DIR is a
+//                               telemetry directory or a spool root (its
+//                               telemetry/ subdirectory is used when present)
+//       [--all]                 pretty-print every snapshot, oldest first
+//       [--follow]              keep polling and print each new snapshot as
+//                               it is published (SIGINT/SIGTERM exit clean)
+//       [--prometheus]          Prometheus text exposition instead of the
+//                               human table (newest snapshot, or each new
+//                               one under --follow)
+//       [--poll-ms N]           --follow poll interval (default 500)
+//
+// Exit codes: 0 ok, 2 usage, 3 no telemetry documents found (one-shot).
+// Torn or corrupt documents (a crashed writer) are reported on stderr and
+// skipped — the seal makes them detectable instead of silently wrong.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+#include "util/seal.h"
+#include "util/spool.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace ps;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s DIR [--all] [--follow] [--prometheus] [--poll-ms N]\n",
+               argv0);
+  return 2;
+}
+
+std::string wall_stamp(std::int64_t wall_ns) {
+  std::time_t secs = static_cast<std::time_t>(wall_ns / 1'000'000'000);
+  std::tm tm{};
+  ::gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03lldZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec,
+                static_cast<long long>(wall_ns % 1'000'000'000 / 1'000'000));
+  return buf;
+}
+
+void pretty_print(const obs::Snapshot& snap) {
+  std::printf("-- snapshot seq=%llu wall=%s",
+              static_cast<unsigned long long>(snap.seq),
+              wall_stamp(snap.wall_ns).c_str());
+  if (snap.sim_time_ms >= 0) {
+    std::printf(" sim=%s",
+                strings::human_duration_ms(snap.sim_time_ms).c_str());
+  }
+  std::printf("\n");
+  for (const obs::Snapshot::CounterValue& c : snap.counters) {
+    std::printf("  %-40s %llu\n", c.name.c_str(),
+                static_cast<unsigned long long>(c.value));
+  }
+  for (const obs::Snapshot::GaugeValue& g : snap.gauges) {
+    std::printf("  %-40s %.3f\n", g.name.c_str(), g.value);
+  }
+  for (const obs::Snapshot::HistogramValue& h : snap.histograms) {
+    std::printf("  %-40s count=%llu p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+                h.name.c_str(), static_cast<unsigned long long>(h.count),
+                h.p50, h.p95, h.p99, h.max);
+  }
+  std::fflush(stdout);
+}
+
+void print(const obs::Snapshot& snap, bool prometheus) {
+  if (prometheus) {
+    std::fputs(obs::prometheus_exposition(snap).c_str(), stdout);
+    std::fflush(stdout);
+  } else {
+    pretty_print(snap);
+  }
+}
+
+/// Loads and prints every document in `names` (sorted); returns how many
+/// printed cleanly.
+std::size_t print_all(const std::string& dir,
+                      const std::vector<std::string>& names, bool prometheus) {
+  std::size_t printed = 0;
+  for (const std::string& name : names) {
+    try {
+      print(obs::parse_snapshot(util::read_file(dir + "/" + name)), prometheus);
+      ++printed;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "ps-stat: skipping %s: %s\n", name.c_str(),
+                   error.what());
+    }
+  }
+  return printed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string dir;
+  bool all = false;
+  bool follow = false;
+  bool prometheus = false;
+  std::int64_t poll_ms = 500;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--all") all = true;
+      else if (args[i] == "--follow") follow = true;
+      else if (args[i] == "--prometheus") prometheus = true;
+      else if (args[i] == "--poll-ms") {
+        if (i + 1 >= args.size()) throw std::runtime_error("--poll-ms wants a value");
+        auto value = strings::parse_i64(args[++i]);
+        if (!value || *value <= 0) throw std::runtime_error("--poll-ms wants a positive integer");
+        poll_ms = *value;
+      } else if (!args[i].empty() && args[i][0] == '-') {
+        throw std::runtime_error("unknown option " + args[i]);
+      } else if (dir.empty()) {
+        dir = args[i];
+      } else {
+        throw std::runtime_error("more than one directory given");
+      }
+    }
+    if (dir.empty()) return usage(argv[0]);
+    // A spool root is accepted for convenience: use its telemetry/ child.
+    if (util::path_exists(dir + "/telemetry")) dir += "/telemetry";
+
+    struct sigaction action {};
+    action.sa_handler = handle_signal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+
+    if (!follow) {
+      std::vector<std::string> names = util::list_files(dir, ".tel");
+      if (names.empty()) {
+        std::fprintf(stderr, "ps-stat: no telemetry documents in %s\n",
+                     dir.c_str());
+        return 3;
+      }
+      if (!all) names.erase(names.begin(), names.end() - 1);  // newest only
+      return print_all(dir, names, prometheus) > 0 ? 0 : 3;
+    }
+
+    // Follow mode: print everything already there, then each new document
+    // as its name appears (atomic publishes make a listed name complete).
+    std::string last_seen;
+    while (!g_stop.load(std::memory_order_relaxed)) {
+      std::vector<std::string> names;
+      if (util::path_exists(dir)) names = util::list_files(dir, ".tel");
+      std::vector<std::string> fresh;
+      for (const std::string& name : names) {
+        if (name > last_seen) fresh.push_back(name);
+      }
+      if (!fresh.empty()) {
+        print_all(dir, fresh, prometheus);
+        last_seen = fresh.back();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ps-stat: %s\n", error.what());
+    return 1;
+  }
+}

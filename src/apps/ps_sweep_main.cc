@@ -28,6 +28,7 @@
 #include "dist/fault.h"
 #include "dist/protocol.h"
 #include "dist/worker.h"
+#include "util/log.h"
 #include "util/spool.h"
 #include "util/strings.h"
 
@@ -106,6 +107,8 @@ int drive_main(const std::vector<std::string>& args) {
     } else if (args[i] == "--poll-ms") options.poll_interval_ms = need_i64(args, i);
     else if (args[i] == "--quarantine") options.quarantine = true;
     else if (args[i] == "--resume") options.resume = true;
+    else if (args[i] == "--verbose") log::set_level(log::Level::Info);
+    else if (args[i] == "--log-json") log::set_format(log::Format::Json);
     else throw std::runtime_error("unknown drive option " + args[i]);
   }
   if (cells_path.empty()) throw std::runtime_error("drive wants --cells FILE");

@@ -4,13 +4,16 @@
 #include <cmath>
 #include <memory>
 
+#include "core/obs_publish.h"
 #include "core/powercap_manager.h"
 #include "core/submission_pump.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace ps::core {
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {
+  PS_TRACE_SPAN("core.run_scenario");
   PS_CHECK_MSG(config.racks >= 1, "scenario: racks >= 1");
 
   cluster::Cluster cl = cluster::curie::make_scaled_cluster(config.racks);
@@ -152,6 +155,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   result.summary = metrics::summarize(recorder, controller, 0, horizon);
   result.stats = controller.stats();
   result.samples = recorder.samples();
+  publish_replay_metrics(simulator, pump, manager);
   return result;
 }
 

@@ -1,0 +1,42 @@
+// Post-run publication of replay-engine totals into the process-wide obs
+// registry (obs/registry.h).
+//
+// The hot-path philosophy in one place: the simulator, event queue,
+// submission pump and admission cache all keep *plain* per-object counters
+// (single-threaded increments the optimizer can fold — the gated kernel
+// benches fence them), and this helper folds their totals into the
+// registry's atomic counters exactly once, after the replay finished (or at
+// a serve-tier telemetry tick). A sweep pool running many scenarios
+// concurrently accumulates into the same counters — each call adds one
+// run's totals, and the registry's relaxed adds make that race-free.
+#pragma once
+
+#include "core/powercap_manager.h"
+#include "core/submission_pump.h"
+#include "obs/registry.h"
+#include "sim/simulator.h"
+
+namespace ps::core {
+
+inline void publish_replay_metrics(const sim::Simulator& simulator,
+                                   const SubmissionPump& pump,
+                                   PowercapManager& manager) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.counter("core.events_fired").inc(simulator.fired_count());
+  registry.counter("core.events_scheduled").inc(simulator.scheduled_count());
+  registry.counter("core.jobs_submitted").inc(pump.submitted());
+  registry.counter("core.pump_refills").inc(pump.refills());
+  const OnlineGovernor::AdmissionCacheStats& cache =
+      manager.governor().admission_cache_stats();
+  registry.counter("core.admission_cache.hits").inc(cache.hits);
+  registry.counter("core.admission_cache.misses").inc(cache.misses);
+  registry.counter("core.admission_cache.invalidations")
+      .inc(cache.invalidations);
+  registry.counter("core.admission_cache.carries").inc(cache.carries);
+  registry.counter("core.admission_cache.key_evictions")
+      .inc(cache.key_evictions);
+  registry.counter("core.admission_cache.audits").inc(cache.audits);
+  registry.counter("core.admission_cache.fast_rejects").inc(cache.fast_rejects);
+}
+
+}  // namespace ps::core

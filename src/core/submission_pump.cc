@@ -8,6 +8,7 @@
 namespace ps::core {
 
 void SubmissionPump::refill() {
+  ++refills_;
   buffer_.clear();  // capacity retained: steady-state refills allocate
   cursor_ = 0;      // nothing once the largest chunk has been seen
   while (buffer_.empty() && more_ && chunk_end_ < horizon_) {

@@ -66,6 +66,11 @@ class SubmissionPump {
   /// Jobs handed to the controller so far.
   std::uint64_t submitted() const noexcept { return submitted_; }
 
+  /// Source pulls performed (one per buffered chunk) — published into the
+  /// obs registry by the scenario/serve layers at run end, never counted
+  /// through an atomic on the replay path.
+  std::uint64_t refills() const noexcept { return refills_; }
+
  private:
   void refill();
   void schedule_next();
@@ -83,6 +88,7 @@ class SubmissionPump {
   sim::Time chunk_end_ = -1;  // horizon of the chunk currently buffered
   bool more_ = true;
   std::uint64_t submitted_ = 0;
+  std::uint64_t refills_ = 0;
 };
 
 }  // namespace ps::core

@@ -10,6 +10,9 @@
 #include <unistd.h>
 
 #include "core/fingerprint.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "util/log.h"
 #include "util/spool.h"
 #include "util/strings.h"
 #include "util/subprocess.h"
@@ -85,8 +88,40 @@ std::string default_worker_command() {
 
 DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
                              const DriverOptions& options) {
+  PS_TRACE_SPAN("dist.run");
   DriverReport report;
   if (cells.empty()) return report;
+
+  // Registry-homed fault-tolerance counters (obs/registry.h): sites
+  // increment the process-wide counters, the report's fields are this
+  // run's deltas against the bases captured here.
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& c_resubmitted = registry.counter("dist.resubmitted_shards");
+  obs::Counter& c_reclaimed = registry.counter("dist.reclaimed_leases");
+  obs::Counter& c_fenced = registry.counter("dist.fenced_publishes");
+  obs::Counter& c_corrupt = registry.counter("dist.corrupt_documents");
+  obs::Counter& c_resumed = registry.counter("dist.resumed_cells");
+  obs::Counter& c_spawned = registry.counter("dist.workers_spawned");
+  const std::uint64_t base_resubmitted = c_resubmitted.value();
+  const std::uint64_t base_reclaimed = c_reclaimed.value();
+  const std::uint64_t base_fenced = c_fenced.value();
+  const std::uint64_t base_corrupt = c_corrupt.value();
+  const std::uint64_t base_resumed = c_resumed.value();
+  const std::uint64_t base_spawned = c_spawned.value();
+  auto finalize_report_counters = [&] {
+    report.resubmitted_shards =
+        static_cast<std::size_t>(c_resubmitted.value() - base_resubmitted);
+    report.reclaimed_leases =
+        static_cast<std::size_t>(c_reclaimed.value() - base_reclaimed);
+    report.fenced_publishes =
+        static_cast<std::size_t>(c_fenced.value() - base_fenced);
+    report.corrupt_documents =
+        static_cast<std::size_t>(c_corrupt.value() - base_corrupt);
+    report.resumed_cells =
+        static_cast<std::size_t>(c_resumed.value() - base_resumed);
+    report.workers_spawned =
+        static_cast<std::size_t>(c_spawned.value() - base_spawned);
+  };
   if (options.workers == 0) fail("workers must be >= 1");
   if (options.max_attempts == 0) fail("max_attempts must be >= 1");
   if (options.resume && options.spool_dir.empty()) {
@@ -173,10 +208,12 @@ DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
     util::remove_file(cells_dir + "/" + shard_file_name(id, st.token));
     util::remove_file(claimed_dir + "/" + heartbeat_file_name(id, st.token));
     st.lease_tracked = false;
-    ++report.resubmitted_shards;
+    c_resubmitted.inc();
     if (!exhaust_or_continue(id)) return;
     ++st.attempts;
     ++st.token;
+    PS_LOG(Warn) << "dist: shard " << id << " resubmitted (attempt "
+                 << st.attempts << "/" << options.max_attempts << ")";
     util::write_file_atomic(cells_dir + "/" + shard_file_name(id, st.token),
                             serialize_shard(shards[id]));
   };
@@ -211,12 +248,12 @@ DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
             throw SerdeError("record fails re-fingerprinting");
           }
         }
-        report.resumed_cells += parsed.records.size();
+        c_resumed.inc(parsed.records.size());
         st.done = true;
         st.token = sn->token;
         st.results = std::move(parsed);
       } catch (const SerdeError&) {
-        ++report.corrupt_documents;
+        c_corrupt.inc();
         util::remove_file(path);
       }
     }
@@ -316,7 +353,7 @@ DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
       if (sn->token != st.token) {
         // Zombie publish from a reclaimed attempt: fenced out by token.
         util::remove_file(path);
-        ++report.fenced_publishes;
+        c_fenced.inc();
         continue;
       }
       if (st.done || st.quarantined) continue;  // the accepted artifact itself
@@ -355,10 +392,13 @@ DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
           std::optional<SpoolName> cn = parse_spool_name(claim);
           if (cn && cn->id == sn->id) util::remove_file(claimed_dir + "/" + claim);
         }
+        PS_LOG(Info) << "dist: shard " << sn->id << " done ("
+                     << shard_count - unfinished() << "/" << shard_count
+                     << " shards complete)";
         progress = true;
         progress_since_spawn = true;
       } catch (const SerdeError& error) {
-        ++report.corrupt_documents;
+        c_corrupt.inc();
         util::remove_file(path);
         resubmit(sn->id);
         progress = true;
@@ -403,7 +443,9 @@ DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
       bool lease_expired = now - st.last_progress >= lease_timeout;
       if (!holder_is_dead_local && !lease_expired) continue;
       if (lease_expired && !holder_is_dead_local) {
-        ++report.reclaimed_leases;
+        c_reclaimed.inc();
+        PS_LOG(Warn) << "dist: shard " << sn->id
+                     << " lease expired — reclaiming from a hung holder";
         // A hung *local* holder is killed before its shard is re-issued;
         // a remote one is fenced out by the token bump alone.
         for (std::size_t i = 0; i < pool.size(); ++i) {
@@ -452,10 +494,13 @@ DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
     if (pool.size() < want) {
       for (std::size_t i = pool.size(); i < want; ++i) {
         pool.push_back(util::Subprocess::spawn(worker_argv));
-        ++report.workers_spawned;
+        c_spawned.inc();
       }
       spawned_any = true;
       progress_since_spawn = false;
+      PS_LOG(Info) << "dist: wave — " << pool.size() << " workers live, "
+                   << pending << " shards pending (" << claimed_now
+                   << " claimed)";
     }
 
     if (!progress) {
@@ -472,6 +517,7 @@ DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
   }
 
   // --- index-ordered, fingerprint-verified merge -----------------------------
+  PS_TRACE_SPAN("dist.merge");
   std::vector<core::ScenarioResult> results(cells.size());
   std::vector<std::uint64_t> fingerprints(cells.size(), 0);
   std::vector<bool> seen(cells.size(), false);
@@ -518,6 +564,7 @@ DriverReport run_distributed(const std::vector<core::ScenarioConfig>& cells,
   }
   report.results = std::move(results);
   report.fingerprints = std::move(fingerprints);
+  finalize_report_counters();
   return report;
 }
 

@@ -14,8 +14,11 @@
 
 #include "cluster/curie.h"
 #include "core/fingerprint.h"
+#include "core/obs_publish.h"
 #include "core/powercap_manager.h"
 #include "core/submission_pump.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "dist/fault.h"
 #include "dist/serde.h"
 #include "metrics/summary.h"
@@ -53,7 +56,15 @@ struct Shared {
   std::atomic<bool> accepting{true};
   std::atomic<std::int64_t> sim_time{0};
   std::atomic<std::uint64_t> admitted{0};
-  std::atomic<std::uint64_t> stalls{0};
+  /// Registry-homed ingest counters (obs/registry.h): the report's
+  /// backpressure figure is the run's delta of `stalls`; the claim and
+  /// journal counters are telemetry-only.
+  obs::Counter& stalls = obs::Registry::global().counter(
+      "serve.backpressure_stalls");
+  obs::Counter& ingest_claims =
+      obs::Registry::global().counter("serve.ingest.claims");
+  obs::Counter& ingest_journaled =
+      obs::Registry::global().counter("serve.ingest.journaled");
   /// Daemon-lifetime claim ordinal — the fault-site id of the ingest sites,
   /// so a chaos plan can target "the Nth claim of any generation".
   std::atomic<std::uint64_t> claims{0};
@@ -106,10 +117,12 @@ void ingest_loop(const ServeOptions& options, Shared& shared) {
       if (!decoded) continue;  // tmp litter from in-flight publishes
       ++backlog;
       if (shared.ingest_stop.load(std::memory_order_relaxed)) break;
+      PS_TRACE_SPAN("serve.ingest.doc");
       if (!util::claim_file(inbox + "/" + name, accepted + "/" + name,
                             claim_options)) {
         continue;  // vanished: only possible if an operator intervened
       }
+      shared.ingest_claims.inc();
       std::string text = util::read_file(accepted + "/" + name);
       IngestDoc doc;
       doc.is_hello = decoded->hello;
@@ -143,6 +156,7 @@ void ingest_loop(const ServeOptions& options, Shared& shared) {
             util::path_exists(journal + "/" + name),
             "serve ingest: claimed document vanished before it was journaled");
       }
+      shared.ingest_journaled.inc();
       if (options.faults.fires(dist::FaultSite::DieAfterClaim, ordinal,
                                shared.generation)) {
         emulate_sigkill();  // journaled but never applied: recovery replays it
@@ -152,7 +166,7 @@ void ingest_loop(const ServeOptions& options, Shared& shared) {
         // Backpressure: hold this document (claimed, so no other reader
         // can take it) and retry; flip the gate so clients back off.
         queue_full = true;
-        shared.stalls.fetch_add(1, std::memory_order_relaxed);
+        shared.stalls.inc();
         shared.accepting.store(false, std::memory_order_relaxed);
         publish_status(options, shared, status_seq);
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -220,6 +234,8 @@ ServeReport run_server(const ServeOptions& options) {
   PS_CHECK_MSG(options.checkpoint_jobs >= 0, "serve: checkpoint jobs >= 0");
   PS_CHECK_MSG(options.checkpoint_seconds >= 0,
                "serve: checkpoint seconds >= 0");
+  PS_CHECK_MSG(options.telemetry_seconds >= 0,
+               "serve: telemetry seconds >= 0 (0 = off)");
   if (options.mode == Mode::kWallClock) {
     PS_CHECK_MSG(options.accel > 0.0, "serve: wall-clock accel > 0");
   }
@@ -233,9 +249,33 @@ ServeReport run_server(const ServeOptions& options) {
   util::ensure_dir(journal);
   util::ensure_dir(ckpt_dir);
   util::ensure_dir(options.spool + "/control");
+  if (options.telemetry_seconds > 0) {
+    util::ensure_dir(options.spool + "/telemetry");
+  }
 
   ServeReport report;
   report.generation = bump_epoch(options.spool);
+
+  // Registry-homed run counters (obs/registry.h): each site increments the
+  // process-wide counter; the report's fields are the run's *deltas*
+  // against the values captured here ("report structs are snapshot
+  // views"). Control flow — checkpoint gating, recovery cross-checks —
+  // never reads the registry, so the measurement kill switch can zero the
+  // report without perturbing a replay.
+  obs::Registry& registry = obs::Registry::global();
+  obs::Counter& c_docs = registry.counter("serve.docs");
+  obs::Counter& c_admitted = registry.counter("serve.jobs_admitted");
+  obs::Counter& c_checkpoints = registry.counter("serve.checkpoints");
+  obs::Counter& c_ckpt_skipped = registry.counter("serve.checkpoints_skipped");
+  obs::Counter& c_pruned = registry.counter("serve.journal_pruned");
+  obs::Counter& c_recovered_docs = registry.counter("serve.recovered_docs");
+  obs::Counter& c_recovered_jobs = registry.counter("serve.recovered_jobs");
+  const std::uint64_t base_docs = c_docs.value();
+  const std::uint64_t base_checkpoints = c_checkpoints.value();
+  const std::uint64_t base_ckpt_skipped = c_ckpt_skipped.value();
+  const std::uint64_t base_pruned = c_pruned.value();
+  const std::uint64_t base_recovered_docs = c_recovered_docs.value();
+  const std::uint64_t base_recovered_jobs = c_recovered_jobs.value();
 
   // A spool that already holds claimed or checkpointed admission state is
   // a crashed run. Refusing to start without --recover is the whole point:
@@ -266,7 +306,9 @@ ServeReport run_server(const ServeOptions& options) {
       util::retire_file(accepted + "/" + name, journal + "/" + name,
                         /*durable=*/true);
     }
-    ckpt = load_newest_checkpoint(ckpt_dir, &report.checkpoints_skipped);
+    std::uint64_t skipped = 0;
+    ckpt = load_newest_checkpoint(ckpt_dir, &skipped);
+    c_ckpt_skipped.inc(skipped);
     if (ckpt) {
       PS_CHECK_MSG(ckpt->scenario_checksum == scenario_checksum,
                    "serve --recover: scenario flags differ from the "
@@ -300,7 +342,7 @@ ServeReport run_server(const ServeOptions& options) {
         // Checkpointed but not yet pruned (crash inside the prune window):
         // the document already lives in a segment; finish the prune now.
         util::remove_file(journal + "/" + name);
-        ++report.journal_pruned;
+        c_pruned.inc();
         continue;
       }
       Submission sub = parse_submission(util::read_file(journal + "/" + name));
@@ -312,6 +354,16 @@ ServeReport run_server(const ServeOptions& options) {
 
   Shared shared(options.queue_capacity);
   shared.generation = report.generation;
+  const std::uint64_t base_stalls = shared.stalls.value();
+  auto finalize_report_counters = [&] {
+    report.docs = c_docs.value() - base_docs;
+    report.backpressure_stalls = shared.stalls.value() - base_stalls;
+    report.checkpoints = c_checkpoints.value() - base_checkpoints;
+    report.checkpoints_skipped = c_ckpt_skipped.value() - base_ckpt_skipped;
+    report.journal_pruned = c_pruned.value() - base_pruned;
+    report.recovered_docs = c_recovered_docs.value() - base_recovered_docs;
+    report.recovered_jobs = c_recovered_jobs.value() - base_recovered_jobs;
+  };
   std::thread ingest([&] {
     try {
       ingest_loop(options, shared);
@@ -344,6 +396,10 @@ ServeReport run_server(const ServeOptions& options) {
                       std::greater<PendingLatency>>
       pending_latency;
   int hellos = 0;
+  // Documents applied (control state for checkpoint gating and the
+  // checkpointed cumulative count — deliberately not the registry counter,
+  // which the kill switch may zero).
+  std::uint64_t docs_applied = 0;
 
   auto stop_requested = [&] {
     return options.stop && options.stop->load(std::memory_order_relaxed);
@@ -388,7 +444,8 @@ ServeReport run_server(const ServeOptions& options) {
       client.watermark = doc.watermark;
       client.eof = doc.eof;
       ++client.next_seq;
-      ++report.docs;
+      ++docs_applied;
+      c_docs.inc();
       if (client.has_expect_fp && client.next_seq == client.expect_fp_at_seq) {
         // The replayed history reached the checkpoint's floor: any serde
         // drift, reordering or lost document diverges here, loudly, instead
@@ -439,6 +496,7 @@ ServeReport run_server(const ServeOptions& options) {
     check_ingest_alive();
     if (stop_requested()) {
       report.interrupted = true;
+      finalize_report_counters();
       return report;
     }
     PS_CHECK_MSG(options.hello_timeout_ms <= 0 ||
@@ -479,13 +537,14 @@ ServeReport run_server(const ServeOptions& options) {
     report.latency = util::QuantileSketch::parse(ckpt->sketch);
   }
   if (!recovered_subs.empty()) {
+    PS_TRACE_SPAN("serve.recover.replay");
     measure_latency = false;
     // Every recovered document applies: the journal is a per-client
     // seq-prefix (claims happen in sorted listing order), so replay never
     // leaves a gap-blocked straggler behind.
-    report.recovered_docs = recovered_subs.size();
+    c_recovered_docs.inc(recovered_subs.size());
     for (Submission& sub : recovered_subs) {
-      report.recovered_jobs += sub.jobs.size();
+      c_recovered_jobs.inc(sub.jobs.size());
       IngestDoc doc;
       doc.submission = std::move(sub);
       process(std::move(doc));
@@ -600,6 +659,7 @@ ServeReport run_server(const ServeOptions& options) {
 
   auto advance_to = [&](sim::Time target) {
     if (target <= simulator.now() && target <= committed) return;
+    PS_TRACE_SPAN("serve.advance");
     if (target > committed) {
       committed = target;
       source.commit_watermark(std::min(target, horizon));
@@ -628,6 +688,56 @@ ServeReport run_server(const ServeOptions& options) {
                      : " [backpressure]");
   };
 
+  // --- telemetry -------------------------------------------------------------
+  // Wall-clock-paced publication of sealed registry snapshots into
+  // <spool>/telemetry/ (the obs/registry.h wire format). Snapshots carry
+  // both clock domains: sim_time_ms from the simulation clock, wall/mono
+  // stamps taken at snapshot time. Pure observation: nothing here feeds
+  // back into the replay, so telemetry on/off cannot move the fingerprint
+  // (the fence of tests/serve_telemetry_test.cc).
+  const std::string tele_dir = options.spool + "/telemetry";
+  std::uint64_t tele_seq = 0;
+  std::int64_t last_tele_ns = clock_epoch_ns;
+  std::uint64_t admitted_synced = 0;
+  auto sync_admitted = [&] {
+    const std::uint64_t total = pump.submitted();
+    if (total > admitted_synced) {
+      c_admitted.inc(total - admitted_synced);
+      admitted_synced = total;
+    }
+  };
+  obs::Gauge& g_queue = registry.gauge("serve.queue_depth");
+  obs::Gauge& g_accepting = registry.gauge("serve.accepting");
+  obs::Gauge& g_p50 = registry.gauge("serve.latency_p50_ms");
+  obs::Gauge& g_p99 = registry.gauge("serve.latency_p99_ms");
+  auto telemetry_publish = [&] {
+    sync_admitted();
+    g_queue.set(static_cast<double>(shared.queue.size()));
+    g_accepting.set(
+        shared.accepting.load(std::memory_order_relaxed) ? 1.0 : 0.0);
+    if (report.latency.count() > 0) {
+      g_p50.set(report.latency.quantile(0.5));
+      g_p99.set(report.latency.quantile(0.99));
+    }
+    obs::Snapshot snap = registry.snapshot(/*sim_time_ms=*/simulator.now());
+    snap.seq = ++tele_seq;
+    util::write_file_atomic(
+        tele_dir + "/" +
+            strings::format("tele-%08llu.tel",
+                            static_cast<unsigned long long>(tele_seq)),
+        obs::serialize_snapshot(snap), /*durable=*/false);
+  };
+  auto telemetry_tick = [&] {
+    if (options.telemetry_seconds <= 0) return;
+    const std::int64_t now_ns = monotonic_ns();
+    if (now_ns - last_tele_ns <
+        options.telemetry_seconds * 1'000'000'000) {
+      return;
+    }
+    last_tele_ns = now_ns;
+    telemetry_publish();
+  };
+
   // --- checkpointing ---------------------------------------------------------
   // Write order is the crash-safety argument (serve/journal.h): segment,
   // then checkpoint, then journal prune — each durable before the next
@@ -639,6 +749,7 @@ ServeReport run_server(const ServeOptions& options) {
   sim::Time sim_at_ckpt = ckpt ? std::max<sim::Time>(ckpt->committed, 0) : 0;
 
   auto write_checkpoint = [&] {
+    PS_TRACE_SPAN("serve.checkpoint");
     const std::uint64_t seq = ckpt_next_seq;
     if (options.faults.fires(dist::FaultSite::DieBeforeCheckpoint, seq,
                              report.generation)) {
@@ -650,7 +761,7 @@ ServeReport run_server(const ServeOptions& options) {
     snapshot.seq = seq;
     snapshot.committed = committed;
     snapshot.admitted = pump.submitted();
-    snapshot.docs = report.docs;
+    snapshot.docs = docs_applied;
     snapshot.clamped = source.clamped();
     snapshot.scenario_checksum = scenario_checksum;
     std::vector<std::string> prune;
@@ -699,13 +810,13 @@ ServeReport run_server(const ServeOptions& options) {
     // 3. Prune the compacted journal suffix.
     for (const std::string& file : prune) {
       util::remove_file(journal + "/" + file);
-      ++report.journal_pruned;
+      c_pruned.inc();
     }
     for (const auto& [name, client] : clients) compacted[name] = client.next_seq;
     ckpt_next_seq = seq + 1;
-    ++report.checkpoints;
+    c_checkpoints.inc();
     jobs_at_ckpt = pump.submitted();
-    docs_at_ckpt = report.docs;
+    docs_at_ckpt = docs_applied;
     sim_at_ckpt = simulator.now();
   };
 
@@ -713,7 +824,7 @@ ServeReport run_server(const ServeOptions& options) {
     if (options.checkpoint_jobs == 0 && options.checkpoint_seconds == 0) return;
     // Progress-gated: an idle daemon (or one advancing over a quiet stretch
     // of simulated time) must not write a stream of identical checkpoints.
-    if (pump.submitted() == jobs_at_ckpt && report.docs == docs_at_ckpt) return;
+    if (pump.submitted() == jobs_at_ckpt && docs_applied == docs_at_ckpt) return;
     // `submitted() >= jobs_at_ckpt` guards the window right after recovery,
     // before the first advance re-submits the replayed history.
     bool due = options.checkpoint_jobs > 0 && pump.submitted() >= jobs_at_ckpt &&
@@ -780,23 +891,28 @@ ServeReport run_server(const ServeOptions& options) {
     }
     maybe_checkpoint();
     stats_tick();
+    telemetry_tick();
   }
 
   // --- drain -----------------------------------------------------------------
   // Every client finished (or we were told to stop): no job will ever be
   // pushed again. Close the stream and run out the drain hour.
-  source.close();
-  sim::Time finish = std::max(horizon, source.max_submit() + sim::hours(1));
-  finish = std::max(finish, simulator.now());
-  committed = std::max(committed, finish);
-  pump.extend_horizon(finish);
-  simulator.run_until(finish);
-  harvest_latency();
-  PS_CHECK_MSG(pump.fully_drained(),
-               "serve: jobs were pushed but never replayed — horizon bug");
-  shared.sim_time.store(simulator.now(), std::memory_order_relaxed);
-  shared.admitted.store(pump.submitted(), std::memory_order_relaxed);
-  joiner.join();
+  {
+    PS_TRACE_SPAN("serve.drain");
+    source.close();
+    sim::Time finish = std::max(horizon, source.max_submit() + sim::hours(1));
+    finish = std::max(finish, simulator.now());
+    committed = std::max(committed, finish);
+    pump.extend_horizon(finish);
+    simulator.run_until(finish);
+    harvest_latency();
+    PS_CHECK_MSG(pump.fully_drained(),
+                 "serve: jobs were pushed but never replayed — horizon bug");
+    shared.sim_time.store(simulator.now(), std::memory_order_relaxed);
+    shared.admitted.store(pump.submitted(), std::memory_order_relaxed);
+    joiner.join();
+  }
+  const sim::Time finish = simulator.now();
 
   recorder.sample(finish);
   double drift = cl.watts() - cl.audit_watts();
@@ -815,7 +931,6 @@ ServeReport run_server(const ServeOptions& options) {
   report.fingerprint = core::fingerprint(result);
   report.admitted = pump.submitted();
   report.clamped = source.clamped();
-  report.backpressure_stalls = shared.stalls.load(std::memory_order_relaxed);
   report.peak_queue = shared.queue.peak();
   report.wall_ms = (monotonic_ns() - clock_epoch_ns) / 1'000'000;
   report.jobs_per_sec =
@@ -827,6 +942,14 @@ ServeReport run_server(const ServeOptions& options) {
     PS_CHECK_MSG(report.admitted == report.jobs_declared,
                  "serve: admitted job count does not match the hellos");
   }
+  // Fold this run's totals into the process-wide registry and derive the
+  // report's counter fields as run deltas; the final telemetry document
+  // (when enabled) then carries everything, latency histogram included.
+  sync_admitted();
+  registry.histogram("serve.latency_ms").merge(report.latency);
+  core::publish_replay_metrics(simulator, pump, manager);
+  finalize_report_counters();
+  if (options.telemetry_seconds > 0) telemetry_publish();
   return report;
 }
 

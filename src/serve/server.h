@@ -80,6 +80,10 @@ struct ServeOptions {
   std::int64_t drain_wait_ms = 20;      ///< serve-loop queue wait
   std::int64_t status_interval_ms = 50; ///< status document refresh
   std::int64_t stats_interval_ms = 2000;///< stderr progress tick; 0 = off
+  /// Publish a sealed obs-registry snapshot into <spool>/telemetry/ every
+  /// this many wall seconds (plus one final document at drain). 0 = off.
+  /// Pure observation — cannot move the replay fingerprint.
+  std::int64_t telemetry_seconds = 0;
   /// Abort the hello wait after this long (0 = wait forever). A missing
   /// client is a deployment bug; failing loudly beats hanging.
   std::int64_t hello_timeout_ms = 60'000;

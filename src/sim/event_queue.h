@@ -125,6 +125,11 @@ class EventQueue {
   /// Number of live events.
   std::size_t size() const noexcept { return live_count_; }
 
+  /// Total events ever pushed (the sequence counter — cancellations
+  /// included). Cold accessor for post-run registry publishing
+  /// (obs/registry.h); the hot push path keeps its plain counters.
+  std::uint64_t pushed_count() const noexcept { return next_seq_; }
+
   /// Time of the earliest live event; kTimeMax when empty.
   Time next_time() const {
     const Entry* top = peek();

@@ -62,6 +62,9 @@ class Simulator {
 
   /// Total events fired since construction.
   std::uint64_t fired_count() const noexcept { return fired_; }
+  /// Total events ever scheduled (cancellations included) — cold accessor
+  /// for post-run registry publishing.
+  std::uint64_t scheduled_count() const noexcept { return queue_.pushed_count(); }
 
  private:
   EventQueue queue_;

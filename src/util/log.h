@@ -4,6 +4,17 @@
 // several simulations from a thread pool, so the sink is mutex-protected.
 // Logging is off (Level::Warn) by default in benches/tests to keep output
 // reproducible; examples turn it up.
+//
+// Output shape is configurable without touching call sites:
+//   * Format::Plain (default) emits exactly `[LEVEL] message` — byte-identical
+//     to what this logger has always produced, so fenced stderr expectations
+//     never move.
+//   * set_stamping(true) prefixes each Plain line with a UTC wall-clock
+//     timestamp and a small per-thread ordinal: `[2026-08-08T12:00:00.123Z]
+//     [t3] [INFO] message` — for correlating daemon logs with telemetry
+//     documents (obs/registry.h).
+//   * Format::Json emits one JSON object per line ({"ts":...,"tid":...,
+//     "level":...,"msg":...}) for log shippers; always stamped.
 #pragma once
 
 #include <mutex>
@@ -14,9 +25,20 @@ namespace ps::log {
 
 enum class Level { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
+enum class Format { Plain = 0, Json = 1 };
+
 /// Global log threshold; messages below it are discarded.
 void set_level(Level level) noexcept;
 Level level() noexcept;
+
+/// Sink format; Plain by default (and byte-identical to the historical
+/// output unless stamping is on).
+void set_format(Format format) noexcept;
+Format format() noexcept;
+
+/// Plain-format wall-clock + thread-ordinal prefix. Off by default.
+void set_stamping(bool stamping) noexcept;
+bool stamping() noexcept;
 
 /// Returns a short uppercase tag ("TRACE".."ERROR") for a level.
 const char* level_name(Level level) noexcept;

@@ -14,11 +14,34 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/registry.h"
+
 namespace ps::util {
 
 namespace fs = std::filesystem;
 
 namespace {
+
+// Spool verbs are the I/O hot path of every serve/sweep tier, so their
+// counters live directly in the registry — this is what keeps the <2 %
+// observability fence on BM_ServeIngest honest (the registry is *on* the
+// benched path, not beside it). Registration happens once per process via
+// the function-local statics; each call afterwards is one relaxed inc.
+obs::Counter& publishes_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("spool.publishes");
+  return counter;
+}
+obs::Counter& claims_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("spool.claims");
+  return counter;
+}
+obs::Counter& claim_races_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("spool.claim_races");
+  return counter;
+}
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
   throw std::runtime_error("spool: " + what + " '" + path +
@@ -78,6 +101,7 @@ void write_file_atomic(const std::string& path, const std::string& content,
   if ((durable && ::fsync(fd) < 0) || ::close(fd) < 0) fail("fsync", tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) fail("rename", tmp);
   if (durable) fsync_parent_dir(path);
+  publishes_counter().inc();
 }
 
 std::vector<std::string> list_files(const std::string& dir, const std::string& suffix) {
@@ -116,7 +140,10 @@ bool claim_file(const std::string& from, const std::string& to,
   std::int64_t backoff_ms = options.claim_backoff_initial_ms;
   for (int attempt = 0;; ++attempt) {
     if (std::rename(from.c_str(), to.c_str()) == 0) break;
-    if (errno == ENOENT) return false;  // lost the race — somebody claimed it
+    if (errno == ENOENT) {
+      claim_races_counter().inc();
+      return false;  // lost the race — somebody claimed it
+    }
     bool transient = errno == EBUSY || errno == ESTALE || errno == EAGAIN;
     if (!transient || attempt >= options.claim_retries) fail("claim", from);
     ::usleep(static_cast<useconds_t>(
@@ -125,6 +152,7 @@ bool claim_file(const std::string& from, const std::string& to,
     backoff_ms *= 2;
   }
   if (options.durable) fsync_parent_dir(to);
+  claims_counter().inc();
   return true;
 }
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a ps-serve telemetry spool directory from outside the binary.
+
+Re-implements the seal and the `telemetry v1` wire format (src/obs/
+registry.h) in ~100 lines of stdlib Python, so CI can assert — with no C++
+in the loop — that the documents a daemon published are:
+
+  * well-sealed: the trailing `checksum <hex64>` line is the FNV-1a digest
+    of every body byte (util/seal.h);
+  * well-formed: header, stamps, and only counter/gauge/hist lines;
+  * monotonic: seq strictly increases across documents, wall/monotonic
+    stamps never go backward, and no counter ever decreases — the
+    registry's snapshot-consistency promise observed end to end.
+
+Usage:
+  tools/check_telemetry.py SPOOL_DIR [--min-docs N]
+
+SPOOL_DIR may be the telemetry directory itself or a spool root containing
+telemetry/. Exit code 1 on any violation, 2 on usage errors.
+"""
+
+import argparse
+import os
+import sys
+
+FNV_OFFSET = 0xcbf29ce484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = (1 << 64) - 1
+
+
+def fnv1a(data: bytes) -> int:
+    h = FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * FNV_PRIME) & MASK64
+    return h
+
+
+def open_document(text: bytes, name: str) -> str:
+    """Verifies and strips the trailing checksum line; returns the body."""
+    lines = text.split(b"\n")
+    if len(lines) < 2 or lines[-1] != b"" or not lines[-2].startswith(b"checksum "):
+        raise ValueError(f"{name}: unsealed or truncated (no checksum line)")
+    seal_line = lines[-2]
+    body = text[: len(text) - len(seal_line) - 1]
+    want = seal_line.split()[1].decode()
+    got = format(fnv1a(body), "016x")
+    if want != got:
+        raise ValueError(f"{name}: checksum mismatch (want {want}, got {got})")
+    return body.decode()
+
+
+def parse_telemetry(body: str, name: str) -> dict:
+    lines = body.splitlines()
+    if not lines or lines[0] != "telemetry v1":
+        raise ValueError(f"{name}: missing 'telemetry v1' header")
+    doc = {"counters": {}, "gauges": {}, "hists": {}}
+    for line in lines[1:]:
+        key, _, rest = line.partition(" ")
+        if key in ("seq", "wall_ns", "mono_ns", "sim_time_ms"):
+            doc[key] = int(rest)
+        elif key == "counter":
+            cname, value = rest.rsplit(" ", 1)
+            doc["counters"][cname] = int(value)
+        elif key == "gauge":
+            gname, value = rest.rsplit(" ", 1)
+            doc["gauges"][gname] = float(value)
+        elif key == "hist":
+            fields = rest.split(" ")
+            doc["hists"][fields[0]] = [float(f) for f in fields[1:]]
+        else:
+            raise ValueError(f"{name}: unknown line kind {key!r}")
+    for required in ("seq", "wall_ns", "mono_ns", "sim_time_ms"):
+        if required not in doc:
+            raise ValueError(f"{name}: missing {required} stamp")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dir", help="telemetry directory (or spool root)")
+    parser.add_argument("--min-docs", type=int, default=1,
+                        help="fail unless at least this many documents exist")
+    args = parser.parse_args()
+
+    tel_dir = args.dir
+    nested = os.path.join(tel_dir, "telemetry")
+    if os.path.isdir(nested):
+        tel_dir = nested
+    if not os.path.isdir(tel_dir):
+        print(f"FAIL: {tel_dir} is not a directory")
+        return 2
+
+    names = sorted(n for n in os.listdir(tel_dir) if n.endswith(".tel"))
+    if len(names) < args.min_docs:
+        print(f"FAIL: {len(names)} telemetry document(s) in {tel_dir}, "
+              f"wanted >= {args.min_docs}")
+        return 1
+
+    violations = 0
+    prev = None
+    for name in names:
+        with open(os.path.join(tel_dir, name), "rb") as f:
+            raw = f.read()
+        try:
+            doc = parse_telemetry(open_document(raw, name), name)
+        except ValueError as error:
+            print(f"FAIL: {error}")
+            violations += 1
+            continue
+        if prev is not None:
+            if doc["seq"] <= prev["seq"]:
+                print(f"FAIL: {name}: seq {doc['seq']} <= previous {prev['seq']}")
+                violations += 1
+            if doc["mono_ns"] < prev["mono_ns"]:
+                print(f"FAIL: {name}: monotonic stamp went backward")
+                violations += 1
+            for cname, value in doc["counters"].items():
+                before = prev["counters"].get(cname)
+                if before is not None and value < before:
+                    print(f"FAIL: {name}: counter {cname} decreased "
+                          f"({before} -> {value})")
+                    violations += 1
+        prev = doc
+
+    if violations:
+        print(f"\nFAIL: {violations} telemetry violation(s) across {len(names)} document(s)")
+        return 1
+    print(f"telemetry check: {len(names)} sealed document(s), stamps and "
+          f"counters monotonic")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
