@@ -32,6 +32,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "rjms/controller.h"
+#include "serve/fair.h"
 #include "serve/protocol.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
@@ -625,6 +626,46 @@ void BM_ServeIngest(benchmark::State& state) {
                           static_cast<std::int64_t>(submission.jobs.size()));
 }
 BENCHMARK(BM_ServeIngest);
+
+// Deficit-weighted round-robin admission bookkeeping (serve/fair.h) in
+// isolation: one admit cycle over 8 backlogged tenants with weights 1..4,
+// draining each tenant's deficit with mixed-cost documents until every
+// tenant defers. This is pure map arithmetic — no I/O, no clock reads —
+// and it runs once per serve-loop iteration, so its price bounds how much
+// the fairness layer can add to ingest latency. items_processed counts
+// try_admit calls.
+void BM_ServeFairAdmit(benchmark::State& state) {
+  serve::TenantQuotaOptions options;
+  options.quantum_jobs = 64;
+  options.window_ms = 100;
+  options.window_jobs = 4096;
+  serve::FairAdmitter admitter(options);
+  std::vector<std::string> tenants;
+  for (int t = 0; t < 8; ++t) {
+    tenants.push_back("tenant" + std::to_string(t));
+    admitter.add_tenant(tenants.back(), static_cast<std::uint64_t>(t % 4 + 1));
+  }
+  const std::uint64_t costs[4] = {16, 64, 33, 7};
+  std::int64_t now_ms = 0;
+  std::int64_t admits = 0;
+  for (auto _ : state) {
+    admitter.begin_cycle(now_ms, tenants);
+    bool progressed = true;
+    std::size_t round = 0;
+    while (progressed) {
+      progressed = false;
+      for (const std::string& tenant : tenants) {
+        if (admitter.try_admit(tenant, costs[round % 4])) progressed = true;
+        ++admits;
+      }
+      ++round;
+    }
+    now_ms += options.window_ms;  // fresh window each iteration
+    benchmark::DoNotOptimize(admitter.window_deferrals());
+  }
+  state.SetItemsProcessed(admits);
+}
+BENCHMARK(BM_ServeFairAdmit);
 
 // --- observability overhead ---------------------------------------------------
 //

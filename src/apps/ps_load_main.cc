@@ -6,10 +6,21 @@
 //       [--batch-jobs N] [--accel X]          X=0: firehose (default)
 //       [--keep-zero-runtime] [--max-jobs N]
 //       [--inbox-high-water N]
+//       [--tenant NAME] [--weight N]          fair-admission identity
+//                                             (default: tenant = client
+//                                             name, weight 1)
+//       [--faults SPEC]                       hostile-client chaos sites
+//                                             (corrupt_submission,
+//                                             flood_burst, stall_client,
+//                                             dup_publish, lie_watermark;
+//                                             spec grammar of dist::FaultPlan)
+//       [--flood-docs N]                      documents per flood burst (8)
 //
 //   ps-load --spool DIR --swf FILE --clients N [...same tuning...]
 //       parent mode: spawns N child processes of this binary (client
 //       names c0..c(N-1)), waits for all, exits non-zero if any failed.
+//       --tenant/--weight/--faults forward to every child; with no
+//       --tenant each child bills as its own tenant (c0..c(N-1)).
 #include <algorithm>
 #include <cstdio>
 #include <stdexcept>
@@ -29,7 +40,8 @@ int usage(const char* argv0) {
                "usage: %s --spool DIR --swf FILE --client NAME\n"
                "          [--client-index I --client-count N] [--batch-jobs N]\n"
                "          [--accel X] [--keep-zero-runtime] [--max-jobs N]\n"
-               "          [--inbox-high-water N]\n"
+               "          [--inbox-high-water N] [--tenant NAME] [--weight N]\n"
+               "          [--faults SPEC] [--flood-docs N]\n"
                "       %s --spool DIR --swf FILE --clients N [...]\n",
                argv0, argv0);
   return 2;
@@ -103,6 +115,15 @@ int main(int argc, char** argv) {
         options.inbox_high_water = static_cast<std::size_t>(need_i64(args, i));
       } else if (args[i] == "--gate-patience-ms") {
         options.gate_patience_ms = need_i64(args, i);
+      } else if (args[i] == "--tenant") {
+        options.tenant = need_value(args, i);
+      } else if (args[i] == "--weight") {
+        options.weight = static_cast<std::uint64_t>(need_i64(args, i));
+        if (options.weight == 0) throw std::runtime_error("--weight wants >= 1");
+      } else if (args[i] == "--faults") {
+        options.faults = dist::FaultPlan::parse(need_value(args, i));
+      } else if (args[i] == "--flood-docs") {
+        options.flood_docs = static_cast<int>(need_i64(args, i));
       } else throw std::runtime_error("unknown option " + args[i]);
       if (tune) tuning.insert(tuning.end(), args.begin() + flag, args.begin() + i + 1);
     }

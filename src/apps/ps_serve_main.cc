@@ -27,6 +27,19 @@
 //       [--telemetry-seconds N]     publish a sealed obs-registry snapshot
 //                                  into <spool>/telemetry/ every N wall
 //                                  seconds (read with ps-stat; 0 = off)
+//       [--quantum-jobs N]          DRR admission credit per tenant weight
+//                                  unit per cycle (256)
+//       [--admit-window-ms N]       quota/slow-start window length (100)
+//       [--tenant-window-jobs N]    jobs a tenant may admit per window
+//                                  (0 = unlimited)
+//       [--tenant-inflight-docs N]  claimed-but-unadmitted documents per
+//                                  tenant before ingest holds its claims
+//                                  (256; 0 = unlimited)
+//       [--poison-threshold N]      poison documents before a tenant is
+//                                  abandoned and quarantined (8; 0 = never)
+//       [--slow-start-docs N]       post-recovery claim allowance in the
+//                                  first window, doubling per window
+//                                  (32; 0 = off)
 //       [--trace-out FILE]          record trace spans and write Chrome
 //                                  trace-event JSON on exit (load in
 //                                  chrome://tracing or Perfetto)
@@ -68,7 +81,11 @@ int usage(const char* argv0) {
                "          [--checkpoint-seconds N] [--journal-fsync] "
                "[--faults SPEC]\n"
                "          [--telemetry-seconds N] [--trace-out FILE] "
-               "[--log-json]\n",
+               "[--log-json]\n"
+               "          [--quantum-jobs N] [--admit-window-ms N] "
+               "[--tenant-window-jobs N]\n"
+               "          [--tenant-inflight-docs N] [--poison-threshold N] "
+               "[--slow-start-docs N]\n",
                argv0);
   return 2;
 }
@@ -155,6 +172,18 @@ int main(int argc, char** argv) {
         options.faults = dist::FaultPlan::parse(need_value(args, i));
       } else if (args[i] == "--telemetry-seconds") {
         options.telemetry_seconds = need_i64(args, i);
+      } else if (args[i] == "--quantum-jobs") {
+        options.quotas.quantum_jobs = static_cast<std::uint64_t>(need_i64(args, i));
+      } else if (args[i] == "--admit-window-ms") {
+        options.quotas.window_ms = need_i64(args, i);
+      } else if (args[i] == "--tenant-window-jobs") {
+        options.quotas.window_jobs = static_cast<std::uint64_t>(need_i64(args, i));
+      } else if (args[i] == "--tenant-inflight-docs") {
+        options.tenant_inflight_docs = static_cast<std::uint64_t>(need_i64(args, i));
+      } else if (args[i] == "--poison-threshold") {
+        options.poison_threshold = static_cast<std::uint64_t>(need_i64(args, i));
+      } else if (args[i] == "--slow-start-docs") {
+        options.slow_start_docs = static_cast<std::uint64_t>(need_i64(args, i));
       } else if (args[i] == "--trace-out") {
         trace_out = need_value(args, i);
       } else if (args[i] == "--log-json") {

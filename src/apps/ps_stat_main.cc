@@ -7,7 +7,10 @@
 //                               telemetry/ subdirectory is used when present)
 //       [--all]                 pretty-print every snapshot, oldest first
 //       [--follow]              keep polling and print each new snapshot as
-//                               it is published (SIGINT/SIGTERM exit clean)
+//                               it is published (SIGINT/SIGTERM exit clean);
+//                               survives the directory being rotated or
+//                               removed mid-tail — warns on stderr and
+//                               reopens instead of exiting or going silent
 //       [--prometheus]          Prometheus text exposition instead of the
 //                               human table (newest snapshot, or each new
 //                               one under --follow)
@@ -66,6 +69,34 @@ void pretty_print(const obs::Snapshot& snap) {
                 strings::human_duration_ms(snap.sim_time_ms).c_str());
   }
   std::printf("\n");
+  // The overload/hostile-client counters get a one-line digest above the
+  // raw table: the question a tailing operator actually asks is "is
+  // anything being quarantined or throttled right now", not five lookups.
+  std::uint64_t overload[6] = {0, 0, 0, 0, 0, 0};
+  static const char* kOverload[6] = {
+      "serve.quarantine.docs",     "serve.quarantine.jobs",
+      "serve.quarantine.poisoned_tenants", "serve.quota.window_deferrals",
+      "serve.quota.inflight_holds", "serve.slow_start.holds"};
+  bool has_overload = false;
+  for (const obs::Snapshot::CounterValue& c : snap.counters) {
+    for (int i = 0; i < 6; ++i) {
+      if (c.name == kOverload[i]) {
+        overload[i] = c.value;
+        has_overload = true;
+      }
+    }
+  }
+  if (has_overload) {
+    std::printf("  overload: quarantined=%llu docs / %llu jobs, "
+                "poisoned_tenants=%llu, quota_deferrals=%llu, "
+                "inflight_holds=%llu, slow_start_holds=%llu\n",
+                static_cast<unsigned long long>(overload[0]),
+                static_cast<unsigned long long>(overload[1]),
+                static_cast<unsigned long long>(overload[2]),
+                static_cast<unsigned long long>(overload[3]),
+                static_cast<unsigned long long>(overload[4]),
+                static_cast<unsigned long long>(overload[5]));
+  }
   for (const obs::Snapshot::CounterValue& c : snap.counters) {
     std::printf("  %-40s %llu\n", c.name.c_str(),
                 static_cast<unsigned long long>(c.value));
@@ -156,10 +187,38 @@ int main(int argc, char** argv) {
 
     // Follow mode: print everything already there, then each new document
     // as its name appears (atomic publishes make a listed name complete).
+    // The directory may be rotated or removed under us (spool cleanup, a
+    // restarted daemon re-creating it with the sequence reset to zero):
+    // both are survived loudly — warn once, forget the high-water name,
+    // and keep tailing from whatever appears next.
     std::string last_seen;
+    bool dir_present = util::path_exists(dir);
     while (!g_stop.load(std::memory_order_relaxed)) {
+      const bool present = util::path_exists(dir);
+      if (dir_present && !present) {
+        std::fprintf(stderr,
+                     "ps-stat: telemetry directory %s vanished; waiting for "
+                     "it to reappear\n",
+                     dir.c_str());
+        last_seen.clear();
+      } else if (!dir_present && present) {
+        std::fprintf(stderr, "ps-stat: telemetry directory %s reappeared; "
+                             "following from the start\n",
+                     dir.c_str());
+      }
+      dir_present = present;
       std::vector<std::string> names;
-      if (util::path_exists(dir)) names = util::list_files(dir, ".tel");
+      if (present) names = util::list_files(dir, ".tel");
+      if (!names.empty() && !last_seen.empty() && names.back() < last_seen) {
+        // Rotation without an observed removal window: every listed name
+        // sorts below the newest one we printed, so the publisher's
+        // sequence was reset. Reopen rather than skip forever.
+        std::fprintf(stderr,
+                     "ps-stat: telemetry sequence in %s reset (rotation?); "
+                     "following from the start\n",
+                     dir.c_str());
+        last_seen.clear();
+      }
       std::vector<std::string> fresh;
       for (const std::string& name : names) {
         if (name > last_seen) fresh.push_back(name);

@@ -21,6 +21,9 @@ constexpr const char* kSiteTokens[kFaultSiteCount] = {
     // serve-tier sites (see fault.h)
     "die_after_claim", "die_before_checkpoint", "torn_checkpoint",
     "die_after_checkpoint", "stall_ingest",
+    // hostile-client sites (see fault.h)
+    "corrupt_submission", "flood_burst", "stall_client", "dup_publish",
+    "lie_watermark",
 };
 
 }  // namespace

@@ -67,9 +67,25 @@ enum class FaultSite {
   TornCheckpoint,       // truncated checkpoint under the final name, then die
   DieAfterCheckpoint,   // SIGKILL after checkpoint + journal prune
   StallIngest,          // ingest thread naps (slow disk / NFS stall)
+  // Hostile-client sites (src/serve/load_gen.cc, driven by ps-load
+  // --faults): shard_id is the submission sequence number the client is
+  // about to publish, attempt is the client's fleet index — so one spec
+  // shared by a whole `ps-load --clients N` fleet still draws independent
+  // faults per (client, document). These emulate the client-side failure
+  // modes a multi-tenant server must absorb without losing well-formed
+  // work (the hostile-client storm in CI):
+  CorruptSubmission,    // corrupted bytes under the real name, then the
+                        // good document republished once the server claims
+                        // the poison (bitrot / torn client write + retry)
+  FloodBurst,           // a burst published with the backpressure gate and
+                        // pacing ignored (greedy or buggy client)
+  StallClient,          // client naps mid-stream (GC pause, swapped host)
+  DupPublish,           // the same document published twice (lost-ack retry)
+  LieWatermark,         // watermark inflated far past the truth (a lying
+                        // client trying to drag the sim clock forward)
 };
 
-inline constexpr std::size_t kFaultSiteCount = 10;
+inline constexpr std::size_t kFaultSiteCount = 15;
 
 const char* to_string(FaultSite site);
 

@@ -13,11 +13,18 @@
 // spool inbox is durable and unbounded, so after `gate_patience_ms` of
 // refusal the client publishes anyway rather than hanging forever behind
 // a server that died. Nothing is ever dropped.
+// Hostile-client fault injection: --faults drives the client-tier sites
+// of dist::FaultPlan (corrupt_submission, flood_burst, stall_client,
+// dup_publish, lie_watermark) with shard = document seq and attempt =
+// client_index, so a seeded storm is reproducible across runs and across
+// the fleet. The sites emulate *misbehavior the server must survive*, not
+// loss: every well-formed job is still published exactly once.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "dist/fault.h"
 #include "sim/time.h"
 
 namespace ps::serve {
@@ -26,6 +33,8 @@ struct LoadOptions {
   std::string spool;
   std::string swf;          ///< trace to replay
   std::string client;       ///< spool identity (valid_client_name)
+  std::string tenant;       ///< billing tenant; empty = the client name
+  std::uint64_t weight = 1; ///< tenant weight for fair admission
   int client_index = 0;     ///< this client's stripe
   int client_count = 1;     ///< fleet size the trace is striped across
 
@@ -44,10 +53,18 @@ struct LoadOptions {
   /// Inbox backlog (files) above which the client treats the spool as
   /// congested even without a status document.
   std::size_t inbox_high_water = 512;
-  std::int64_t backoff_initial_ms = 2;   ///< first gate retry sleep (doubles)
+  /// Gate retry back-off (util::Backoff): capped exponential with
+  /// deterministic jitter seeded from the client name, so a fleet's
+  /// retries de-synchronize instead of stampeding in lockstep.
+  std::int64_t backoff_initial_ms = 2;
   std::int64_t backoff_max_ms = 200;
   /// Longest continuous gate wait before publishing anyway.
   std::int64_t gate_patience_ms = 10'000;
+
+  /// Hostile-client chaos sites (inert by default). flood_burst publishes
+  /// `flood_docs` documents ignoring the gate and the pacing.
+  dist::FaultPlan faults;
+  int flood_docs = 8;
 };
 
 struct LoadReport {
@@ -55,6 +72,7 @@ struct LoadReport {
   std::uint64_t published = 0;  ///< jobs published
   std::uint64_t docs = 0;       ///< submission documents (incl. the eof one)
   std::uint64_t stalls = 0;     ///< backpressure back-offs taken
+  std::uint64_t faults_injected = 0;  ///< hostile-site firings
   sim::Time last_submit = -1;   ///< greatest submit time in the stripe
   std::int64_t wall_ms = 0;
 };

@@ -33,11 +33,21 @@ bool valid_client_name(std::string_view name) {
 
 std::string serialize_hello(const Hello& hello) {
   check_client_name(hello.client);
+  // An empty tenant field serializes as the client name: the default
+  // "every client its own tenant" is baked into the bytes, so two
+  // revisions can never disagree about which tenant a hello billed.
+  const std::string& tenant =
+      hello.tenant.empty() ? hello.client : hello.tenant;
+  check_client_name(tenant);
+  PS_CHECK_MSG(hello.weight >= 1 && hello.weight <= kMaxTenantWeight,
+               "serve: tenant weight must lie in [1, 1000]");
   Writer w;
   w.begin_block("serve_hello");
   w.field("client", hello.client);
   w.field_u64("jobs", hello.jobs);
   w.field_i64("last_submit", hello.last_submit);
+  w.field("tenant", tenant);
+  w.field_u64("weight", hello.weight);
   w.end_block("serve_hello");
   return dist::seal_document(w.take());
 }
@@ -49,9 +59,15 @@ Hello parse_hello(std::string_view text) {
   hello.client = r.field_string("client");
   hello.jobs = r.field_u64("jobs");
   hello.last_submit = r.field_i64("last_submit");
+  hello.tenant = r.field_string("tenant");
+  hello.weight = r.field_u64("weight");
   r.end_block("serve_hello");
   if (!r.at_end()) r.fail("trailing data after serve_hello");
   if (!valid_client_name(hello.client)) r.fail("invalid client name");
+  if (!valid_client_name(hello.tenant)) r.fail("invalid tenant name");
+  if (hello.weight < 1 || hello.weight > kMaxTenantWeight) {
+    r.fail("tenant weight out of [1, 1000]");
+  }
   return hello;
 }
 
@@ -101,6 +117,17 @@ std::string serialize_status(const Status& status) {
   w.field_u64("seq", status.seq);
   w.field_i64("sim_time", status.sim_time);
   w.field_u64("admitted", status.admitted);
+  w.field_bool("slow_start", status.slow_start);
+  w.field_u64("tenant_count", status.tenants.size());
+  for (const TenantStatus& t : status.tenants) {
+    check_client_name(t.tenant);
+    w.field("tenant",
+            strings::format("%s %llu %llu %lld %d %d", t.tenant.c_str(),
+                            static_cast<unsigned long long>(t.weight),
+                            static_cast<unsigned long long>(t.inflight_docs),
+                            static_cast<long long>(t.window_jobs_left),
+                            t.over_quota ? 1 : 0, t.poisoned ? 1 : 0));
+  }
   w.end_block("serve_status");
   return dist::seal_document(w.take());
 }
@@ -113,6 +140,29 @@ Status parse_status(std::string_view text) {
   status.seq = r.field_u64("seq");
   status.sim_time = r.field_i64("sim_time");
   status.admitted = r.field_u64("admitted");
+  status.slow_start = r.field_bool("slow_start");
+  const std::uint64_t count = r.field_u64("tenant_count");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::vector<std::string> tokens = r.field_tokens("tenant");
+    if (tokens.size() != 6) r.fail("tenant row wants 6 tokens");
+    TenantStatus t;
+    t.tenant = tokens[0];
+    if (!valid_client_name(t.tenant)) r.fail("invalid tenant name");
+    auto weight = strings::parse_i64(tokens[1]);
+    auto inflight = strings::parse_i64(tokens[2]);
+    auto left = strings::parse_i64(tokens[3]);
+    auto over = strings::parse_i64(tokens[4]);
+    auto poisoned = strings::parse_i64(tokens[5]);
+    if (!weight || !inflight || !left || !over || !poisoned) {
+      r.fail("malformed tenant row");
+    }
+    t.weight = static_cast<std::uint64_t>(*weight);
+    t.inflight_docs = static_cast<std::uint64_t>(*inflight);
+    t.window_jobs_left = *left;
+    t.over_quota = *over != 0;
+    t.poisoned = *poisoned != 0;
+    status.tenants.push_back(std::move(t));
+  }
   r.end_block("serve_status");
   if (!r.at_end()) r.fail("trailing data after serve_status");
   return status;

@@ -55,7 +55,17 @@ struct Hello {
   std::string client;
   std::uint64_t jobs = 0;        ///< total jobs this client will publish
   sim::Time last_submit = 0;     ///< greatest submit_time it will send
+  /// Admission-quota tenant this client bills against (valid_client_name
+  /// token; defaults to the client name — every client its own tenant).
+  /// Multiple clients may share one tenant and then share its quotas.
+  std::string tenant;
+  /// Deficit-round-robin weight: a tenant with weight 3 is admitted ~3x
+  /// the jobs per admit cycle of a weight-1 tenant under contention.
+  /// Clamped to [1, kMaxTenantWeight] at parse time.
+  std::uint64_t weight = 1;
 };
+
+inline constexpr std::uint64_t kMaxTenantWeight = 1000;
 
 struct Submission {
   std::string client;
@@ -66,11 +76,24 @@ struct Submission {
   std::vector<workload::JobRequest> jobs;
 };
 
+/// Per-tenant quota state advertised in the status document so
+/// well-behaved clients self-throttle before the server has to defer them.
+struct TenantStatus {
+  std::string tenant;
+  std::uint64_t weight = 1;
+  std::uint64_t inflight_docs = 0;   ///< claimed but not yet admitted
+  std::int64_t window_jobs_left = -1;///< jobs left this quota window; -1 = unlimited
+  bool over_quota = false;           ///< admission deferred this window
+  bool poisoned = false;             ///< tenant abandoned (poison threshold)
+};
+
 struct Status {
   bool accepting = true;         ///< backpressure gate
   std::uint64_t seq = 0;         ///< bumps every write (client liveness probe)
   sim::Time sim_time = 0;
   std::uint64_t admitted = 0;    ///< jobs handed to the controller so far
+  bool slow_start = false;       ///< post-recovery admission ramp active
+  std::vector<TenantStatus> tenants;
 };
 
 std::string serialize_hello(const Hello& hello);

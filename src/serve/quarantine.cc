@@ -1,0 +1,107 @@
+#include "serve/quarantine.h"
+
+#include <utility>
+
+#include "dist/protocol.h"
+#include "dist/serde.h"
+#include "util/check.h"
+#include "util/spool.h"
+#include "util/strings.h"
+
+namespace ps::serve {
+
+std::string quarantine_dir(const std::string& spool) {
+  return spool + "/quarantine";
+}
+
+std::string serialize_quarantine_reason(const QuarantineReason& reason) {
+  // The detail is free text from exception messages: flatten newlines and
+  // never write an empty rest-of-line (both would break the serde framing
+  // of the record that documents someone *else's* framing violation).
+  std::string detail = reason.detail.empty() ? "-" : reason.detail;
+  for (char& c : detail) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  dist::Writer w;
+  w.begin_block("quarantine_reason");
+  w.field("client", reason.client);
+  w.field_i64("seq", reason.seq);
+  w.field("kind", reason.kind);
+  w.field("reason", reason.reason);
+  w.field_string("detail", detail);
+  w.field_bool("consumed", reason.consumed);
+  w.field_u64("generation", reason.generation);
+  w.field_u64("jobs", reason.jobs);
+  w.field_i64("wall_ns", reason.wall_ns);
+  w.end_block("quarantine_reason");
+  return dist::seal_document(w.take());
+}
+
+QuarantineReason parse_quarantine_reason(std::string_view text) {
+  dist::Reader r(dist::open_document(text));
+  QuarantineReason reason;
+  r.begin_block("quarantine_reason");
+  reason.client = r.field_string("client");
+  reason.seq = r.field_i64("seq");
+  reason.kind = r.field_string("kind");
+  reason.reason = r.field_string("reason");
+  reason.detail = r.field_string("detail");
+  reason.consumed = r.field_bool("consumed");
+  reason.generation = r.field_u64("generation");
+  reason.jobs = r.field_u64("jobs");
+  reason.wall_ns = r.field_i64("wall_ns");
+  r.end_block("quarantine_reason");
+  if (!r.at_end()) r.fail("trailing data after quarantine_reason");
+  return reason;
+}
+
+std::string quarantine_file_name(std::uint64_t generation,
+                                 std::uint64_t ordinal,
+                                 std::string_view original_name) {
+  return strings::format("q%llu-%06llu-%.*s",
+                         static_cast<unsigned long long>(generation),
+                         static_cast<unsigned long long>(ordinal),
+                         static_cast<int>(original_name.size()),
+                         original_name.data());
+}
+
+std::string quarantine_document(const std::string& spool,
+                                const std::string& src_path,
+                                std::string_view original_name,
+                                std::uint64_t ordinal,
+                                const QuarantineReason& reason) {
+  const std::string dir = quarantine_dir(spool);
+  util::ensure_dir(dir);
+  const std::string name =
+      quarantine_file_name(reason.generation, ordinal, original_name);
+  const std::string dest = dir + "/" + name;
+  // Verdict first, evidence second. The reason record is the commit point:
+  // for a consumed tombstone, a crash after the journal entry moved but
+  // before the tombstone landed would leave a sequence gap recovery can
+  // never fill — a deadlock. Written this way, the worst crash window
+  // leaves both the tombstone and the journal entry, and recovery finishes
+  // the interrupted move when the tombstone consumes the seq.
+  util::write_file_atomic(dest + ".reason",
+                          serialize_quarantine_reason(reason),
+                          /*durable=*/true);
+  util::retire_file(src_path, dest, /*durable=*/true);
+  return dest;
+}
+
+std::map<std::string, std::set<std::uint64_t>> load_quarantine_tombstones(
+    const std::string& spool) {
+  std::map<std::string, std::set<std::uint64_t>> tombstones;
+  const std::string dir = quarantine_dir(spool);
+  if (!util::path_exists(dir)) return tombstones;
+  for (const std::string& name : util::list_files(dir, ".reason")) {
+    QuarantineReason reason =
+        parse_quarantine_reason(util::read_file(dir + "/" + name));
+    if (reason.consumed && reason.kind == "submission" && reason.seq >= 0) {
+      tombstones[reason.client].insert(
+          static_cast<std::uint64_t>(reason.seq));
+    }
+  }
+  return tombstones;
+}
+
+}  // namespace ps::serve

@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 #include <queue>
+#include <set>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -24,8 +26,10 @@
 #include "metrics/summary.h"
 #include "metrics/timeseries.h"
 #include "rjms/controller.h"
+#include "serve/fair.h"
 #include "serve/journal.h"
 #include "serve/protocol.h"
+#include "serve/quarantine.h"
 #include "sim/simulator.h"
 #include "util/bounded_queue.h"
 #include "util/check.h"
@@ -65,11 +69,38 @@ struct Shared {
       obs::Registry::global().counter("serve.ingest.claims");
   obs::Counter& ingest_journaled =
       obs::Registry::global().counter("serve.ingest.journaled");
+  /// Overload-hardening counters (serve/quarantine.h, serve/fair.h).
+  obs::Counter& q_docs =
+      obs::Registry::global().counter("serve.quarantine.docs");
+  obs::Counter& q_jobs =
+      obs::Registry::global().counter("serve.quarantine.jobs");
+  obs::Counter& q_poisoned =
+      obs::Registry::global().counter("serve.quarantine.poisoned_tenants");
+  obs::Counter& inflight_holds =
+      obs::Registry::global().counter("serve.quota.inflight_holds");
+  obs::Counter& slow_holds =
+      obs::Registry::global().counter("serve.slow_start.holds");
   /// Daemon-lifetime claim ordinal — the fault-site id of the ingest sites,
   /// so a chaos plan can target "the Nth claim of any generation".
   std::atomic<std::uint64_t> claims{0};
+  /// Names quarantined documents uniquely within a generation.
+  std::atomic<std::uint64_t> quarantine_ordinal{0};
+  /// Post-recovery slow start still ramping (advertised in the status
+  /// document so well-behaved clients hold their floods back).
+  std::atomic<bool> slow_start{false};
   /// Daemon generation (epoch counter) — the fault-site `attempt`.
   std::uint64_t generation = 0;
+
+  /// Cross-thread tenant state. The ingest thread consults quotas and the
+  /// poison set *before* claiming; the serve thread owns every decision
+  /// and refreshes the status rows. Critical sections are a handful of
+  /// map operations — never I/O.
+  std::mutex tenant_mutex;
+  std::map<std::string, std::string> tenant_of;       ///< client -> tenant
+  std::map<std::string, std::uint64_t> inflight;      ///< claimed, unapplied
+  std::map<std::string, std::uint64_t> poison_score;  ///< poison docs seen
+  std::set<std::string> poisoned;                     ///< abandoned tenants
+  std::vector<TenantStatus> tenant_status;            ///< status rows
 
   // Set when the ingest thread dies on an exception (corrupt document,
   // I/O failure); the serve thread rethrows it as its own failure.
@@ -80,6 +111,61 @@ struct Shared {
   explicit Shared(std::size_t capacity) : queue(capacity) {}
 };
 
+/// The tenant a client bills to: the hello's declaration once seen, the
+/// client's own name before that (pre-hello documents are rare and the
+/// default matches what the hello will almost always declare).
+std::string tenant_for(Shared& shared, const std::string& client) {
+  std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+  auto it = shared.tenant_of.find(client);
+  return it == shared.tenant_of.end() ? client : it->second;
+}
+
+bool is_poisoned(Shared& shared, const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+  return shared.poisoned.count(tenant) > 0;
+}
+
+std::uint64_t inflight_of(Shared& shared, const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+  auto it = shared.inflight.find(tenant);
+  return it == shared.inflight.end() ? 0 : it->second;
+}
+
+void inc_inflight(Shared& shared, const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+  ++shared.inflight[tenant];
+}
+
+/// Clamped at zero: documents recovered from the journal were never
+/// counted in (a recovery resets the map), so their release must not
+/// steal a live document's decrement.
+void dec_inflight(Shared& shared, const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+  auto it = shared.inflight.find(tenant);
+  if (it != shared.inflight.end() && it->second > 0) --it->second;
+}
+
+void bump_poison(Shared& shared, const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+  ++shared.poison_score[tenant];
+}
+
+/// Quarantines `src_path` (sealed reason record first — see
+/// serve/quarantine.h for the ordering argument) and counts it.
+void quarantine_and_count(const ServeOptions& options, Shared& shared,
+                          const std::string& src_path,
+                          const std::string& original_name,
+                          QuarantineReason reason) {
+  reason.generation = shared.generation;
+  reason.wall_ns = monotonic_ns();
+  quarantine_document(options.spool, src_path, original_name,
+                      shared.quarantine_ordinal.fetch_add(
+                          1, std::memory_order_relaxed),
+                      reason);
+  shared.q_docs.inc();
+  shared.q_jobs.inc(reason.jobs);
+}
+
 void publish_status(const ServeOptions& options, Shared& shared,
                     std::uint64_t& status_seq) {
   Status status;
@@ -87,6 +173,11 @@ void publish_status(const ServeOptions& options, Shared& shared,
   status.seq = ++status_seq;
   status.sim_time = shared.sim_time.load(std::memory_order_relaxed);
   status.admitted = shared.admitted.load(std::memory_order_relaxed);
+  status.slow_start = shared.slow_start.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+    status.tenants = shared.tenant_status;
+  }
   // Heartbeat-grade data: atomic for live readers, not crash-durable.
   util::write_file_atomic(status_path(options.spool), serialize_status(status),
                           /*durable=*/false);
@@ -98,6 +189,23 @@ void publish_status(const ServeOptions& options, Shared& shared,
 /// write-ahead journal *before* it can be pushed — SIGKILL between any two
 /// instructions leaves it recoverable from either accepted/ (claimed, not
 /// yet journaled; swept into the journal at recovery) or journal/.
+///
+/// Overload hardening at the claim edge:
+///   * submissions are claimed round-robin across clients (one per client
+///     per turn) instead of in sorted listing order, so a flooding
+///     client's thousand queued documents do not monopolize the claim
+///     order;
+///   * a tenant at its in-flight quota stops being claimed — its flood
+///     stays in the durable inbox instead of our memory;
+///   * a tenant marked poisoned has its documents claimed straight into
+///     quarantine (evidence, not workload);
+///   * documents that fail seal/parse/name validation quarantine with a
+///     sealed reason record instead of killing the thread;
+///   * a document whose name already exists in the journal is a duplicate
+///     publish (lost-ack retry or hostile replay) — the new copy
+///     quarantines so the journaled original stays byte-exact;
+///   * after a dirty recovery, a slow-start gate caps claims per quota
+///     window, doubling each window until uncapped.
 void ingest_loop(const ServeOptions& options, Shared& shared) {
   const std::string inbox = inbox_dir(options.spool);
   const std::string accepted = accepted_dir(options.spool);
@@ -106,35 +214,113 @@ void ingest_loop(const ServeOptions& options, Shared& shared) {
   claim_options.durable = false;  // local spool, polled at millisecond rate
   claim_options.claim_backoff_max_ms = 8;
 
+  // Slow-start ramp state (windows are wall-clock, shared with the quota
+  // window length so one knob tunes both).
+  const std::int64_t window_ns =
+      std::max<std::int64_t>(options.quotas.window_ms, 1) * 1'000'000;
+  const std::int64_t slow_epoch_ns = monotonic_ns();
+  std::int64_t slow_window = -1;
+  std::uint64_t slow_allowance = 0;
+  std::uint64_t slow_claimed = 0;
+  constexpr std::uint64_t kSlowStartUncap = 1u << 20;
+
   std::uint64_t status_seq = 0;
   std::int64_t last_status_ns = 0;
   while (!shared.ingest_stop.load(std::memory_order_relaxed)) {
     std::vector<std::string> names = util::list_files(inbox);
     std::size_t backlog = 0;
     bool queue_full = false;
-    for (const std::string& name : names) {
-      std::optional<InboxName> decoded = parse_inbox_name(name);
-      if (!decoded) continue;  // tmp litter from in-flight publishes
-      ++backlog;
-      if (shared.ingest_stop.load(std::memory_order_relaxed)) break;
+    bool quota_held = false;
+    bool slow_held = false;
+
+    // True while the slow-start ramp refuses further claims this window.
+    auto slow_start_blocks = [&]() -> bool {
+      if (!shared.slow_start.load(std::memory_order_relaxed)) return false;
+      const std::int64_t widx = (monotonic_ns() - slow_epoch_ns) / window_ns;
+      if (widx != slow_window) {
+        slow_window = widx;
+        std::uint64_t allowance = std::max<std::uint64_t>(
+            options.slow_start_docs, 1);
+        for (std::int64_t i = 0; i < widx && allowance < kSlowStartUncap; ++i) {
+          allowance <<= 1;
+        }
+        slow_allowance = allowance;
+        slow_claimed = 0;
+        if (allowance >= kSlowStartUncap) {
+          shared.slow_start.store(false, std::memory_order_relaxed);
+          return false;
+        }
+      }
+      if (slow_claimed >= slow_allowance) {
+        if (!slow_held) {
+          slow_held = true;
+          shared.slow_holds.inc();
+        }
+        return true;
+      }
+      ++slow_claimed;
+      return false;
+    };
+
+    // One claim+parse+journal+push. False = stop ingesting entirely
+    // (shutdown or a closed queue).
+    auto pump_doc = [&](const std::string& name,
+                        const InboxName& decoded) -> bool {
+      if (shared.ingest_stop.load(std::memory_order_relaxed)) return false;
       PS_TRACE_SPAN("serve.ingest.doc");
+      const std::string tenant = tenant_for(shared, decoded.client);
       if (!util::claim_file(inbox + "/" + name, accepted + "/" + name,
                             claim_options)) {
-        continue;  // vanished: only possible if an operator intervened
+        return true;  // vanished: only possible if an operator intervened
       }
       shared.ingest_claims.inc();
-      std::string text = util::read_file(accepted + "/" + name);
+      const std::string src = accepted + "/" + name;
+      QuarantineReason reason;
+      reason.client = decoded.client;
+      reason.kind = decoded.hello ? "hello" : "submission";
+      reason.seq = decoded.hello ? -1 : static_cast<std::int64_t>(decoded.seq);
+      if (is_poisoned(shared, tenant)) {
+        reason.reason = "tenant_poisoned";
+        reason.detail = "document from an abandoned tenant";
+        quarantine_and_count(options, shared, src, name, reason);
+        return true;
+      }
+      std::string text = util::read_file(src);
       IngestDoc doc;
-      doc.is_hello = decoded->hello;
-      if (decoded->hello) {
-        doc.hello = parse_hello(text);
-        PS_CHECK_MSG(doc.hello.client == decoded->client,
-                     "serve ingest: hello body does not match its file name");
-      } else {
-        doc.submission = parse_submission(text);
-        PS_CHECK_MSG(doc.submission.client == decoded->client &&
-                         doc.submission.seq == decoded->seq,
-                     "serve ingest: submission body does not match its file name");
+      doc.is_hello = decoded.hello;
+      try {
+        if (decoded.hello) {
+          doc.hello = parse_hello(text);
+          if (doc.hello.client != decoded.client) {
+            throw std::runtime_error("hello body does not match its file name");
+          }
+        } else {
+          doc.submission = parse_submission(text);
+          if (doc.submission.client != decoded.client ||
+              doc.submission.seq != decoded.seq) {
+            throw std::runtime_error(
+                "submission body does not match its file name");
+          }
+        }
+      } catch (const std::exception& e) {
+        // Poison document. The seq is NOT consumed: a client that
+        // republishes a well-formed document under the same name (the
+        // retry protocol after a corrupt write) is served normally.
+        reason.reason = "parse_failure";
+        reason.detail = e.what();
+        quarantine_and_count(options, shared, src, name, reason);
+        bump_poison(shared, tenant);
+        return true;
+      }
+      if (util::path_exists(journal + "/" + name)) {
+        // Already admitted into the write-ahead history: duplicate.
+        reason.reason = "duplicate";
+        reason.detail = "journal already holds this document";
+        reason.jobs = doc.is_hello
+                          ? 0
+                          : static_cast<std::uint64_t>(doc.submission.jobs.size());
+        quarantine_and_count(options, shared, src, name, reason);
+        return true;
       }
       const std::uint64_t ordinal =
           shared.claims.fetch_add(1, std::memory_order_relaxed);
@@ -150,19 +336,20 @@ void ingest_loop(const ServeOptions& options, Shared& shared) {
       // generation retired it between our claim and this retire — which is
       // success, not a fault; anything else is a real I/O failure and the
       // retire has already thrown.
-      if (!util::retire_file(accepted + "/" + name, journal + "/" + name,
+      if (!util::retire_file(src, journal + "/" + name,
                              options.journal_fsync)) {
         PS_CHECK_MSG(
             util::path_exists(journal + "/" + name),
             "serve ingest: claimed document vanished before it was journaled");
       }
       shared.ingest_journaled.inc();
+      if (!doc.is_hello) inc_inflight(shared, tenant);
       if (options.faults.fires(dist::FaultSite::DieAfterClaim, ordinal,
                                shared.generation)) {
         emulate_sigkill();  // journaled but never applied: recovery replays it
       }
       while (!shared.queue.try_push(std::move(doc))) {
-        if (shared.queue.closed()) return;
+        if (shared.queue.closed()) return false;
         // Backpressure: hold this document (claimed, so no other reader
         // can take it) and retry; flip the gate so clients back off.
         queue_full = true;
@@ -170,10 +357,68 @@ void ingest_loop(const ServeOptions& options, Shared& shared) {
         shared.accepting.store(false, std::memory_order_relaxed);
         publish_status(options, shared, status_seq);
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        if (shared.ingest_stop.load(std::memory_order_relaxed)) return;
+        if (shared.ingest_stop.load(std::memory_order_relaxed)) return false;
+      }
+      return true;
+    };
+
+    // Group the inbox by client: hellos first (tiny, and they carry the
+    // tenant mapping everything below bills against). list_files returns
+    // sorted names, so each per-client vector is already in seq order and
+    // the journal keeps its per-client-prefix property.
+    std::vector<std::pair<std::string, InboxName>> hellos;
+    std::map<std::string, std::vector<std::pair<std::string, InboxName>>>
+        per_client;
+    for (const std::string& name : names) {
+      std::optional<InboxName> decoded = parse_inbox_name(name);
+      if (!decoded) continue;  // tmp litter from in-flight publishes
+      ++backlog;
+      if (decoded->hello) {
+        hellos.emplace_back(name, *decoded);
+      } else {
+        per_client[decoded->client].emplace_back(name, *decoded);
       }
     }
-    bool accepting = !queue_full && backlog <= options.inbox_high_water;
+    for (const auto& [name, decoded] : hellos) {
+      if (!pump_doc(name, decoded)) return;
+    }
+    std::map<std::string, std::size_t> cursor;
+    bool stop_pass = false;
+    while (!stop_pass) {
+      bool progressed = false;
+      for (const auto& [client, docs] : per_client) {
+        if (shared.ingest_stop.load(std::memory_order_relaxed)) {
+          stop_pass = true;
+          break;
+        }
+        std::size_t& at = cursor[client];
+        if (at >= docs.size()) continue;
+        const std::string tenant = tenant_for(shared, client);
+        if (options.tenant_inflight_docs > 0 &&
+            !is_poisoned(shared, tenant) &&
+            inflight_of(shared, tenant) >= options.tenant_inflight_docs) {
+          // Over quota: hold the rest of this client's backlog in the
+          // inbox until the serve loop admits what is already claimed.
+          if (!quota_held) {
+            quota_held = true;
+            shared.inflight_holds.inc();
+          }
+          at = docs.size();
+          continue;
+        }
+        if (slow_start_blocks()) {
+          stop_pass = true;
+          break;
+        }
+        const auto& [name, decoded] = docs[at];
+        ++at;
+        if (!pump_doc(name, decoded)) return;
+        progressed = true;
+      }
+      if (!progressed) stop_pass = true;
+    }
+    bool accepting = !queue_full && !slow_held &&
+                     backlog <= options.inbox_high_water;
     bool changed =
         shared.accepting.exchange(accepting, std::memory_order_relaxed) !=
         accepting;
@@ -183,7 +428,8 @@ void ingest_loop(const ServeOptions& options, Shared& shared) {
       publish_status(options, shared, status_seq);
       last_status_ns = now_ns;
     }
-    if (backlog == 0) {
+    if (backlog == 0 || quota_held || slow_held) {
+      // Idle, or everything claimable is gated: poll instead of spinning.
       std::this_thread::sleep_for(std::chrono::milliseconds(options.poll_ms));
     }
   }
@@ -197,8 +443,19 @@ void ingest_loop(const ServeOptions& options, Shared& shared) {
 struct ClientState {
   bool helloed = false;
   Hello hello;
+  /// Billing tenant (the hello's declaration; client name before that).
+  std::string tenant;
+  std::uint64_t weight = 1;
+  /// Abandoned with its poisoned tenant: documents quarantine, streams no
+  /// longer count toward completion.
+  bool abandoned = false;
   std::uint64_t next_seq = 0;
   std::map<std::uint64_t, Submission> deferred;
+  /// Consumed-quarantine tombstones: sequence numbers the stream skips
+  /// (their documents live in quarantine/, not the journal) — restored
+  /// from the sealed reason records at recovery, consulted when building
+  /// checkpoint segments.
+  std::set<std::uint64_t> quarantined;
   sim::Time watermark = -1;
   bool eof = false;
   std::uint64_t jobs = 0;
@@ -248,6 +505,7 @@ ServeReport run_server(const ServeOptions& options) {
   util::ensure_dir(accepted);
   util::ensure_dir(journal);
   util::ensure_dir(ckpt_dir);
+  util::ensure_dir(quarantine_dir(options.spool));
   util::ensure_dir(options.spool + "/control");
   if (options.telemetry_seconds > 0) {
     util::ensure_dir(options.spool + "/telemetry");
@@ -270,12 +528,27 @@ ServeReport run_server(const ServeOptions& options) {
   obs::Counter& c_pruned = registry.counter("serve.journal_pruned");
   obs::Counter& c_recovered_docs = registry.counter("serve.recovered_docs");
   obs::Counter& c_recovered_jobs = registry.counter("serve.recovered_jobs");
+  obs::Counter& c_q_docs = registry.counter("serve.quarantine.docs");
+  obs::Counter& c_q_jobs = registry.counter("serve.quarantine.jobs");
+  obs::Counter& c_q_poisoned =
+      registry.counter("serve.quarantine.poisoned_tenants");
+  obs::Counter& c_quota_deferrals =
+      registry.counter("serve.quota.window_deferrals");
+  obs::Counter& c_inflight_holds =
+      registry.counter("serve.quota.inflight_holds");
+  obs::Counter& c_slow_holds = registry.counter("serve.slow_start.holds");
   const std::uint64_t base_docs = c_docs.value();
   const std::uint64_t base_checkpoints = c_checkpoints.value();
   const std::uint64_t base_ckpt_skipped = c_ckpt_skipped.value();
   const std::uint64_t base_pruned = c_pruned.value();
   const std::uint64_t base_recovered_docs = c_recovered_docs.value();
   const std::uint64_t base_recovered_jobs = c_recovered_jobs.value();
+  const std::uint64_t base_q_docs = c_q_docs.value();
+  const std::uint64_t base_q_jobs = c_q_jobs.value();
+  const std::uint64_t base_q_poisoned = c_q_poisoned.value();
+  const std::uint64_t base_quota_deferrals = c_quota_deferrals.value();
+  const std::uint64_t base_inflight_holds = c_inflight_holds.value();
+  const std::uint64_t base_slow_holds = c_slow_holds.value();
 
   // A spool that already holds claimed or checkpointed admission state is
   // a crashed run. Refusing to start without --recover is the whole point:
@@ -298,8 +571,30 @@ ServeReport run_server(const ServeOptions& options) {
   std::vector<Hello> recovered_hellos;
   std::vector<Submission> recovered_subs;
   std::map<std::string, std::uint64_t> compacted;  // client -> journal floor
+  // Consumed-seq tombstones from previous generations (sealed reason
+  // records in quarantine/): recovery replays *around* those gaps.
+  std::map<std::string, std::set<std::uint64_t>> tombstones;
+  // True when the spool already held quarantined documents at startup —
+  // the admitted==declared reconciliation cannot hold across a recovery
+  // of a run that rejected work.
+  const bool had_quarantine =
+      !util::list_files(quarantine_dir(options.spool), ".reason").empty();
   std::uint64_t ckpt_next_seq = 0;
+  std::uint64_t early_q_ordinal = 0;
+  // Quarantine before the ingest thread (and Shared) exist: phase A finds
+  // tombstoned or rotted journal entries while single-threaded.
+  auto early_quarantine = [&](const std::string& name, QuarantineReason reason,
+                              std::uint64_t jobs) {
+    reason.generation = report.generation;
+    reason.jobs = jobs;
+    reason.wall_ns = monotonic_ns();
+    quarantine_document(options.spool, journal + "/" + name, name,
+                        early_q_ordinal++, reason);
+    c_q_docs.inc();
+    c_q_jobs.inc(jobs);
+  };
   if (options.recover) {
+    tombstones = load_quarantine_tombstones(options.spool);
     // Finish any claim interrupted mid-retire: accepted/ -> journal/.
     for (const std::string& name : util::list_files(accepted)) {
       if (!parse_inbox_name(name)) continue;
@@ -345,15 +640,55 @@ ServeReport run_server(const ServeOptions& options) {
         c_pruned.inc();
         continue;
       }
-      Submission sub = parse_submission(util::read_file(journal + "/" + name));
-      PS_CHECK_MSG(sub.client == decoded->client && sub.seq == decoded->seq,
-                   "serve --recover: journaled submission does not match its name");
+      auto ts = tombstones.find(decoded->client);
+      if (ts != tombstones.end() && ts->second.count(decoded->seq)) {
+        // A consumed tombstone exists for this entry: the previous
+        // generation crashed between writing the reason record and moving
+        // the document. Finish the interrupted quarantine move.
+        QuarantineReason reason;
+        reason.client = decoded->client;
+        reason.seq = static_cast<std::int64_t>(decoded->seq);
+        reason.reason = "tombstone_sweep";
+        reason.detail = "journal entry superseded by a consumed tombstone";
+        early_quarantine(name, reason, 0);
+        continue;
+      }
+      Submission sub;
+      try {
+        sub = parse_submission(util::read_file(journal + "/" + name));
+        if (sub.client != decoded->client || sub.seq != decoded->seq) {
+          throw std::runtime_error(
+              "journaled submission does not match its name");
+        }
+      } catch (const std::exception& e) {
+        // A rotted journal entry (the journal is server-owned, so this is
+        // disk damage, not hostile input). Quarantine it with a consumed
+        // tombstone so the stream replays around the gap; if a checkpoint
+        // actually covered this seq, the history-fingerprint cross-check
+        // below still fails loudly — rot inside checkpointed history is
+        // genuinely unrecoverable.
+        QuarantineReason reason;
+        reason.client = decoded->client;
+        reason.seq = static_cast<std::int64_t>(decoded->seq);
+        reason.reason = "parse_failure";
+        reason.detail = e.what();
+        reason.consumed = true;
+        early_quarantine(name, reason, 0);
+        tombstones[decoded->client].insert(decoded->seq);
+        continue;
+      }
       recovered_subs.push_back(std::move(sub));
     }
   }
 
   Shared shared(options.queue_capacity);
   shared.generation = report.generation;
+  shared.quarantine_ordinal.store(early_q_ordinal, std::memory_order_relaxed);
+  // Slow start only guards a *dirty* recovery: a clean start has no
+  // outage backlog to be stampeded by.
+  shared.slow_start.store(
+      options.slow_start_docs > 0 && options.recover && dirty,
+      std::memory_order_relaxed);
   const std::uint64_t base_stalls = shared.stalls.value();
   auto finalize_report_counters = [&] {
     report.docs = c_docs.value() - base_docs;
@@ -363,6 +698,12 @@ ServeReport run_server(const ServeOptions& options) {
     report.journal_pruned = c_pruned.value() - base_pruned;
     report.recovered_docs = c_recovered_docs.value() - base_recovered_docs;
     report.recovered_jobs = c_recovered_jobs.value() - base_recovered_jobs;
+    report.quarantined_docs = c_q_docs.value() - base_q_docs;
+    report.quarantined_jobs = c_q_jobs.value() - base_q_jobs;
+    report.poisoned_tenants = c_q_poisoned.value() - base_q_poisoned;
+    report.quota_deferrals = c_quota_deferrals.value() - base_quota_deferrals;
+    report.inflight_holds = c_inflight_holds.value() - base_inflight_holds;
+    report.slow_start_holds = c_slow_holds.value() - base_slow_holds;
   };
   std::thread ingest([&] {
     try {
@@ -417,17 +758,182 @@ ServeReport run_server(const ServeOptions& options) {
   // restored instead.
   bool measure_latency = true;
 
-  // Applies every deferred document that has become contiguous. Jobs go
-  // straight into the live source; watermarks and eof update the client.
-  auto apply_ready = [&](ClientState& client) {
-    while (true) {
+  // Deficit-weighted round-robin admission (serve/fair.h). Inactive until
+  // the serve loop starts: the hello phase and recovery replay admit
+  // unthrottled (recovered history was already admitted once).
+  FairAdmitter admitter(options.quotas);
+  bool live_quota = false;
+  sim::Time committed = -1;
+
+  auto tenant_key = [&](const std::string& name,
+                        const ClientState& client) -> const std::string& {
+    return client.tenant.empty() ? name : client.tenant;
+  };
+
+  auto check_fp = [&](ClientState& client) {
+    if (client.has_expect_fp && client.next_seq == client.expect_fp_at_seq) {
+      // The replayed history reached the checkpoint's floor: any serde
+      // drift, reordering or lost document diverges here, loudly, instead
+      // of producing a silently different replay.
+      PS_CHECK_MSG(client.history_fp == client.expect_fp,
+                   "serve --recover: replayed history fingerprint does not "
+                   "match the checkpoint");
+      client.has_expect_fp = false;
+    }
+  };
+
+  // Quarantines a document that already lives in the journal (the serve
+  // thread's validation rejections) and releases its in-flight slot.
+  auto quarantine_journaled = [&](const std::string& client_name,
+                                  const std::string& tenant, bool is_hello,
+                                  std::uint64_t seq, std::uint64_t jobs,
+                                  const char* why, std::string detail,
+                                  bool consumed) {
+    QuarantineReason reason;
+    reason.client = client_name;
+    reason.seq = is_hello ? -1 : static_cast<std::int64_t>(seq);
+    reason.kind = is_hello ? "hello" : "submission";
+    reason.reason = why;
+    reason.detail = std::move(detail);
+    reason.consumed = consumed;
+    reason.jobs = jobs;
+    const std::string name = is_hello ? hello_file_name(client_name)
+                                      : submission_file_name(client_name, seq);
+    quarantine_and_count(options, shared, journal + "/" + name, name, reason);
+    if (!is_hello) dec_inflight(shared, tenant);
+  };
+
+  // Abandons a tenant: marks it poisoned (the ingest thread routes its
+  // future documents straight to quarantine), quarantines every pending
+  // document of its clients, and drops its streams from the completion
+  // conditions.
+  auto poison_teardown = [&](const std::string& tenant) {
+    {
+      std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+      if (!shared.poisoned.insert(tenant).second) return;
+    }
+    shared.q_poisoned.inc();
+    for (auto& [name, client] : clients) {
+      if (tenant_key(name, client) != tenant) continue;
+      client.abandoned = true;
+      for (auto& [seq, doc] : client.deferred) {
+        quarantine_journaled(name, tenant, /*is_hello=*/false, seq,
+                             doc.jobs.size(), "tenant_poisoned",
+                             "pending document of an abandoned tenant",
+                             /*consumed=*/false);
+      }
+      client.deferred.clear();
+    }
+  };
+
+  // Charges one poison document to the tenant and abandons it when the
+  // threshold is crossed. The ingest thread also charges (parse
+  // failures); check_poison() in the serve loop picks those up.
+  auto charge_poison = [&](const std::string& tenant) {
+    if (options.poison_threshold == 0) {
+      bump_poison(shared, tenant);
+      return;
+    }
+    std::uint64_t score = 0;
+    {
+      std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+      score = ++shared.poison_score[tenant];
+    }
+    if (score >= options.poison_threshold) poison_teardown(tenant);
+  };
+
+  auto check_poison = [&] {
+    if (options.poison_threshold == 0) return;
+    std::vector<std::string> over;
+    {
+      std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+      for (const auto& [tenant, score] : shared.poison_score) {
+        if (score >= options.poison_threshold &&
+            shared.poisoned.count(tenant) == 0) {
+          over.push_back(tenant);
+        }
+      }
+    }
+    for (const std::string& tenant : over) poison_teardown(tenant);
+  };
+
+  // Applies the client's contiguous deferred documents, spending admit
+  // budget per document when `enforce_quota` (the live DRR path; the
+  // hello phase and recovery replay pass false). Consumed-quarantine
+  // tombstones are skipped over for free — the stream continues around
+  // them without chaining. Returns documents progressed (applied or
+  // consumed), the DRR loop's progress signal.
+  auto apply_ready = [&](const std::string& name, ClientState& client,
+                         bool enforce_quota) -> std::uint64_t {
+    std::uint64_t progressed = 0;
+    while (!client.abandoned) {
+      if (client.quarantined.count(client.next_seq)) {
+        auto dup = client.deferred.find(client.next_seq);
+        if (dup != client.deferred.end()) {
+          // A republish under a consumed seq: the slot is spent.
+          quarantine_journaled(name, tenant_key(name, client),
+                               /*is_hello=*/false, client.next_seq,
+                               dup->second.jobs.size(), "duplicate",
+                               "republish of a quarantined sequence number",
+                               /*consumed=*/false);
+          client.deferred.erase(dup);
+        }
+        ++client.next_seq;
+        ++progressed;
+        check_fp(client);
+        continue;
+      }
       auto it = client.deferred.find(client.next_seq);
-      if (it == client.deferred.end()) return;
+      if (it == client.deferred.end()) break;
+      const std::string& tenant = tenant_key(name, client);
+      const std::uint64_t cost =
+          std::max<std::uint64_t>(it->second.jobs.size(), 1);
+      if (enforce_quota && !admitter.try_admit(tenant, cost)) break;
       Submission doc = std::move(it->second);
       client.deferred.erase(it);
-      PS_CHECK_MSG(!client.eof, "serve: document after eof from a client");
-      PS_CHECK_MSG(doc.watermark >= client.watermark,
-                   "serve: client watermark regressed");
+      dec_inflight(shared, tenant);
+      if (doc.watermark < client.watermark) {
+        // Watermark regression: the payload is rejected and the seq
+        // consumed (tombstone) so the stream is not wedged; eof still
+        // honored for liveness. Pre-hardening this PS_CHECK-killed the
+        // daemon.
+        client.quarantined.insert(doc.seq);
+        quarantine_journaled(name, tenant, /*is_hello=*/false, doc.seq,
+                             doc.jobs.size(), "watermark_regressed",
+                             "watermark below the client's previous document",
+                             /*consumed=*/true);
+        charge_poison(tenant);
+        client.eof = doc.eof;
+        ++client.next_seq;
+        ++progressed;
+        check_fp(client);
+        continue;
+      }
+      sim::Time first = sim::kTimeMax;
+      for (const workload::JobRequest& job : doc.jobs) {
+        first = std::min(first, job.submit_time);
+      }
+      if (!wall_mode && !doc.jobs.empty() && first <= committed) {
+        // Deterministic mode cannot admit in the past; only a lying
+        // watermark can steer the committed clock beyond a client's own
+        // future jobs (honest streams keep jobs strictly above their own
+        // watermark, which bounds the committed minimum). Metadata
+        // applies — the watermark may be the only honest part — but the
+        // payload quarantines and the seq is consumed.
+        client.quarantined.insert(doc.seq);
+        quarantine_journaled(name, tenant, /*is_hello=*/false, doc.seq,
+                             doc.jobs.size(), "late_jobs",
+                             "det-mode payload at or below the committed "
+                             "clock (watermark lie)",
+                             /*consumed=*/true);
+        charge_poison(tenant);
+        client.watermark = std::max(client.watermark, doc.watermark);
+        client.eof = doc.eof;
+        ++client.next_seq;
+        ++progressed;
+        check_fp(client);
+        continue;
+      }
       client.history_fp = chain_submission(client.history_fp, doc);
       if (!doc.jobs.empty()) {
         sim::Time last = -1;
@@ -444,39 +950,89 @@ ServeReport run_server(const ServeOptions& options) {
       client.watermark = doc.watermark;
       client.eof = doc.eof;
       ++client.next_seq;
+      ++progressed;
       ++docs_applied;
       c_docs.inc();
-      if (client.has_expect_fp && client.next_seq == client.expect_fp_at_seq) {
-        // The replayed history reached the checkpoint's floor: any serde
-        // drift, reordering or lost document diverges here, loudly, instead
-        // of producing a silently different replay.
-        PS_CHECK_MSG(client.history_fp == client.expect_fp,
-                     "serve --recover: replayed history fingerprint does not "
-                     "match the checkpoint");
-        client.has_expect_fp = false;
-      }
+      check_fp(client);
     }
+    return progressed;
   };
 
   auto process = [&](IngestDoc&& doc) {
     if (doc.is_hello) {
       ClientState& client = clients[doc.hello.client];
+      const std::string& cname = doc.hello.client;
+      // A duplicate hello cannot normally reach this thread (the journal
+      // holds hellos for the daemon's lifetime, so the ingest duplicate
+      // check catches republishes) — seeing one means the write-ahead
+      // invariant broke.
       PS_CHECK_MSG(!client.helloed, "serve: duplicate hello from a client");
+      client.tenant = doc.hello.tenant.empty() ? cname : doc.hello.tenant;
+      client.weight = std::max<std::uint64_t>(doc.hello.weight, 1);
+      {
+        std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+        shared.tenant_of[cname] = client.tenant;
+      }
+      if (hellos >= options.expect_clients) {
+        // An unexpected extra client: structurally wrong, not transient.
+        // Quarantine the hello and abandon its tenant outright.
+        quarantine_journaled(cname, client.tenant, /*is_hello=*/true, 0, 0,
+                             "unexpected_client",
+                             "hello beyond --expect-clients",
+                             /*consumed=*/false);
+        poison_teardown(client.tenant);
+        client.abandoned = true;
+        return;
+      }
       client.helloed = true;
       client.hello = doc.hello;
+      admitter.add_tenant(client.tenant, client.weight);
       ++hellos;
-      PS_CHECK_MSG(hellos <= options.expect_clients,
-                   "serve: more hellos than --expect-clients");
+      if (!client.abandoned && !client.deferred.empty()) {
+        apply_ready(cname, client, /*enforce_quota=*/live_quota);
+      }
       return;
     }
     ClientState& client = clients[doc.submission.client];
-    std::uint64_t seq = doc.submission.seq;
-    PS_CHECK_MSG(seq >= client.next_seq,
-                 "serve: replayed sequence number from a client");
+    const std::string cname = doc.submission.client;
+    const std::string& tenant = tenant_key(cname, client);
+    const std::uint64_t seq = doc.submission.seq;
+    if (client.abandoned) {
+      quarantine_journaled(cname, tenant, /*is_hello=*/false, seq,
+                           doc.submission.jobs.size(), "tenant_poisoned",
+                           "document from an abandoned tenant",
+                           /*consumed=*/false);
+      return;
+    }
+    if (client.eof) {
+      quarantine_journaled(cname, tenant, /*is_hello=*/false, seq,
+                           doc.submission.jobs.size(), "doc_after_eof",
+                           "submission after the client's eof document",
+                           /*consumed=*/false);
+      charge_poison(tenant);
+      return;
+    }
+    if (seq < client.next_seq) {
+      // The original already applied (or was consumed); this copy's
+      // journal entry must not survive into a recovery replay.
+      quarantine_journaled(cname, tenant, /*is_hello=*/false, seq,
+                           doc.submission.jobs.size(), "seq_replayed",
+                           "sequence number below the client's next_seq",
+                           /*consumed=*/false);
+      charge_poison(tenant);
+      return;
+    }
     bool inserted =
         client.deferred.emplace(seq, std::move(doc.submission)).second;
+    // Unreachable through the spool (same client+seq means the same inbox
+    // name, and the ingest duplicate check quarantines the second copy),
+    // so a violation here is an internal invariant break.
     PS_CHECK_MSG(inserted, "serve: duplicate sequence number from a client");
-    apply_ready(client);
+    if (client.helloed && !live_quota) {
+      // Hello phase / recovery replay: admit immediately, unthrottled.
+      // Under the live loop admission waits for the DRR cycle.
+      apply_ready(cname, client, /*enforce_quota=*/false);
+    }
   };
 
   // Journaled hellos replay first; they cannot collide with live ingest
@@ -488,6 +1044,12 @@ ServeReport run_server(const ServeOptions& options) {
     process(std::move(doc));
   }
   recovered_hellos.clear();
+  // Tombstones must be in place before any submission can apply: live
+  // documents may arrive during the hello phase.
+  for (auto& [client_name, seqs] : tombstones) {
+    clients[client_name].quarantined.insert(seqs.begin(), seqs.end());
+  }
+  tombstones.clear();
 
   // --- hello phase: wait for every expected client ---------------------------
   const std::int64_t hello_start_ns = monotonic_ns();
@@ -569,7 +1131,11 @@ ServeReport run_server(const ServeOptions& options) {
   // greatest declared submit time plus one drain hour.
   sim::Time last_submit = 0;
   for (const auto& [name, client] : clients) {
-    PS_CHECK_MSG(client.helloed, "serve: submission from a client with no hello");
+    // Hello-less stragglers (documents claimed before their hello) and
+    // abandoned clients do not shape the horizon; an abandoned client
+    // that *did* hello keeps its declaration — the reconciliation below
+    // already knows quarantined work cannot balance.
+    if (!client.helloed) continue;
     last_submit = std::max(last_submit, client.hello.last_submit);
     report.jobs_declared += client.hello.jobs;
   }
@@ -643,7 +1209,6 @@ ServeReport run_server(const ServeOptions& options) {
   // --- serve loop ------------------------------------------------------------
   const std::int64_t clock_epoch_ns = monotonic_ns();
   std::int64_t last_stats_ns = clock_epoch_ns;
-  sim::Time committed = -1;
 
   auto harvest_latency = [&] {
     const sim::Time now = simulator.now();
@@ -747,6 +1312,10 @@ ServeReport run_server(const ServeOptions& options) {
   std::uint64_t jobs_at_ckpt = ckpt ? ckpt->admitted : 0;
   std::uint64_t docs_at_ckpt = ckpt ? ckpt->docs : 0;
   sim::Time sim_at_ckpt = ckpt ? std::max<sim::Time>(ckpt->committed, 0) : 0;
+  // Clamp counts accumulate across generations: the live source only saw
+  // the documents replayed/ingested *this* process, but the report (and
+  // the next checkpoint) speak for the spool's whole history.
+  const std::uint64_t clamped_at_ckpt = ckpt ? ckpt->clamped : 0;
 
   auto write_checkpoint = [&] {
     PS_TRACE_SPAN("serve.checkpoint");
@@ -762,10 +1331,14 @@ ServeReport run_server(const ServeOptions& options) {
     snapshot.committed = committed;
     snapshot.admitted = pump.submitted();
     snapshot.docs = docs_applied;
-    snapshot.clamped = source.clamped();
+    snapshot.clamped = clamped_at_ckpt + source.clamped();
     snapshot.scenario_checksum = scenario_checksum;
     std::vector<std::string> prune;
     for (const auto& [name, client] : clients) {
+      // A client that never helloed has no checkpointable identity (the
+      // recovery cross-check would demand its hello); its journal entries
+      // simply persist and replay deferred again next generation.
+      if (!client.helloed) continue;
       CheckpointClient entry;
       entry.name = name;
       entry.hello_jobs = client.hello.jobs;
@@ -779,6 +1352,10 @@ ServeReport run_server(const ServeOptions& options) {
       auto floor = compacted.find(name);
       std::uint64_t from = floor != compacted.end() ? floor->second : 0;
       for (std::uint64_t s = from; s < client.next_seq; ++s) {
+        // Consumed-tombstoned seqs have no journal entry (their documents
+        // moved to quarantine); the tombstone itself is the durable
+        // record the next recovery replays around.
+        if (client.quarantined.count(s)) continue;
         std::string file = submission_file_name(name, s);
         segment.docs.push_back(
             parse_submission(util::read_file(journal + "/" + file)));
@@ -836,6 +1413,32 @@ ServeReport run_server(const ServeOptions& options) {
     if (due) write_checkpoint();
   };
 
+  // Per-tenant admission is live from here on; window deferrals sync into
+  // the registry as deltas of the admitter's monotone counter.
+  live_quota = true;
+  std::uint64_t deferrals_synced = admitter.window_deferrals();
+
+  auto refresh_tenant_status = [&] {
+    std::map<std::string, TenantStatus> agg;
+    for (const auto& [name, client] : clients) {
+      if (!client.helloed && !client.abandoned) continue;
+      const std::string& tenant = tenant_key(name, client);
+      TenantStatus& row = agg[tenant];
+      row.tenant = tenant;
+      row.weight = admitter.weight(tenant);
+      row.window_jobs_left = admitter.window_jobs_left(tenant);
+      row.over_quota = admitter.window_blocked(tenant);
+    }
+    std::lock_guard<std::mutex> lock(shared.tenant_mutex);
+    shared.tenant_status.clear();
+    for (auto& [tenant, row] : agg) {
+      auto it = shared.inflight.find(tenant);
+      row.inflight_docs = it == shared.inflight.end() ? 0 : it->second;
+      row.poisoned = shared.poisoned.count(tenant) > 0;
+      shared.tenant_status.push_back(std::move(row));
+    }
+  };
+
   while (true) {
     check_ingest_alive();
     if (stop_requested()) {
@@ -849,12 +1452,53 @@ ServeReport run_server(const ServeOptions& options) {
     batch.clear();
     shared.queue.pop_all(batch, options.drain_wait_ms);
     for (IngestDoc& doc : batch) process(std::move(doc));
+    // Tenants the ingest thread charged (parse failures) since last look.
+    check_poison();
+
+    // Deficit-weighted round-robin admission: repeat cycles while any
+    // document admits, so throughput is work-conserving — the quotas
+    // shape *order* (each tenant bounded per cycle before others get
+    // their turn) and the window cap, not total rate. Only
+    // window-blocked tenants can be left backlogged here; they wait for
+    // the wall-clock window to roll.
+    while (true) {
+      std::vector<std::string> backlogged;
+      for (const auto& [name, client] : clients) {
+        if (client.abandoned || !client.helloed) continue;
+        if (client.quarantined.count(client.next_seq) ||
+            client.deferred.count(client.next_seq)) {
+          const std::string& tenant = tenant_key(name, client);
+          if (std::find(backlogged.begin(), backlogged.end(), tenant) ==
+              backlogged.end()) {
+            backlogged.push_back(tenant);
+          }
+        }
+      }
+      if (backlogged.empty()) break;
+      admitter.begin_cycle(monotonic_ns() / 1'000'000, backlogged);
+      std::uint64_t progressed = 0;
+      for (auto& [name, client] : clients) {
+        if (client.abandoned || !client.helloed) continue;
+        progressed += apply_ready(name, client, /*enforce_quota=*/true);
+      }
+      if (progressed == 0) break;
+    }
+    if (admitter.window_deferrals() > deferrals_synced) {
+      c_quota_deferrals.inc(admitter.window_deferrals() - deferrals_synced);
+      deferrals_synced = admitter.window_deferrals();
+    }
+    refresh_tenant_status();
 
     bool all_eof = true;
+    bool any_live = false;
     sim::Time watermark = sim::kTimeMax;
     for (const auto& [name, client] : clients) {
-      PS_CHECK_MSG(client.helloed,
-                   "serve: submission from a client with no hello");
+      // Abandoned streams no longer count toward completion; hello-less
+      // stragglers (documents claimed before their hello arrived) never
+      // block it either — their documents stay deferred, bounded by the
+      // in-flight quota.
+      if (client.abandoned || !client.helloed) continue;
+      any_live = true;
       PS_CHECK_MSG(client.deferred.empty() || !client.eof,
                    "serve: sequence gap left behind an eof document");
       if (!client.eof) {
@@ -862,16 +1506,18 @@ ServeReport run_server(const ServeOptions& options) {
         watermark = std::min(watermark, client.watermark);
       }
     }
-    if (all_eof && static_cast<int>(clients.size()) == hellos) {
-      // Every stream is complete. Advance to the committed frontier (the
-      // greatest eof watermark — every published job sits below it) so the
-      // final checkpoint attempt sees the whole admitted history and can
-      // compact the journal before the drain takes over. Without this, a
-      // workload that arrives faster than it simulates would exit the loop
-      // on its first iteration and never checkpoint at all.
-      if (!wall_mode) {
+    if (all_eof) {
+      // Every live stream is complete (or every stream was abandoned).
+      // Advance to the committed frontier (the greatest eof watermark —
+      // every published job sits below it) so the final checkpoint
+      // attempt sees the whole admitted history and can compact the
+      // journal before the drain takes over. Without this, a workload
+      // that arrives faster than it simulates would exit the loop on its
+      // first iteration and never checkpoint at all.
+      if (!wall_mode && any_live) {
         sim::Time frontier = 0;
         for (const auto& [name, client] : clients) {
+          if (client.abandoned || !client.helloed) continue;
           frontier = std::max(frontier, client.watermark);
         }
         advance_to(std::min(frontier, horizon));
@@ -903,7 +1549,11 @@ ServeReport run_server(const ServeOptions& options) {
     sim::Time finish = std::max(horizon, source.max_submit() + sim::hours(1));
     finish = std::max(finish, simulator.now());
     committed = std::max(committed, finish);
-    pump.extend_horizon(finish);
+    // One tick past `finish`: a lying watermark can have dragged the pump's
+    // horizon all the way to `horizon` mid-run, and extend_horizon is a
+    // no-op on an equal horizon — the post-close refill that lets the pump
+    // observe the end of the stream would never run.
+    pump.extend_horizon(finish + 1);
     simulator.run_until(finish);
     harvest_latency();
     PS_CHECK_MSG(pump.fully_drained(),
@@ -930,7 +1580,7 @@ ServeReport run_server(const ServeOptions& options) {
 
   report.fingerprint = core::fingerprint(result);
   report.admitted = pump.submitted();
-  report.clamped = source.clamped();
+  report.clamped = clamped_at_ckpt + source.clamped();
   report.peak_queue = shared.queue.peak();
   report.wall_ms = (monotonic_ns() - clock_epoch_ns) / 1'000'000;
   report.jobs_per_sec =
@@ -938,7 +1588,12 @@ ServeReport run_server(const ServeOptions& options) {
           ? static_cast<double>(report.admitted) * 1000.0 /
                 static_cast<double>(report.wall_ms)
           : 0.0;
-  if (!report.interrupted) {
+  finalize_report_counters();
+  if (!report.interrupted && !had_quarantine && report.quarantined_docs == 0) {
+    // The loss fence: with no rejected work anywhere in the spool's
+    // history, every declared job must have been admitted. Quarantined
+    // documents break the balance by design (their jobs are counted in
+    // quarantined_jobs, not lost silently).
     PS_CHECK_MSG(report.admitted == report.jobs_declared,
                  "serve: admitted job count does not match the hellos");
   }
@@ -1008,6 +1663,24 @@ std::string format_report(const ServeReport& report) {
   line("journal_pruned",
        strings::format("%llu", static_cast<unsigned long long>(
                                    report.journal_pruned)));
+  line("quarantined_docs",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.quarantined_docs)));
+  line("quarantined_jobs",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.quarantined_jobs)));
+  line("poisoned_tenants",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.poisoned_tenants)));
+  line("quota_deferrals",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.quota_deferrals)));
+  line("inflight_holds",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.inflight_holds)));
+  line("slow_start_holds",
+       strings::format("%llu", static_cast<unsigned long long>(
+                                   report.slow_start_holds)));
   line("interrupted", report.interrupted ? "1" : "0");
   line("fingerprint", dist::hex64_token(report.fingerprint));
   return out;

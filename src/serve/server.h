@@ -37,6 +37,7 @@
 
 #include "core/experiment.h"
 #include "dist/fault.h"
+#include "serve/fair.h"
 #include "util/stats.h"
 
 namespace ps::serve {
@@ -106,6 +107,26 @@ struct ServeOptions {
   /// crash costs one fsync per document on the ingest path.
   bool journal_fsync = false;
 
+  /// Multi-tenant admission quotas (serve/fair.h): deficit-round-robin
+  /// quantum, quota window length, and jobs-per-window cap. Defaults are
+  /// fair scheduling with an unlimited window — pure DRR.
+  TenantQuotaOptions quotas;
+  /// Documents a tenant may hold claimed-but-not-yet-admitted before the
+  /// ingest thread stops claiming for it (its flood stays in the durable
+  /// inbox instead of our memory). 0 = unlimited.
+  std::uint64_t tenant_inflight_docs = 256;
+  /// Poison documents (parse failures, protocol violations) a tenant may
+  /// accumulate before it is abandoned: its pending documents quarantine,
+  /// its streams stop counting toward completion, and further documents
+  /// go straight to quarantine. 0 = never abandon.
+  std::uint64_t poison_threshold = 8;
+  /// Post-recovery slow start: the first quota window after a recovery
+  /// admits at most this many claimed documents, doubling each window
+  /// until uncapped — a restarted daemon is not re-stampeded by the
+  /// backlog its outage built up. 0 = off. Only active when recovering a
+  /// dirty spool.
+  std::uint64_t slow_start_docs = 32;
+
   /// Serve-tier fault injection (die_after_claim, torn_checkpoint, ...) —
   /// same plan mechanism as the distributed sweep, driven by
   /// $PS_SWEEP_FAULTS or --faults. Inert by default.
@@ -130,7 +151,8 @@ struct ServeReport {
   int clients = 0;
   std::uint64_t jobs_declared = 0;  ///< sum of hello job counts
   std::uint64_t admitted = 0;       ///< jobs handed to the controller
-  std::uint64_t clamped = 0;        ///< late jobs re-timed (wall mode)
+  std::uint64_t clamped = 0;  ///< late jobs re-timed (wall mode; cumulative
+                              ///< across generations via the checkpoint)
   std::uint64_t docs = 0;           ///< submission documents ingested
   std::uint64_t backpressure_stalls = 0;  ///< full-queue push retries
   std::size_t peak_queue = 0;
@@ -150,6 +172,14 @@ struct ServeReport {
   std::uint64_t checkpoints = 0;         ///< checkpoints written this run
   std::uint64_t checkpoints_skipped = 0; ///< corrupt ckpts skipped at recovery
   std::uint64_t journal_pruned = 0;      ///< journal files compacted away
+
+  // Overload / hostile-client counters (serve/fair.h, serve/quarantine.h).
+  std::uint64_t quarantined_docs = 0;    ///< poison documents quarantined
+  std::uint64_t quarantined_jobs = 0;    ///< jobs rejected with them
+  std::uint64_t poisoned_tenants = 0;    ///< tenants abandoned over threshold
+  std::uint64_t quota_deferrals = 0;     ///< window-quota admission deferrals
+  std::uint64_t inflight_holds = 0;      ///< ingest claims held by in-flight quota
+  std::uint64_t slow_start_holds = 0;    ///< ingest claims held by slow start
 };
 
 /// Runs the daemon to completion: waits for hellos, replays the published

@@ -1,0 +1,360 @@
+// The overload / multi-tenant fence: deficit-weighted round-robin
+// admission, per-tenant window quotas, poison-document quarantine and the
+// hostile-client fault sites must all be invisible to the deterministic
+// replay fingerprint — fairness reorders *admission work*, never sim-time
+// semantics — while every malformed document lands in
+// <spool>/quarantine/ under a sealed reason record and zero well-formed
+// work is lost.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/fair.h"
+#include "serve/protocol.h"
+#include "serve/quarantine.h"
+#include "util/spool.h"
+#include "util/strings.h"
+#include "util/subprocess.h"
+
+namespace ps::serve {
+namespace {
+
+/// The offline single-window golden digest of curie_mini at racks=2,
+/// Policy::Mix, lambda=0.5 (workload_trace_replay_test.cc).
+constexpr const char* kGoldenFingerprint = "7cb9a43f79a4103c";
+constexpr std::uint64_t kMiniTraceJobs = 400;
+
+std::string mini_trace() {
+  return std::string(PS_SOURCE_DIR) + "/data/curie_mini.swf";
+}
+
+std::map<std::string, std::string> parse_report(const std::string& text) {
+  std::map<std::string, std::string> fields;
+  for (const std::string& line : strings::split(text, '\n')) {
+    std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    fields[line.substr(0, space)] = line.substr(space + 1);
+  }
+  return fields;
+}
+
+std::uint64_t field_u64(const std::map<std::string, std::string>& report,
+                        const std::string& key) {
+  auto it = report.find(key);
+  if (it == report.end()) {
+    ADD_FAILURE() << "report has no field " << key;
+    return 0;
+  }
+  return static_cast<std::uint64_t>(
+      strings::parse_i64(it->second).value_or(-1));
+}
+
+/// Loads every sealed reason record in <spool>/quarantine/ (parse failures
+/// are test failures — a quarantine record must never itself be torn).
+std::vector<QuarantineReason> load_reasons(const std::string& spool) {
+  std::vector<QuarantineReason> reasons;
+  const std::string dir = quarantine_dir(spool);
+  if (!util::path_exists(dir)) return reasons;
+  for (const std::string& name : util::list_files(dir, ".reason")) {
+    reasons.push_back(parse_quarantine_reason(util::read_file(dir + "/" + name)));
+  }
+  return reasons;
+}
+
+// --- FairAdmitter unit fences ------------------------------------------------
+
+TEST(FairAdmitter, ThroughputConvergesToWeightRatio) {
+  TenantQuotaOptions options;
+  options.quantum_jobs = 10;
+  options.window_jobs = 0;
+  FairAdmitter admitter(options);
+  admitter.add_tenant("a", 1);
+  admitter.add_tenant("b", 3);
+  int admitted_a = 0;
+  int admitted_b = 0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    admitter.begin_cycle(0, {"a", "b"});
+    while (admitter.try_admit("a", 10)) ++admitted_a;
+    while (admitter.try_admit("b", 10)) ++admitted_b;
+  }
+  EXPECT_EQ(admitted_a, 10);
+  EXPECT_EQ(admitted_b, 30);  // exactly the 1:3 weight ratio
+}
+
+TEST(FairAdmitter, OversizedDocumentSavesDeficitAcrossCycles) {
+  TenantQuotaOptions options;
+  options.quantum_jobs = 4;
+  FairAdmitter admitter(options);
+  admitter.add_tenant("t", 1);
+  admitter.begin_cycle(0, {"t"});
+  EXPECT_FALSE(admitter.try_admit("t", 10));  // deficit 4
+  admitter.begin_cycle(0, {"t"});
+  EXPECT_FALSE(admitter.try_admit("t", 10));  // deficit 8
+  admitter.begin_cycle(0, {"t"});
+  EXPECT_TRUE(admitter.try_admit("t", 10));   // deficit 12 covers it
+}
+
+TEST(FairAdmitter, IdleTenantsHoardNoCredit) {
+  TenantQuotaOptions options;
+  options.quantum_jobs = 4;
+  FairAdmitter admitter(options);
+  admitter.add_tenant("t", 1);
+  admitter.begin_cycle(0, {"t"});   // deficit 4
+  admitter.begin_cycle(0, {});      // idle: reset to 0
+  admitter.begin_cycle(0, {"t"});   // deficit 4 again, not 8
+  EXPECT_FALSE(admitter.try_admit("t", 8));
+  EXPECT_TRUE(admitter.try_admit("t", 4));
+}
+
+TEST(FairAdmitter, WindowQuotaDefersAndRolls) {
+  TenantQuotaOptions options;
+  options.quantum_jobs = 1000;  // deficit never binds in this fence
+  options.window_ms = 100;
+  options.window_jobs = 10;
+  FairAdmitter admitter(options);
+  admitter.add_tenant("t", 1);
+
+  admitter.begin_cycle(0, {"t"});
+  EXPECT_TRUE(admitter.try_admit("t", 6));
+  EXPECT_EQ(admitter.window_jobs_left("t"), 4);
+  EXPECT_FALSE(admitter.try_admit("t", 6));  // 6 + 6 > 10
+  EXPECT_FALSE(admitter.try_admit("t", 6));
+  EXPECT_EQ(admitter.window_deferrals(), 1u);  // counted once per cycle
+
+  admitter.begin_cycle(50, {"t"});  // same window
+  EXPECT_FALSE(admitter.try_admit("t", 6));
+  EXPECT_EQ(admitter.window_deferrals(), 2u);
+
+  admitter.begin_cycle(120, {"t"});  // window rolled: budget restored
+  EXPECT_TRUE(admitter.try_admit("t", 6));
+
+  // A document bigger than the whole window is admissible only against a
+  // fresh window — otherwise it could never be admitted at all.
+  admitter.begin_cycle(220, {"t"});
+  EXPECT_TRUE(admitter.try_admit("t", 25));
+  EXPECT_TRUE(admitter.window_blocked("t"));
+  EXPECT_EQ(admitter.window_jobs_left("t"), 0);
+}
+
+TEST(FairAdmitter, RepeatRegistrationKeepsGreatestWeight) {
+  FairAdmitter admitter;
+  admitter.add_tenant("t", 2);
+  admitter.add_tenant("t", 5);
+  admitter.add_tenant("t", 1);
+  EXPECT_EQ(admitter.weight("t"), 5u);
+}
+
+TEST(QuarantineReasonCodec, RoundTripsAndFlattensHostileDetail) {
+  QuarantineReason reason;
+  reason.client = "c1";
+  reason.seq = 7;
+  reason.kind = "submission";
+  reason.reason = "parse_failure";
+  reason.detail = "seal: bad\nchecksum\r\nline";
+  reason.consumed = false;
+  reason.generation = 3;
+  reason.jobs = 17;
+  reason.wall_ns = 123456789;
+  QuarantineReason parsed =
+      parse_quarantine_reason(serialize_quarantine_reason(reason));
+  EXPECT_EQ(parsed.client, "c1");
+  EXPECT_EQ(parsed.seq, 7);
+  EXPECT_EQ(parsed.reason, "parse_failure");
+  EXPECT_EQ(parsed.detail.find('\n'), std::string::npos);
+  EXPECT_EQ(parsed.detail.find('\r'), std::string::npos);
+  EXPECT_FALSE(parsed.consumed);
+  EXPECT_EQ(parsed.generation, 3u);
+  EXPECT_EQ(parsed.jobs, 17u);
+
+  // An empty detail must still frame (serde rejects empty rest-of-line).
+  reason.detail.clear();
+  EXPECT_EQ(parse_quarantine_reason(serialize_quarantine_reason(reason)).detail,
+            "-");
+}
+
+// --- integration fences ------------------------------------------------------
+
+struct RunResult {
+  std::map<std::string, std::string> report;
+  std::vector<QuarantineReason> reasons;
+  std::string dir;   ///< caller removes when done
+  std::string spool;
+};
+
+RunResult run_quota_fence(int clients, int batch_jobs,
+                          const std::vector<std::string>& serve_extra,
+                          const std::vector<std::string>& load_extra) {
+  RunResult run;
+  run.dir = util::make_temp_dir("serve_fair");
+  run.spool = run.dir + "/spool";
+  std::vector<std::string> serve_argv = {
+      PS_SERVE_BIN, "--spool", run.spool, "--expect-clients",
+      strings::format("%d", clients), "--racks", "2", "--policy", "mix",
+      "--lambda", "0.5", "--stats-ms", "0", "--faults", ""};
+  serve_argv.insert(serve_argv.end(), serve_extra.begin(), serve_extra.end());
+  util::Subprocess server = util::Subprocess::spawn(
+      serve_argv, run.dir + "/serve.out", run.dir + "/serve.err");
+
+  std::vector<std::string> load_argv = {
+      PS_LOAD_BIN, "--spool", run.spool, "--swf", mini_trace(), "--clients",
+      strings::format("%d", clients), "--batch-jobs",
+      strings::format("%d", batch_jobs)};
+  load_argv.insert(load_argv.end(), load_extra.begin(), load_extra.end());
+  util::Subprocess load = util::Subprocess::spawn(
+      load_argv, run.dir + "/load.out", run.dir + "/load.err");
+
+  EXPECT_EQ(load.wait(), 0) << util::read_file(run.dir + "/load.err");
+  int server_exit = -1;
+  if (!server.wait_for(120'000, &server_exit)) {
+    server.kill();
+    server.wait();
+    ADD_FAILURE() << "ps-serve did not finish within 120s";
+  }
+  EXPECT_EQ(server_exit, 0) << util::read_file(run.dir + "/serve.err");
+  run.report = parse_report(util::read_file(run.dir + "/serve.out"));
+  run.reasons = load_reasons(run.spool);
+  return run;
+}
+
+TEST(ServeFairness, QuotasAndWeightsPreserveTheDetGolden) {
+  // Three tenants (one per client, weights forwarded fleet-wide), a tight
+  // jobs-per-window quota and a small DRR quantum: admission is heavily
+  // reshaped, the deterministic fingerprint must not move at all.
+  RunResult run = run_quota_fence(
+      3, 17,
+      {"--quantum-jobs", "16", "--admit-window-ms", "25",
+       "--tenant-window-jobs", "24"},
+      {"--weight", "3"});
+  ASSERT_TRUE(run.report.count("fingerprint"));
+  EXPECT_EQ(run.report.at("fingerprint"), kGoldenFingerprint);
+  EXPECT_EQ(field_u64(run.report, "admitted"), kMiniTraceJobs);
+  EXPECT_EQ(field_u64(run.report, "jobs_declared"), kMiniTraceJobs);
+  EXPECT_EQ(field_u64(run.report, "quarantined_docs"), 0u);
+  EXPECT_EQ(field_u64(run.report, "poisoned_tenants"), 0u);
+  // 400 jobs against a 24-jobs-per-window cap cannot fit one window: the
+  // quota demonstrably engaged.
+  EXPECT_GT(field_u64(run.report, "quota_deferrals"), 0u);
+  EXPECT_EQ(run.reasons.size(), 0u);
+  util::remove_tree(run.dir);
+}
+
+TEST(ServeFairness, HostileStormLosesNoWellFormedWork) {
+  // The CI chaos storm in miniature: corrupt publishes, duplicate
+  // publishes, floods and stalls across three clients. Every well-formed
+  // submission is still admitted exactly once (golden fingerprint), every
+  // poison document lands in quarantine under a sealed reason record, and
+  // no poison reason consumes a sequence number (the republish retry
+  // protocol fills every gap).
+  RunResult run = run_quota_fence(
+      3, 17, {"--quantum-jobs", "64"},
+      {"--faults",
+       "seed=42,rate=0.35,max_attempt=3,"
+       "sites=corrupt_submission+flood_burst+stall_client+dup_publish"});
+  ASSERT_TRUE(run.report.count("fingerprint"));
+  EXPECT_EQ(run.report.at("fingerprint"), kGoldenFingerprint);
+  EXPECT_EQ(field_u64(run.report, "admitted"), kMiniTraceJobs);
+  EXPECT_EQ(field_u64(run.report, "poisoned_tenants"), 0u);
+
+  // The storm demonstrably fired and every quarantined document has its
+  // sealed reason record.
+  EXPECT_GT(field_u64(run.report, "quarantined_docs"), 0u);
+  EXPECT_EQ(field_u64(run.report, "quarantined_docs"), run.reasons.size());
+  const std::set<std::string> benign = {"parse_failure", "duplicate",
+                                        "seq_replayed"};
+  for (const QuarantineReason& reason : run.reasons) {
+    EXPECT_TRUE(benign.count(reason.reason))
+        << "well-formed work quarantined as " << reason.reason;
+    EXPECT_FALSE(reason.consumed)
+        << reason.reason << " must not consume a retryable seq";
+  }
+  util::remove_tree(run.dir);
+}
+
+TEST(ServeFairness, PoisonThresholdAbandonsTheTenant) {
+  // One honest solo client plus one hand-rolled hostile client that
+  // publishes only garbage: the hostile tenant crosses the poison
+  // threshold and is abandoned, the honest replay still reaches the
+  // golden, and the run completes without the hostile eof.
+  std::string dir = util::make_temp_dir("serve_poison");
+  std::string spool = dir + "/spool";
+  util::Subprocess server = util::Subprocess::spawn(
+      {PS_SERVE_BIN, "--spool", spool, "--expect-clients", "2", "--racks",
+       "2", "--policy", "mix", "--lambda", "0.5", "--stats-ms", "0",
+       "--faults", "", "--poison-threshold", "2"},
+      dir + "/serve.out", dir + "/serve.err");
+
+  const std::string inbox = inbox_dir(spool);
+  util::ensure_dir(spool);
+  util::ensure_dir(inbox);
+  Hello evil;
+  evil.client = "evil";
+  evil.jobs = 0;
+  evil.last_submit = -1;
+  util::write_file_atomic(inbox + "/" + hello_file_name("evil"),
+                          serialize_hello(evil), /*durable=*/false);
+  for (std::uint64_t seq = 0; seq < 3; ++seq) {
+    util::write_file_atomic(inbox + "/" + submission_file_name("evil", seq),
+                            "not a sealed submission document\n",
+                            /*durable=*/false);
+  }
+
+  util::Subprocess load = util::Subprocess::spawn(
+      {PS_LOAD_BIN, "--spool", spool, "--swf", mini_trace(), "--client",
+       "solo", "--batch-jobs", "64"},
+      dir + "/load.out", dir + "/load.err");
+  EXPECT_EQ(load.wait(), 0) << util::read_file(dir + "/load.err");
+  int server_exit = -1;
+  ASSERT_TRUE(server.wait_for(120'000, &server_exit)) << "ps-serve hung";
+  EXPECT_EQ(server_exit, 0) << util::read_file(dir + "/serve.err");
+
+  std::map<std::string, std::string> report =
+      parse_report(util::read_file(dir + "/serve.out"));
+  EXPECT_EQ(report.at("fingerprint"), kGoldenFingerprint);
+  EXPECT_EQ(field_u64(report, "admitted"), kMiniTraceJobs);
+  EXPECT_EQ(field_u64(report, "poisoned_tenants"), 1u);
+  EXPECT_GE(field_u64(report, "quarantined_docs"), 3u);
+  std::vector<QuarantineReason> reasons = load_reasons(spool);
+  EXPECT_EQ(reasons.size(), field_u64(report, "quarantined_docs"));
+  for (const QuarantineReason& reason : reasons) {
+    EXPECT_EQ(reason.client, "evil");
+    EXPECT_TRUE(reason.reason == "parse_failure" ||
+                reason.reason == "tenant_poisoned")
+        << reason.reason;
+  }
+  util::remove_tree(dir);
+}
+
+TEST(ServeFairness, WatermarkLiarStrandsOnlyItsOwnLateJobs) {
+  // lie_watermark drags the committed frontier hours ahead of the truth;
+  // stall_client paces the stream so the frontier demonstrably advances
+  // between documents. The det-mode server must quarantine the stranded
+  // payloads as consumed late_jobs tombstones (plus the final honest eof
+  // as a watermark regression) instead of admitting in the past — and
+  // still terminate cleanly.
+  RunResult run = run_quota_fence(
+      1, 64, {},
+      {"--faults",
+       "seed=9,rate=1,max_attempt=0,sites=lie_watermark+stall_client"});
+  EXPECT_EQ(field_u64(run.report, "interrupted"), 0u);
+  const std::uint64_t admitted = field_u64(run.report, "admitted");
+  const std::uint64_t stranded = field_u64(run.report, "quarantined_jobs");
+  EXPECT_EQ(admitted + stranded, kMiniTraceJobs)
+      << "jobs neither admitted nor accounted for in quarantine";
+  EXPECT_GT(stranded, 0u) << "the lie never stranded anything";
+  EXPECT_EQ(field_u64(run.report, "quarantined_docs"), run.reasons.size());
+  for (const QuarantineReason& reason : run.reasons) {
+    EXPECT_TRUE(reason.reason == "late_jobs" ||
+                reason.reason == "watermark_regressed")
+        << reason.reason;
+    EXPECT_TRUE(reason.consumed)
+        << reason.reason << " must tombstone its seq or recovery deadlocks";
+  }
+  util::remove_tree(run.dir);
+}
+
+}  // namespace
+}  // namespace ps::serve

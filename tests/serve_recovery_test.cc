@@ -245,6 +245,62 @@ TEST(ServeRecovery, ChaosStormSurvivesRepeatedKills) {
   util::remove_tree(dir);
 }
 
+TEST(ServeRecovery, WallClockRecoveryKeepsEveryJobAndItsClampCount) {
+  // Wall mode has no golden fingerprint to fence — its recovery invariant
+  // is exactness of the counts: after a SIGKILL in the window between a
+  // sealed checkpoint and the journal prune, the recovered run still
+  // admits every declared job exactly once, and the clamped-jobs total is
+  // cumulative across generations (the checkpoint carries generation 0's
+  // clamps; a reset-to-zero counter would under-report the SLO breach).
+  std::string dir = util::make_temp_dir("serve_wall_recover");
+  std::string spool = dir + "/spool";
+  auto argv = [&](bool recover) {
+    std::vector<std::string> args = {
+        PS_SERVE_BIN, "--spool", spool, "--expect-clients", "1", "--racks",
+        "2", "--mode", "wall", "--accel", "20000", "--stats-ms", "0",
+        "--checkpoint-jobs", "100", "--faults",
+        "seed=11,rate=1,max_attempt=0,sites=die_after_checkpoint,shards=0"};
+    if (recover) args.push_back("--recover");
+    return args;
+  };
+  util::Subprocess server = util::Subprocess::spawn(
+      argv(false), dir + "/serve0.out", dir + "/serve0.err");
+  // The client replays at half the server's clock rate: every batch after
+  // the first arrives behind the simulation clock and is clamped late —
+  // the wall-mode overload scenario, and a deterministic source of
+  // pre-checkpoint clamps for the cumulative-count assertion below.
+  util::Subprocess load = util::Subprocess::spawn(
+      {PS_LOAD_BIN, "--spool", spool, "--swf", mini_trace(), "--client",
+       "solo", "--batch-jobs", "32", "--accel", "10000"},
+      dir + "/load.out", dir + "/load.err");
+  EXPECT_EQ(load.wait(), 0) << util::read_file(dir + "/load.err");
+  int exit_code = -1;
+  ASSERT_TRUE(server.wait_for(60'000, &exit_code)) << "wall ps-serve hung";
+  ASSERT_EQ(exit_code, 137) << "the checkpoint kill never fired";
+
+  util::Subprocess recovered = util::Subprocess::spawn(
+      argv(true), dir + "/recover.out", dir + "/recover.err");
+  ASSERT_TRUE(recovered.wait_for(60'000, &exit_code))
+      << "wall-mode recovery hung";
+  EXPECT_EQ(exit_code, 0) << util::read_file(dir + "/recover.err");
+
+  std::map<std::string, std::string> report =
+      parse_report(util::read_file(dir + "/recover.out"));
+  EXPECT_EQ(report.at("jobs_declared"), kMiniTraceJobs);
+  EXPECT_EQ(report.at("admitted"), kMiniTraceJobs);
+  EXPECT_EQ(report.at("interrupted"), "0");
+  EXPECT_GE(strings::parse_i64(report.at("generation")).value_or(0), 1);
+  EXPECT_GE(strings::parse_i64(report.at("recovered_jobs")).value_or(0), 100);
+  // At accel=200000 the restarted sim clock laps the inbox backlog almost
+  // immediately: late admissions are certain, and the total must stay
+  // within the admitted count (a double-counted checkpoint would not).
+  const std::int64_t clamped =
+      strings::parse_i64(report.at("clamped")).value_or(-1);
+  EXPECT_GT(clamped, 0);
+  EXPECT_LE(clamped, 400);
+  util::remove_tree(dir);
+}
+
 TEST(ServeRecovery, DirtySpoolWithoutRecoverFailsLoudly) {
   std::string dir = util::make_temp_dir("serve_dirty");
   std::string spool = dir + "/spool";

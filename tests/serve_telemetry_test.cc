@@ -4,9 +4,12 @@
 // well-sealed, monotonic telemetry documents that ps-stat can read back.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/registry.h"
@@ -129,6 +132,80 @@ TEST(ServeTelemetry, GoldenUnmovedAndDocumentsMonotonic) {
   std::string prom_out = util::read_file(dir + "/prom.out");
   EXPECT_NE(prom_out.find("ps_serve_jobs_admitted"), std::string::npos)
       << prom_out;
+  util::remove_tree(dir);
+}
+
+std::string snapshot_doc(std::uint64_t seq, std::uint64_t count) {
+  obs::Snapshot snap;
+  snap.seq = seq;
+  snap.wall_ns = 1'000'000'000 + static_cast<std::int64_t>(seq);
+  snap.mono_ns = static_cast<std::int64_t>(seq);
+  obs::Snapshot::CounterValue counter;
+  counter.name = "demo.count";
+  counter.value = count;
+  snap.counters.push_back(counter);
+  return obs::serialize_snapshot(snap);
+}
+
+std::size_t count_snapshots(const std::string& text) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find("-- snapshot seq=");
+       at != std::string::npos; at = text.find("-- snapshot seq=", at + 1)) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ServeTelemetry, FollowSurvivesDirectoryRotation) {
+  // A tailing ps-stat must survive the telemetry directory being removed
+  // and re-created with its sequence reset (spool cleanup, a restarted
+  // daemon): warn on stderr and keep printing, instead of exiting or —
+  // worse — going silent forever because every new name sorts below the
+  // old high-water mark.
+  std::string dir = util::make_temp_dir("stat_follow");
+  std::string tele = dir + "/telemetry";
+  util::ensure_dir(tele);
+  util::write_file_atomic(tele + "/tele-00000001.tel", snapshot_doc(1, 10),
+                          /*durable=*/false);
+
+  util::Subprocess stat = util::Subprocess::spawn(
+      {PS_STAT_BIN, tele, "--follow", "--poll-ms", "25"}, dir + "/stat.out",
+      dir + "/stat.err");
+
+  auto wait_for_snapshots = [&](std::size_t want) {
+    for (int i = 0; i < 200; ++i) {
+      // The redirect file is created by the child after fork — it may not
+      // exist for the first few polls.
+      if (util::path_exists(dir + "/stat.out") &&
+          count_snapshots(util::read_file(dir + "/stat.out")) >= want) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return false;
+  };
+  EXPECT_TRUE(wait_for_snapshots(1)) << "follow never printed the backlog";
+  util::write_file_atomic(tele + "/tele-00000002.tel", snapshot_doc(2, 20),
+                          /*durable=*/false);
+  EXPECT_TRUE(wait_for_snapshots(2)) << "follow missed a fresh document";
+
+  // Rotation: the whole directory vanishes, then reappears with the
+  // sequence reset to 1. The old follow logic would skip it forever.
+  util::remove_tree(tele);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  util::ensure_dir(tele);
+  util::write_file_atomic(tele + "/tele-00000001.tel", snapshot_doc(1, 30),
+                          /*durable=*/false);
+  EXPECT_TRUE(wait_for_snapshots(3))
+      << "follow went silent across the rotation";
+
+  stat.signal(SIGTERM);
+  int exit_code = -1;
+  ASSERT_TRUE(stat.wait_for(10'000, &exit_code)) << "ps-stat ignored SIGTERM";
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(util::read_file(dir + "/stat.err").find("vanished"),
+            std::string::npos)
+      << "rotation was survived silently — it must be loud";
   util::remove_tree(dir);
 }
 

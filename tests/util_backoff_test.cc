@@ -1,0 +1,115 @@
+// util::Backoff — the shared retry-delay policy: capped exponential ramp,
+// deterministic seeded jitter. Two invariants carry the repo's chaos
+// story: the schedule is a pure function of (options, attempt index), and
+// different seeds decorrelate while the same seed replays exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/backoff.h"
+
+namespace ps::util {
+namespace {
+
+std::vector<std::int64_t> take(Backoff& backoff, int n) {
+  std::vector<std::int64_t> delays;
+  for (int i = 0; i < n; ++i) delays.push_back(backoff.next_ms());
+  return delays;
+}
+
+TEST(Backoff, NoJitterIsTheClassicDoublingRamp) {
+  Backoff::Options options;
+  options.initial_ms = 2;
+  options.max_ms = 50;
+  options.jitter = 0.0;
+  Backoff backoff(options);
+  EXPECT_EQ(take(backoff, 8), (std::vector<std::int64_t>{
+                                  2, 4, 8, 16, 32, 50, 50, 50}));
+}
+
+TEST(Backoff, SameSeedSameSchedule) {
+  Backoff::Options options;
+  options.seed = Backoff::seed_from_name("c3");
+  Backoff a(options);
+  Backoff b(options);
+  EXPECT_EQ(take(a, 32), take(b, 32));
+}
+
+TEST(Backoff, DifferentSeedsDecorrelate) {
+  Backoff::Options options;
+  options.initial_ms = 100;
+  options.max_ms = 10'000;
+  options.seed = Backoff::seed_from_name("c0");
+  Backoff a(options);
+  options.seed = Backoff::seed_from_name("c1");
+  Backoff b(options);
+  // A fleet must not retry in lockstep: at least one delay in a short
+  // prefix differs (overwhelmingly all of them do).
+  EXPECT_NE(take(a, 8), take(b, 8));
+}
+
+TEST(Backoff, JitterStaysInsideTheAdvertisedBand) {
+  Backoff::Options options;
+  options.initial_ms = 8;
+  options.max_ms = 256;
+  options.jitter = 0.5;
+  options.seed = 12345;
+  Backoff backoff(options);
+  std::int64_t base = options.initial_ms;
+  for (int n = 0; n < 20; ++n) {
+    const std::int64_t delay = backoff.next_ms();
+    EXPECT_GE(delay, 1);
+    // delay = base * factor with factor in [1 - jitter, 1].
+    EXPECT_LE(delay, base);
+    EXPECT_GE(delay, static_cast<std::int64_t>(
+                         static_cast<double>(base) * (1.0 - options.jitter)) -
+                         1);
+    base = std::min<std::int64_t>(base * 2, options.max_ms);
+  }
+}
+
+TEST(Backoff, ResetRestartsTheRamp) {
+  Backoff::Options options;
+  options.jitter = 0.0;
+  options.initial_ms = 4;
+  options.max_ms = 400;
+  Backoff backoff(options);
+  std::vector<std::int64_t> first = take(backoff, 5);
+  EXPECT_EQ(backoff.attempts(), 5u);
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_EQ(take(backoff, 5), first);
+}
+
+TEST(Backoff, DelaysNeverUnderflowToZero) {
+  Backoff::Options options;
+  options.initial_ms = 1;
+  options.max_ms = 1;
+  options.jitter = 1.0;  // factor can reach ~0
+  options.seed = 7;
+  Backoff backoff(options);
+  for (int i = 0; i < 64; ++i) EXPECT_GE(backoff.next_ms(), 1);
+}
+
+TEST(Backoff, UnitIsUniformishAndBounded) {
+  double sum = 0.0;
+  for (std::uint64_t n = 0; n < 4096; ++n) {
+    const double u = Backoff::unit(99, n);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 4096.0, 0.5, 0.05);
+}
+
+TEST(Backoff, SeedFromNameIsStableAndDistinct) {
+  EXPECT_EQ(Backoff::seed_from_name("alice"),
+            Backoff::seed_from_name("alice"));
+  EXPECT_NE(Backoff::seed_from_name("alice"),
+            Backoff::seed_from_name("alicf"));
+  EXPECT_NE(Backoff::seed_from_name("c0"), Backoff::seed_from_name("c1"));
+}
+
+}  // namespace
+}  // namespace ps::util

@@ -54,6 +54,11 @@ GATED_KERNELS = [
     # 64-job submission document through the serve spool protocol — the
     # per-document overhead bounding ps-serve sustained throughput.
     "BM_ServeIngest",
+    # Fairness bookkeeping (serve/fair.h): one DRR admit cycle over 8
+    # weighted tenants, drained to deferral. Runs every serve-loop
+    # iteration, so it is gated to keep the multi-tenant layer from
+    # growing into ingest latency.
+    "BM_ServeFairAdmit",
     # Observability substrate (src/obs/): the per-call price of a counter
     # increment, of the kill-switch floor, and of an untraced span. These
     # are single-digit-nanosecond kernels; the gate keeps them from quietly

@@ -13,7 +13,13 @@ in the loop — that the documents a daemon published are:
     registry's snapshot-consistency promise observed end to end.
 
 Usage:
-  tools/check_telemetry.py SPOOL_DIR [--min-docs N]
+  tools/check_telemetry.py SPOOL_DIR [--min-docs N] \
+      [--require-counter NAME[=MIN] ...]
+
+--require-counter asserts the *final* document carries the named counter
+(optionally with value >= MIN) — how CI pins down that a chaos leg
+actually exercised a path (e.g. serve.quarantine.docs=3) instead of
+passing vacuously.
 
 SPOOL_DIR may be the telemetry directory itself or a spool root containing
 telemetry/. Exit code 1 on any violation, 2 on usage errors.
@@ -80,7 +86,20 @@ def main():
     parser.add_argument("dir", help="telemetry directory (or spool root)")
     parser.add_argument("--min-docs", type=int, default=1,
                         help="fail unless at least this many documents exist")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME[=MIN]",
+                        help="fail unless the final document carries this "
+                             "counter (>= MIN when given); repeatable")
     args = parser.parse_args()
+
+    requirements = []
+    for spec in args.require_counter:
+        name, _, floor = spec.partition("=")
+        try:
+            requirements.append((name, int(floor) if floor else 0))
+        except ValueError:
+            print(f"FAIL: bad --require-counter spec {spec!r}")
+            return 2
 
     tel_dir = args.dir
     nested = os.path.join(tel_dir, "telemetry")
@@ -121,6 +140,15 @@ def main():
                           f"({before} -> {value})")
                     violations += 1
         prev = doc
+
+    for name, floor in requirements:
+        if prev is None or name not in prev["counters"]:
+            print(f"FAIL: final document is missing required counter {name}")
+            violations += 1
+        elif prev["counters"][name] < floor:
+            print(f"FAIL: counter {name} = {prev['counters'][name]} "
+                  f"< required minimum {floor}")
+            violations += 1
 
     if violations:
         print(f"\nFAIL: {violations} telemetry violation(s) across {len(names)} document(s)")
